@@ -1,0 +1,70 @@
+// Reproduces Figure 10: FISC's sensitivity to gamma1 in [0.5, 0.75] and
+// gamma2 in [0.05, 0.2] on the PACS-like dataset (train {Art, Cartoon},
+// val Photo "P", test Sketch "S"). The paper's claim is STABILITY across
+// both ranges; the bench prints P and S accuracy per grid point.
+//
+// Flags: --quick, --seed=N.
+#include <cstdio>
+
+#include "experiment.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pardon;
+  const util::Flags flags(argc, argv);
+  util::SetLogLevel(flags.GetBool("verbose", false) ? util::LogLevel::kInfo
+                                                    : util::LogLevel::kWarn);
+  const bool quick = flags.GetBool("quick", false);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 29));
+
+  const data::ScenarioPreset preset = data::MakePacsLike();
+  bench::Scenario scenario{
+      .preset = preset,
+      .train_domains = {1, 2},
+      .val_domains = {0},
+      .test_domains = {3},
+      .samples_per_train_domain = quick ? 600 : 1200,
+      .samples_per_eval_domain = quick ? 200 : 400,
+      .total_clients = quick ? 40 : 100,
+      .participants = quick ? 8 : 20,
+      .rounds = quick ? 20 : 40,
+      .lambda = 0.1,
+      .seed = seed,
+  };
+  util::ThreadPool pool;
+  const int repeats = flags.GetInt("repeats", quick ? 2 : 3);
+
+  const std::vector<float> gamma1_grid =
+      quick ? std::vector<float>{0.5f, 0.625f, 0.75f}
+            : std::vector<float>{0.5f, 0.55f, 0.6f, 0.65f, 0.7f, 0.75f};
+  const std::vector<float> gamma2_grid =
+      quick ? std::vector<float>{0.05f, 0.125f, 0.2f}
+            : std::vector<float>{0.05f, 0.08f, 0.11f, 0.14f, 0.17f, 0.2f};
+
+  const auto sweep = [&](const char* title, const char* column,
+                         const std::vector<float>& grid, const bool is_gamma1) {
+    std::vector<bench::MethodSpec> specs;
+    for (const float value : grid) {
+      core::FiscOptions options;
+      (is_gamma1 ? options.gamma1 : options.gamma2) = value;
+      specs.push_back({util::Table::Num(value, 3), [options] {
+                         return std::make_unique<core::Fisc>(options);
+                       }});
+    }
+    const bench::MethodAverages averages =
+        bench::RunMethodsAveraged(scenario, specs, repeats, &pool);
+    util::Table table({column, "P (val)", "S (test)"});
+    for (const bench::MethodSpec& spec : specs) {
+      table.AddRow({spec.name, util::Table::Pct(averages.val.at(spec.name)),
+                    util::Table::Pct(averages.test.at(spec.name))});
+    }
+    std::printf("\n%s\n", title);
+    table.Print();
+  };
+  sweep("[Figure 10a] Effect of gamma1 (triplet coefficient)",
+        "gamma1 (gamma2=0.1)", gamma1_grid, true);
+  sweep("[Figure 10b] Effect of gamma2 (regularizer coefficient)",
+        "gamma2 (gamma1=0.6)", gamma2_grid, false);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces Figure 5 / Table 7: robustness to the number of clients.
+// Settings K/N in {5/5, 5/10, 5/50, 5/100, 5/200} — i.e. 100% down to 2.5%
+// of clients participate per round. Training domains Sketch and Cartoon;
+// validation domain Photo; test domain Art-Painting (appendix B.2 setup).
+//
+// Flags: --quick, --seed=N.
+#include <cstdio>
+#include <map>
+
+#include "experiment.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pardon;
+  const util::Flags flags(argc, argv);
+  util::SetLogLevel(flags.GetBool("verbose", false) ? util::LogLevel::kInfo
+                                                    : util::LogLevel::kWarn);
+  const bool quick = flags.GetBool("quick", false);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 17));
+  const int repeats = flags.GetInt("repeats", quick ? 2 : 3);
+
+  const data::ScenarioPreset preset = data::MakePacsLike();
+  const std::vector<int> totals =
+      quick ? std::vector<int>{5, 10, 50} : std::vector<int>{5, 10, 50, 100, 200};
+
+  util::ThreadPool pool;
+  std::map<std::string, std::map<int, double>> val_acc, test_acc;
+  std::vector<std::string> method_names;
+  for (const auto& spec : bench::PaperMethods()) {
+    method_names.push_back(spec.name);
+  }
+
+  for (const int total : totals) {
+    bench::Scenario scenario{
+        .preset = preset,
+        .train_domains = {3, 2},  // Sketch, Cartoon
+        .val_domains = {0},       // Photo
+        .test_domains = {1},      // Art-Painting
+        .samples_per_train_domain = quick ? 600 : 1500,
+        .samples_per_eval_domain = quick ? 200 : 400,
+        .total_clients = total,
+        .participants = 5,
+        .rounds = quick ? 25 : 50,
+        .lambda = 0.1,
+        .seed = seed,
+    };
+    const bench::MethodAverages averages = bench::RunMethodsAveraged(
+        scenario, bench::PaperMethods(), repeats, &pool);
+    for (const std::string& method : method_names) {
+      val_acc[method][total] = averages.val.at(method);
+      test_acc[method][total] = averages.test.at(method);
+      PARDON_LOG_INFO << "K/N=5/" << total << " " << method << ": val "
+                      << util::Table::Pct(averages.val.at(method)) << " test "
+                      << util::Table::Pct(averages.test.at(method));
+    }
+  }
+
+  const auto emit = [&](const char* title,
+                        std::map<std::string, std::map<int, double>>& acc) {
+    std::vector<std::string> header = {"Method"};
+    for (const int t : totals) header.push_back("5/" + std::to_string(t));
+    header.push_back("AVG");
+    util::Table table(header);
+    for (const std::string& method : method_names) {
+      std::vector<std::string> row = {method};
+      double sum = 0.0;
+      for (const int t : totals) {
+        sum += acc[method][t];
+        row.push_back(util::Table::Pct(acc[method][t]));
+      }
+      row.push_back(util::Table::Pct(sum / totals.size()));
+      table.AddRow(std::move(row));
+    }
+    std::printf("\n[Fig 5 / Table 7] %s (train {Sketch, Cartoon}; val Photo; "
+                "test Art)\n", title);
+    table.Print();
+  };
+  emit("Validation accuracy vs K/N", val_acc);
+  emit("Test accuracy vs K/N", test_acc);
+  return 0;
+}

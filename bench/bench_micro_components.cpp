@@ -1,0 +1,86 @@
+// Component micro-benchmarks (google-benchmark): the building blocks whose
+// costs compose the paper's Table 8 — FINCH clustering, AdaIN transfer,
+// style extraction, matmul, FedAvg aggregation.
+#include <benchmark/benchmark.h>
+
+#include "clustering/finch.hpp"
+#include "fl/aggregate.hpp"
+#include "style/adain.hpp"
+#include "style/encoder.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using pardon::tensor::Pcg32;
+using pardon::tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Pcg32 rng(1);
+  const Tensor a = Tensor::Gaussian({n, n}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({n, n}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::tensor::MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Finch(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Pcg32 rng(2);
+  const Tensor points = Tensor::Gaussian({n, 24}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pardon::clustering::Finch(points, pardon::clustering::Metric::kCosine));
+  }
+}
+BENCHMARK(BM_Finch)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_AdaInTransfer(benchmark::State& state) {
+  Pcg32 rng(3);
+  const pardon::style::FrozenEncoder encoder(
+      {.in_channels = 6, .feature_channels = 12, .pool = 2, .seed = 7});
+  const Tensor image = Tensor::Gaussian({6, 8, 8}, 0, 1, rng);
+  pardon::style::StyleVector target;
+  target.mu = Tensor::Gaussian({12}, 0, 1, rng);
+  target.sigma = pardon::tensor::AddScalar(
+      pardon::tensor::Abs(Tensor::Gaussian({12}, 0, 1, rng)), 0.1f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pardon::style::StyleTransferImage(image, target, encoder));
+  }
+}
+BENCHMARK(BM_AdaInTransfer);
+
+void BM_StyleExtraction(benchmark::State& state) {
+  Pcg32 rng(4);
+  const pardon::style::FrozenEncoder encoder(
+      {.in_channels = 6, .feature_channels = 12, .pool = 2, .seed = 7});
+  const Tensor image = Tensor::Gaussian({6, 8, 8}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.EncodeStyle(image));
+  }
+}
+BENCHMARK(BM_StyleExtraction);
+
+void BM_FedAvgAggregate(benchmark::State& state) {
+  const std::int64_t clients = state.range(0);
+  const std::size_t dim = 50000;
+  Pcg32 rng(5);
+  std::vector<pardon::fl::ClientUpdate> updates(
+      static_cast<std::size_t>(clients));
+  for (auto& u : updates) {
+    u.num_samples = 40;
+    u.params.resize(dim);
+    for (float& p : u.params) p = rng.NextGaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::fl::FedAvg(updates));
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(5)->Arg(20)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

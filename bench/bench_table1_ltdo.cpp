@@ -1,0 +1,133 @@
+// Reproduces Table 1: inter-domain performance under LTDO (leave-two-domains
+// -out) schemes on the PACS-like and OfficeHome-like datasets.
+//
+// Four scenarios per dataset (train on two domains; of the remaining two,
+// one is the held-out validation domain and the other the held-out test
+// domain), so every domain appears exactly once as a validation column and
+// once as a test column:
+//   train (C,S) -> val A, test P        train (A,C) -> val P, test S
+//   train (P,S) -> val C, test A        train (P,A) -> val S, test C
+// FL setup follows the paper's defaults: N=100 clients, K=20% sampled per
+// round, lambda=0.1, 50 rounds, batch 32.
+//
+// Flags: --quick (fewer samples/rounds), --dataset=pacs|officehome|both,
+//        --seed=N.
+#include <cstdio>
+#include <map>
+
+#include "experiment.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace pardon;
+
+struct LtdoScheme {
+  std::vector<int> train;
+  int val_domain;
+  int test_domain;
+};
+
+void RunDataset(const data::ScenarioPreset& preset,
+                const std::vector<LtdoScheme>& schemes, bool quick,
+                int repeats, std::uint64_t seed) {
+  util::ThreadPool pool;
+  // accuracy[method][domain] for val and test.
+  std::map<std::string, std::map<int, double>> val_acc, test_acc;
+
+  std::vector<std::string> method_names;
+  for (const auto& spec : bench::PaperMethods()) {
+    method_names.push_back(spec.name);
+  }
+
+  for (const LtdoScheme& scheme : schemes) {
+    bench::Scenario scenario{
+        .preset = preset,
+        .train_domains = scheme.train,
+        .val_domains = {scheme.val_domain},
+        .test_domains = {scheme.test_domain},
+        .samples_per_train_domain = quick ? 600 : 1500,
+        .samples_per_eval_domain = quick ? 200 : 400,
+        .total_clients = quick ? 40 : 100,
+        .participants = quick ? 8 : 20,
+        .rounds = quick ? 25 : 50,
+        .lambda = 0.1,
+        .seed = seed,
+    };
+    const bench::MethodAverages averages = bench::RunMethodsAveraged(
+        scenario, bench::PaperMethods(), repeats, &pool);
+    for (const std::string& method : method_names) {
+      val_acc[method][scheme.val_domain] = averages.val.at(method);
+      test_acc[method][scheme.test_domain] = averages.test.at(method);
+      PARDON_LOG_INFO << preset.name << " train{"
+                      << bench::DomainLetter(preset, scheme.train[0])
+                      << bench::DomainLetter(preset, scheme.train[1]) << "} "
+                      << method << ": val "
+                      << util::Table::Pct(averages.val.at(method)) << " test "
+                      << util::Table::Pct(averages.test.at(method));
+    }
+  }
+
+  // Emit the table in the paper's layout: per-domain val columns, AVG,
+  // per-domain test columns, AVG.
+  std::vector<std::string> header = {"Method"};
+  for (const LtdoScheme& s : schemes) {
+    header.push_back("val:" + bench::DomainLetter(preset, s.val_domain));
+  }
+  header.push_back("val AVG");
+  for (const LtdoScheme& s : schemes) {
+    header.push_back("test:" + bench::DomainLetter(preset, s.test_domain));
+  }
+  header.push_back("test AVG");
+
+  util::Table table(header);
+  for (const std::string& method : method_names) {
+    std::vector<std::string> row = {method};
+    double val_sum = 0.0, test_sum = 0.0;
+    for (const LtdoScheme& s : schemes) {
+      const double acc = val_acc[method][s.val_domain];
+      val_sum += acc;
+      row.push_back(util::Table::Pct(acc));
+    }
+    row.push_back(util::Table::Pct(val_sum / schemes.size()));
+    for (const LtdoScheme& s : schemes) {
+      const double acc = test_acc[method][s.test_domain];
+      test_sum += acc;
+      row.push_back(util::Table::Pct(acc));
+    }
+    row.push_back(util::Table::Pct(test_sum / schemes.size()));
+    table.AddRow(std::move(row));
+  }
+  std::printf("\n[Table 1] LTDO on %s\n", preset.name.c_str());
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  util::SetLogLevel(flags.GetBool("verbose", false) ? util::LogLevel::kInfo
+                                                    : util::LogLevel::kWarn);
+  const bool quick = flags.GetBool("quick", false);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 3));
+  const std::string dataset = flags.GetString("dataset", "both");
+
+  // Domains: PACS-like {0:P, 1:A, 2:C, 3:S}; OfficeHome-like
+  // {0:A, 1:C, 2:P, 3:R}. Scheme layout mirrors the appendix.
+  const std::vector<LtdoScheme> schemes = {
+      {.train = {2, 3}, .val_domain = 1, .test_domain = 0},
+      {.train = {0, 3}, .val_domain = 2, .test_domain = 1},
+      {.train = {0, 1}, .val_domain = 3, .test_domain = 2},
+      {.train = {1, 2}, .val_domain = 0, .test_domain = 3},
+  };
+
+  const int repeats = flags.GetInt("repeats", quick ? 2 : 3);
+  if (dataset == "pacs" || dataset == "both") {
+    RunDataset(data::MakePacsLike(), schemes, quick, repeats, seed);
+  }
+  if (dataset == "officehome" || dataset == "both") {
+    RunDataset(data::MakeOfficeHomeLike(), schemes, quick, repeats, seed);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces Table 2: LODO (leave-one-domain-out) accuracy on the PACS-like
+// and OfficeHome-like datasets. For each scheme, three domains train and the
+// held-out domain is evaluated; columns are the held-out domain, plus AVG.
+//
+// Flags: --quick, --dataset=pacs|officehome|both, --seed=N.
+#include <cstdio>
+#include <map>
+
+#include "experiment.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace pardon;
+
+void RunDataset(const data::ScenarioPreset& preset, bool quick, int repeats,
+                std::uint64_t seed) {
+  util::ThreadPool pool;
+  const int num_domains = preset.generator.num_domains;
+  std::map<std::string, std::map<int, double>> accuracy;
+  std::vector<std::string> method_names;
+  for (const auto& spec : bench::PaperMethods()) {
+    method_names.push_back(spec.name);
+  }
+
+  for (int held_out = 0; held_out < num_domains; ++held_out) {
+    std::vector<int> train_domains;
+    for (int d = 0; d < num_domains; ++d) {
+      if (d != held_out) train_domains.push_back(d);
+    }
+    bench::Scenario scenario{
+        .preset = preset,
+        .train_domains = train_domains,
+        .val_domains = {held_out},
+        .test_domains = {held_out},
+        .samples_per_train_domain = quick ? 400 : 1000,
+        .samples_per_eval_domain = quick ? 200 : 400,
+        .total_clients = quick ? 40 : 100,
+        .participants = quick ? 8 : 20,
+        .rounds = quick ? 25 : 50,
+        .lambda = 0.1,
+        .seed = seed,
+    };
+    const bench::MethodAverages averages = bench::RunMethodsAveraged(
+        scenario, bench::PaperMethods(), repeats, &pool);
+    for (const std::string& method : method_names) {
+      accuracy[method][held_out] = averages.test.at(method);
+      PARDON_LOG_INFO << preset.name << " LODO "
+                      << bench::DomainLetter(preset, held_out) << " " << method
+                      << ": " << util::Table::Pct(averages.test.at(method));
+    }
+  }
+
+  std::vector<std::string> header = {"Method"};
+  for (int d = 0; d < num_domains; ++d) {
+    header.push_back(bench::DomainLetter(preset, d));
+  }
+  header.push_back("AVG");
+  util::Table table(header);
+  for (const std::string& method : method_names) {
+    std::vector<std::string> row = {method};
+    double sum = 0.0;
+    for (int d = 0; d < num_domains; ++d) {
+      sum += accuracy[method][d];
+      row.push_back(util::Table::Pct(accuracy[method][d]));
+    }
+    row.push_back(util::Table::Pct(sum / num_domains));
+    table.AddRow(std::move(row));
+  }
+  std::printf("\n[Table 2] LODO on %s (columns = held-out domain)\n",
+              preset.name.c_str());
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  util::SetLogLevel(flags.GetBool("verbose", false) ? util::LogLevel::kInfo
+                                                    : util::LogLevel::kWarn);
+  const bool quick = flags.GetBool("quick", false);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 5));
+  const std::string dataset = flags.GetString("dataset", "both");
+
+  const int repeats = flags.GetInt("repeats", quick ? 2 : 3);
+  if (dataset == "pacs" || dataset == "both") {
+    RunDataset(data::MakePacsLike(), quick, repeats, seed);
+  }
+  if (dataset == "officehome" || dataset == "both") {
+    RunDataset(data::MakeOfficeHomeLike(), quick, repeats, seed);
+  }
+  return 0;
+}

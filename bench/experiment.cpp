@@ -1,0 +1,105 @@
+#include "experiment.hpp"
+
+#include "metrics/evaluation.hpp"
+
+namespace pardon::bench {
+
+std::vector<MethodSpec> PaperMethods(const core::FiscOptions& fisc_options) {
+  return {
+      {"FedSR", [] { return std::make_unique<baselines::FedSr>(); }},
+      {"FedGMA", [] { return std::make_unique<baselines::FedGma>(); }},
+      {"FPL", [] { return std::make_unique<baselines::Fpl>(); }},
+      {"FedDG-GA", [] { return std::make_unique<baselines::FedDgGa>(); }},
+      {"CCST", [] { return std::make_unique<baselines::Ccst>(); }},
+      {"Ours",
+       [fisc_options] { return std::make_unique<core::Fisc>(fisc_options); }},
+  };
+}
+
+namespace {
+
+data::FederatedSplit MakeSplit(const Scenario& scenario,
+                               const data::DomainGenerator& generator) {
+  return data::BuildSplit(
+      generator, {.train_domains = scenario.train_domains,
+                  .val_domains = scenario.val_domains,
+                  .test_domains = scenario.test_domains,
+                  .samples_per_train_domain = scenario.samples_per_train_domain,
+                  .samples_per_eval_domain = scenario.samples_per_eval_domain,
+                  .seed = scenario.seed + 13});
+}
+
+fl::FlConfig MakeFlConfig(const Scenario& scenario) {
+  return fl::FlConfig{
+      .total_clients = scenario.total_clients,
+      .participants_per_round = scenario.participants,
+      .rounds = scenario.rounds,
+      .batch_size = scenario.preset.batch_size,
+      .optimizer = {.lr = scenario.learning_rate},
+      .client_dropout = scenario.client_dropout,
+      .eval_every = scenario.eval_every,
+      .seed = scenario.seed,
+  };
+}
+
+}  // namespace
+
+ScenarioData::ScenarioData(const Scenario& scenario)
+    : scenario_(scenario),
+      generator_(scenario.preset.generator),
+      split_(MakeSplit(scenario, generator_)),
+      model_(nn::MlpClassifier::Config{
+          .input_dim = scenario.preset.generator.shape.FlatDim(),
+          .hidden = {96},
+          .embed_dim = 48,
+          .num_classes = scenario.preset.generator.num_classes,
+          .seed = scenario.seed + 29,
+      }),
+      simulator_(data::PartitionHeterogeneous(
+                     split_.train, {.num_clients = scenario.total_clients,
+                                    .lambda = scenario.lambda,
+                                    .seed = scenario.seed + 31}),
+                 MakeFlConfig(scenario)) {}
+
+ScenarioRun ScenarioData::Run(fl::Algorithm& algorithm,
+                              util::ThreadPool* pool) const {
+  const std::vector<fl::EvalSet> evals = {
+      {"val", &split_.val},
+      {"test", &split_.test},
+  };
+  ScenarioRun run{.result = simulator_.Run(algorithm, model_, evals, pool)};
+  run.val_accuracy = run.result.final_accuracy[0];
+  run.test_accuracy = run.result.final_accuracy[1];
+  run.val_per_domain =
+      metrics::PerDomainAccuracy(run.result.final_model, split_.val);
+  run.test_per_domain =
+      metrics::PerDomainAccuracy(run.result.final_model, split_.test);
+  return run;
+}
+
+MethodAverages RunMethodsAveraged(const Scenario& scenario,
+                                  const std::vector<MethodSpec>& methods,
+                                  int repeats, util::ThreadPool* pool) {
+  MethodAverages averages;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Scenario instance = scenario;
+    instance.seed = scenario.seed + static_cast<std::uint64_t>(rep) * 1000;
+    const ScenarioData data(instance);
+    for (const MethodSpec& spec : methods) {
+      const auto algorithm = spec.make();
+      const ScenarioRun run = data.Run(*algorithm, pool);
+      averages.val[spec.name] += run.val_accuracy / repeats;
+      averages.test[spec.name] += run.test_accuracy / repeats;
+    }
+  }
+  return averages;
+}
+
+std::string DomainLetter(const data::ScenarioPreset& preset, int domain) {
+  if (domain >= 0 && domain < static_cast<int>(preset.domain_names.size())) {
+    return preset.domain_names[static_cast<std::size_t>(domain)].substr(0, 1);
+  }
+  return std::to_string(domain);
+}
+
+}  // namespace pardon::bench

@@ -1,0 +1,104 @@
+// Shared experiment harness for the per-table/figure benches: method
+// registry, scenario runner, and common FL configuration derived from the
+// paper's Table 4 defaults.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/ccst.hpp"
+#include "baselines/fedavg.hpp"
+#include "baselines/feddg_ga.hpp"
+#include "baselines/fedgma.hpp"
+#include "baselines/fedsr.hpp"
+#include "baselines/fpl.hpp"
+#include "core/fisc.hpp"
+#include "data/partition.hpp"
+#include "data/presets.hpp"
+#include "data/splits.hpp"
+#include "fl/simulator.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pardon::bench {
+
+struct MethodSpec {
+  std::string name;
+  std::function<std::unique_ptr<fl::Algorithm>()> make;
+};
+
+// The paper's five baselines + FISC, in Table 1's row order (FedSR, FedGMA,
+// FPL, FedDG-GA, CCST, Ours).
+std::vector<MethodSpec> PaperMethods(
+    const core::FiscOptions& fisc_options = {});
+
+// Scenario = dataset preset + domain split + FL configuration.
+struct Scenario {
+  data::ScenarioPreset preset;
+  std::vector<int> train_domains;
+  std::vector<int> val_domains;
+  std::vector<int> test_domains;
+  std::int64_t samples_per_train_domain = 1500;
+  std::int64_t samples_per_eval_domain = 400;
+  int total_clients = 100;
+  int participants = 20;
+  int rounds = 50;
+  double lambda = 0.1;
+  double client_dropout = 0.0;
+  float learning_rate = 3e-3f;
+  int eval_every = 5;
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioRun {
+  fl::SimulationResult result;
+  // Per-domain accuracy on the held-out validation / test sets, keyed by
+  // domain id.
+  std::map<int, double> val_per_domain;
+  std::map<int, double> test_per_domain;
+  double val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+// Builds the data once for a scenario so all methods see identical splits,
+// partitions, and initial model.
+class ScenarioData {
+ public:
+  explicit ScenarioData(const Scenario& scenario);
+
+  ScenarioRun Run(fl::Algorithm& algorithm, util::ThreadPool* pool) const;
+
+  const Scenario& scenario() const { return scenario_; }
+  const data::FederatedSplit& split() const { return split_; }
+  const nn::MlpClassifier& initial_model() const { return model_; }
+  const fl::Simulator& simulator() const { return simulator_; }
+
+ private:
+  Scenario scenario_;
+  data::DomainGenerator generator_;
+  data::FederatedSplit split_;
+  nn::MlpClassifier model_;
+  fl::Simulator simulator_;
+};
+
+// Short domain letters for table headers ("P", "A", "C", "S", ...).
+std::string DomainLetter(const data::ScenarioPreset& preset, int domain);
+
+// Mean accuracies per method over `repeats` re-seeded instances of the
+// scenario (seed, seed+1000, seed+2000, ...). Every method sees the same
+// repeat instances (same splits, partitions, initial model, and client
+// sampling), so orderings are paired comparisons. The synthetic substrate's
+// unseen-domain accuracy is init-sensitive, so single-seed cells are noisy;
+// the paper's ResNet-50 + real-data setting does not have this problem and
+// reports single runs.
+struct MethodAverages {
+  std::map<std::string, double> val;
+  std::map<std::string, double> test;
+};
+MethodAverages RunMethodsAveraged(const Scenario& scenario,
+                                  const std::vector<MethodSpec>& methods,
+                                  int repeats, util::ThreadPool* pool);
+
+}  // namespace pardon::bench

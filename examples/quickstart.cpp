@@ -1,0 +1,111 @@
+// Quickstart: train FISC on a PACS-like federated domain-generalization
+// problem and report accuracy on a domain no client ever saw.
+//
+//   ./quickstart [--rounds=30] [--clients=50] [--participants=10]
+//                [--lambda=0.1] [--seed=1] [--dataset=pacs|officehome]
+//                [--train0=D --train1=D --valdom=D --testdom=D]
+// FISC knobs (for quick experiments): [--gamma1=F] [--gamma2=F] [--margin=F]
+//                [--mining=hardest|random] [--tcew=F] [--contrastive=0|1]
+//                [--opt=adam|sgd] [--lr=F]
+#include <cstdio>
+
+#include "baselines/fedavg.hpp"
+#include "core/fisc.hpp"
+#include "data/partition.hpp"
+#include "data/presets.hpp"
+#include "data/splits.hpp"
+#include "fl/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pardon;
+  const util::Flags flags(argc, argv);
+  util::SetLogLevel(util::LogLevel::kInfo);
+
+  const int rounds = flags.GetInt("rounds", 30);
+  const int clients = flags.GetInt("clients", 50);
+  const int participants = flags.GetInt("participants", 10);
+  const double lambda = flags.GetDouble("lambda", 0.1);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  // 1. A PACS-like dataset: train on Photo+Art, validate on Cartoon, test on
+  //    the never-seen Sketch domain.
+  const data::ScenarioPreset preset =
+      flags.GetString("dataset", "pacs") == "officehome"
+          ? data::MakeOfficeHomeLike()
+          : data::MakePacsLike();
+  const data::DomainGenerator generator(preset.generator);
+  const int t0 = flags.GetInt("train0", 0), t1 = flags.GetInt("train1", 1);
+  const int vd = flags.GetInt("valdom", 2), td = flags.GetInt("testdom", 3);
+  const data::FederatedSplit split = data::BuildSplit(
+      generator, {.train_domains = {t0, t1},
+                  .val_domains = {vd},
+                  .test_domains = {td},
+                  .samples_per_train_domain = 1500,
+                  .samples_per_eval_domain = 400,
+                  .seed = seed});
+
+  // 2. Scatter the training pool across clients with domain-based
+  //    heterogeneity lambda.
+  std::vector<data::Dataset> client_data = data::PartitionHeterogeneous(
+      split.train,
+      {.num_clients = clients, .lambda = lambda, .seed = seed + 1});
+
+  // 3. The shared model: feature extractor + linear head.
+  const nn::MlpClassifier model(nn::MlpClassifier::Config{
+      .input_dim = preset.generator.shape.FlatDim(),
+      .hidden = {96},
+      .embed_dim = 48,
+      .num_classes = preset.generator.num_classes,
+      .seed = seed,
+  });
+
+  // 4. Run FedAvg and FISC under identical sampling.
+  const fl::FlConfig config{
+      .total_clients = clients,
+      .participants_per_round = participants,
+      .rounds = rounds,
+      .batch_size = preset.batch_size,
+      .optimizer = {.kind = flags.GetString("opt", "adam") == "sgd"
+                        ? nn::OptimizerOptions::Kind::kSgdMomentum
+                        : nn::OptimizerOptions::Kind::kAdam,
+                    .lr = static_cast<float>(flags.GetDouble("lr", 3e-3))},
+      .eval_every = 5,
+      .seed = seed,
+  };
+  const fl::Simulator simulator(std::move(client_data), config);
+  const std::vector<fl::EvalSet> evals = {
+      {"val (Cartoon)", &split.val},
+      {"test (Sketch)", &split.test},
+  };
+  util::ThreadPool pool;
+
+  baselines::FedAvg fedavg;
+  const fl::SimulationResult base = simulator.Run(fedavg, model, evals, &pool);
+
+  core::FiscOptions fisc_options;
+  fisc_options.gamma1 = static_cast<float>(flags.GetDouble("gamma1", 0.6));
+  fisc_options.gamma2 = static_cast<float>(flags.GetDouble("gamma2", 0.1));
+  fisc_options.margin = static_cast<float>(flags.GetDouble("margin", 0.3));
+  fisc_options.contrastive = flags.GetBool("contrastive", true);
+  fisc_options.transferred_ce_weight =
+      static_cast<float>(flags.GetDouble("tcew", 0.5));
+  if (flags.GetString("mining", "random") == "hardest") {
+    fisc_options.mining = core::NegativeMining::kHardest;
+  }
+  core::Fisc fisc(fisc_options);
+  const fl::SimulationResult ours = simulator.Run(fisc, model, evals, &pool);
+
+  std::printf("\nUnseen-domain accuracy after %d rounds (N=%d, K=%d, "
+              "lambda=%.1f):\n\n", rounds, clients, participants, lambda);
+  std::printf("  %-8s  val(Cartoon)  test(Sketch)\n", "method");
+  std::printf("  %-8s  %10.2f%%  %10.2f%%\n", "FedAvg",
+              100.0 * base.final_accuracy[0], 100.0 * base.final_accuracy[1]);
+  std::printf("  %-8s  %10.2f%%  %10.2f%%\n", "FISC",
+              100.0 * ours.final_accuracy[0], 100.0 * ours.final_accuracy[1]);
+  std::printf("\nFISC's one-time style setup took %.3fs; FedAvg %.3fs.\n",
+              ours.costs.one_time_seconds, base.costs.one_time_seconds);
+  return 0;
+}

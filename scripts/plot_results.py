@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the benches export.
+
+Usage:
+  python3 scripts/plot_results.py fig3 fig3_convergence.csv   # Figure 3 curves
+  python3 scripts/plot_results.py fig9 fig9_tsne.csv          # t-SNE scatter
+  python3 scripts/plot_results.py fig1 fig1_landscape.csv     # loss surfaces
+
+Requires matplotlib. The benches print the same data as tables; these plots
+exist for visual comparison against the paper's figures.
+"""
+import collections
+import csv
+import sys
+
+
+def load_series(path):
+    """recorder CSV -> {series: [(round, value), ...]} sorted by round."""
+    series = collections.defaultdict(list)
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            series[row["series"]].append((int(row["round"]), float(row["value"])))
+    for values in series.values():
+        values.sort()
+    return series
+
+
+def plot_fig3(path, out):
+    import matplotlib.pyplot as plt
+
+    series = load_series(path)
+    # Series are named "lambda<L>/<method>".
+    lambdas = sorted({name.split("/")[0] for name in series})
+    fig, axes = plt.subplots(1, len(lambdas), figsize=(4 * len(lambdas), 3.2),
+                             sharey=True)
+    if len(lambdas) == 1:
+        axes = [axes]
+    for ax, lam in zip(axes, lambdas):
+        for name, values in sorted(series.items()):
+            if not name.startswith(lam + "/"):
+                continue
+            rounds = [r for r, _ in values]
+            accs = [100 * v for _, v in values]
+            method = name.split("/", 1)[1]
+            ax.plot(rounds, accs, label=method,
+                    linewidth=2 if method == "Ours" else 1)
+        ax.set_title(lam)
+        ax.set_xlabel("round")
+        ax.grid(alpha=0.3)
+    axes[0].set_ylabel("unseen-domain accuracy (%)")
+    axes[-1].legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_fig9(path, out):
+    import matplotlib.pyplot as plt
+
+    series = load_series(path)
+    rounds = sorted({name.split("/")[0] for name in series},
+                    key=lambda s: int(s.replace("round", "")))
+    fig, axes = plt.subplots(1, len(rounds), figsize=(3 * len(rounds), 3))
+    if len(rounds) == 1:
+        axes = [axes]
+    for ax, r in zip(axes, rounds):
+        xs = [v for _, v in series[f"{r}/x"]]
+        ys = [v for _, v in series[f"{r}/y"]]
+        labels = [int(v) for _, v in series[f"{r}/label"]]
+        ax.scatter(xs, ys, c=labels, cmap="tab10", s=8)
+        ax.set_title(r)
+        ax.set_xticks([])
+        ax.set_yticks([])
+    fig.suptitle("FISC feature t-SNE by communication round (color = class)")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_fig1(path, out):
+    import matplotlib.pyplot as plt
+    import numpy as np
+
+    series = load_series(path)
+    # Series are "<Method>/client<k>/row<i>" with column index as "round".
+    surfaces = collections.defaultdict(dict)
+    for name, values in series.items():
+        method_client, row = name.rsplit("/row", 1)
+        surfaces[method_client][int(row)] = [v for _, v in values]
+    keys = sorted(surfaces)
+    fig, axes = plt.subplots(1, len(keys), figsize=(3.2 * len(keys), 3),
+                             subplot_kw={"projection": "3d"})
+    if len(keys) == 1:
+        axes = [axes]
+    for ax, key in zip(axes, keys):
+        grid = np.array([surfaces[key][i] for i in sorted(surfaces[key])])
+        x, y = np.meshgrid(range(grid.shape[1]), range(grid.shape[0]))
+        ax.plot_surface(x, y, grid, cmap="viridis")
+        ax.set_title(key, fontsize=8)
+    fig.suptitle("local loss landscapes around the global model")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 1
+    kind, path = sys.argv[1], sys.argv[2]
+    out = sys.argv[3] if len(sys.argv) > 3 else f"{kind}.png"
+    {"fig3": plot_fig3, "fig9": plot_fig9, "fig1": plot_fig1}[kind](path, out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#include "baselines/ccst.hpp"
+
+#include <stdexcept>
+
+#include "fl/local_training.hpp"
+#include "style/style_stats.hpp"
+
+namespace pardon::baselines {
+
+void Ccst::Setup(const fl::FlContext& context) {
+  if (context.client_data == nullptr || context.client_data->empty()) {
+    throw std::invalid_argument("Ccst::Setup: missing client data");
+  }
+  config_ = context.config;
+  const data::ImageShape& shape = context.client_data->front().shape();
+  encoder_ = std::make_unique<style::FrozenEncoder>(style::FrozenEncoder::Config{
+      .in_channels = shape.channels,
+      .feature_channels = options_.encoder_feature_channels,
+      .pool = options_.encoder_pool,
+      .seed = options_.encoder_seed,
+  });
+
+  // Build the style bank: one pooled image style per non-empty client (CCST
+  // shares whole-client styles, no clustering).
+  bank_.clear();
+  client_to_bank_.assign(context.client_data->size(), -1);
+  for (std::size_t c = 0; c < context.client_data->size(); ++c) {
+    const data::Dataset& dataset = (*context.client_data)[c];
+    if (dataset.empty()) continue;
+    std::vector<tensor::Tensor> features;
+    features.reserve(static_cast<std::size_t>(dataset.size()));
+    for (std::int64_t i = 0; i < dataset.size(); ++i) {
+      features.push_back(encoder_->Encode(dataset.Image(i)));
+    }
+    client_to_bank_[c] = static_cast<int>(bank_.size());
+    bank_.push_back(style::PooledStyle(features));
+  }
+  if (bank_.empty()) {
+    throw std::invalid_argument("Ccst::Setup: every client is empty");
+  }
+
+  // One-time data augmentation, exactly as the method prescribes: every
+  // client extends its local dataset with K style-transferred copies of each
+  // image, the styles drawn from OTHER clients' bank entries. This is why
+  // CCST appears in the paper's Table 8 with a one-time cost and ordinary
+  // local-training time.
+  tensor::Pcg32 rng(config_.seed ^ 0x63637374ULL, /*stream=*/0x61ULL);
+  augmented_.clear();
+  augmented_.reserve(context.client_data->size());
+  for (std::size_t c = 0; c < context.client_data->size(); ++c) {
+    const data::Dataset& dataset = (*context.client_data)[c];
+    data::Dataset augmented = dataset;
+    const int own_bank = client_to_bank_[c];
+    for (std::int64_t i = 0; i < dataset.size(); ++i) {
+      for (int k = 0; k < options_.augmentation_k; ++k) {
+        int pick = static_cast<int>(
+            rng.NextBounded(static_cast<std::uint32_t>(bank_.size())));
+        if (bank_.size() > 1 && pick == own_bank) {
+          pick = (pick + 1) % static_cast<int>(bank_.size());
+        }
+        const tensor::Tensor transferred = style::StyleTransferImage(
+            dataset.Image(i), bank_[static_cast<std::size_t>(pick)], *encoder_);
+        augmented.Add(transferred.Flatten(), dataset.Label(i),
+                      dataset.Domain(i));
+      }
+    }
+    augmented_.push_back(std::move(augmented));
+  }
+}
+
+int Ccst::BankIndexOfClient(int client_id) const {
+  return client_to_bank_.at(static_cast<std::size_t>(client_id));
+}
+
+fl::ClientUpdate Ccst::TrainClient(int client_id,
+                                   const data::Dataset& dataset,
+                                   const nn::MlpClassifier& global_model,
+                                   int /*round*/, tensor::Pcg32& rng) {
+  const data::Dataset& augmented =
+      client_id >= 0 && client_id < static_cast<int>(augmented_.size())
+          ? augmented_[static_cast<std::size_t>(client_id)]
+          : dataset;
+  const fl::LocalTrainOptions options{
+      .epochs = config_.local_epochs,
+      .batch_size = config_.batch_size,
+      .optimizer = config_.optimizer,
+  };
+  fl::ClientUpdate update = fl::TrainLocal(global_model, augmented, options, rng);
+  // Aggregation weight stays the ORIGINAL data size so augmentation does not
+  // distort FedAvg weighting.
+  update.num_samples = dataset.size();
+  return update;
+}
+
+}  // namespace pardon::baselines

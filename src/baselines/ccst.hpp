@@ -1,0 +1,59 @@
+// CCST (Chen et al., WACV 2023): cross-client style transfer. Before
+// training, every client uploads its overall image style to a server-held
+// style bank which is broadcast to all clients; each client then extends its
+// local dataset ONCE with K copies of every image transferred (AdaIN) to
+// randomly drawn OTHER clients' styles — a one-time augmentation cost, after
+// which local training is plain cross-entropy on the enlarged dataset
+// (matching the cost structure in the paper's Table 8).
+//
+// The privacy contrast with FISC: the bank exposes every client's individual
+// style to every other client, which is what the paper's security analysis
+// attacks (Fig. 6 / Table 9).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/algorithm.hpp"
+#include "style/adain.hpp"
+#include "style/encoder.hpp"
+
+namespace pardon::baselines {
+
+class Ccst : public fl::Algorithm {
+ public:
+  struct Options {
+    int augmentation_k = 1;  // styles drawn per batch (paper default K=1)
+    std::int64_t encoder_feature_channels = 12;
+    std::int64_t encoder_pool = 2;
+    std::uint64_t encoder_seed = 7;
+  };
+
+  Ccst() : Ccst(Options{}) {}
+  explicit Ccst(Options options) : options_(options) {}
+
+  std::string Name() const override { return "CCST"; }
+  void Setup(const fl::FlContext& context) override;
+
+  fl::ClientUpdate TrainClient(int client_id, const data::Dataset& dataset,
+                               const nn::MlpClassifier& global_model,
+                               int round, tensor::Pcg32& rng) override;
+
+  // The broadcast style bank (one entry per non-empty client), exposed for
+  // the security bench that attacks cross-shared styles.
+  const std::vector<style::StyleVector>& style_bank() const { return bank_; }
+  // Bank index owned by each client (-1 when the client had no data).
+  int BankIndexOfClient(int client_id) const;
+  const style::FrozenEncoder& encoder() const { return *encoder_; }
+
+ private:
+  Options options_;
+  fl::FlConfig config_;
+  std::unique_ptr<style::FrozenEncoder> encoder_;
+  std::vector<style::StyleVector> bank_;
+  std::vector<int> client_to_bank_;
+  // Per-client datasets extended with the one-time style-transferred copies.
+  std::vector<data::Dataset> augmented_;
+};
+
+}  // namespace pardon::baselines

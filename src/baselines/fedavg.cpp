@@ -1,0 +1,17 @@
+#include "baselines/fedavg.hpp"
+
+namespace pardon::baselines {
+
+fl::ClientUpdate FedAvg::TrainClient(int /*client_id*/,
+                                     const data::Dataset& dataset,
+                                     const nn::MlpClassifier& global_model,
+                                     int /*round*/, tensor::Pcg32& rng) {
+  const fl::LocalTrainOptions options{
+      .epochs = config_.local_epochs,
+      .batch_size = config_.batch_size,
+      .optimizer = config_.optimizer,
+  };
+  return fl::TrainLocal(global_model, dataset, options, rng);
+}
+
+}  // namespace pardon::baselines

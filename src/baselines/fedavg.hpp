@@ -1,0 +1,24 @@
+// FedAvg (McMahan et al. 2017): plain local ERM + sample-weighted averaging.
+// The reference point every FedDG method is measured against.
+#pragma once
+
+#include "fl/algorithm.hpp"
+#include "fl/local_training.hpp"
+
+namespace pardon::baselines {
+
+class FedAvg : public fl::Algorithm {
+ public:
+  std::string Name() const override { return "FedAvg"; }
+
+  void Setup(const fl::FlContext& context) override { config_ = context.config; }
+
+  fl::ClientUpdate TrainClient(int client_id, const data::Dataset& dataset,
+                               const nn::MlpClassifier& global_model,
+                               int round, tensor::Pcg32& rng) override;
+
+ protected:
+  fl::FlConfig config_;
+};
+
+}  // namespace pardon::baselines

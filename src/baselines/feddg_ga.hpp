@@ -1,0 +1,49 @@
+// FedDG-GA (Zhang et al., CVPR 2023): generalization adjustment. Each round
+// the server measures every participant's generalization gap (local loss of
+// the incoming global model minus loss of the trained local model) and
+// shifts aggregation weight toward clients with a LARGER gap — flattening the
+// global model's loss across domains. The step size d^r decays linearly:
+// d^r = (1 - r/R) * d0 with d0 = 1/3 (official implementation).
+//
+// The gap measurement requires two extra inference passes over local data
+// per client-round — the overhead visible in Table 8's local-training column.
+#pragma once
+
+#include <map>
+
+#include "fl/algorithm.hpp"
+
+namespace pardon::baselines {
+
+class FedDgGa : public fl::Algorithm {
+ public:
+  struct Options {
+    double initial_step = 1.0 / 3.0;  // d0
+    double min_weight = 0.01;         // weight floor before renormalization
+  };
+
+  FedDgGa() : FedDgGa(Options{}) {}
+  explicit FedDgGa(Options options) : options_(options) {}
+
+  std::string Name() const override { return "FedDG-GA"; }
+  void Setup(const fl::FlContext& context) override;
+
+  fl::ClientUpdate TrainClient(int client_id, const data::Dataset& dataset,
+                               const nn::MlpClassifier& global_model,
+                               int round, tensor::Pcg32& rng) override;
+
+  std::vector<float> Aggregate(std::span<const float> global_params,
+                               std::span<const fl::ClientUpdate> updates,
+                               std::span<const int> client_ids,
+                               int round) override;
+
+  // Current per-client aggregation weight (defaults to 1 before any update).
+  double ClientWeight(int client_id) const;
+
+ private:
+  Options options_;
+  fl::FlConfig config_;
+  std::map<int, double> weights_;
+};
+
+}  // namespace pardon::baselines

@@ -1,0 +1,55 @@
+#include "baselines/fedgma.hpp"
+
+#include "fl/aggregate.hpp"
+#include "fl/local_training.hpp"
+
+namespace pardon::baselines {
+
+fl::ClientUpdate FedGma::TrainClient(int /*client_id*/,
+                                     const data::Dataset& dataset,
+                                     const nn::MlpClassifier& global_model,
+                                     int /*round*/, tensor::Pcg32& rng) {
+  const fl::LocalTrainOptions options{
+      .epochs = config_.local_epochs,
+      .batch_size = config_.batch_size,
+      .optimizer = config_.optimizer,
+  };
+  return fl::TrainLocal(global_model, dataset, options, rng);
+}
+
+std::vector<float> FedGma::Aggregate(std::span<const float> global_params,
+                                     std::span<const fl::ClientUpdate> updates,
+                                     std::span<const int> /*client_ids*/,
+                                     int /*round*/) {
+  const std::size_t dim = global_params.size();
+  // Client deltas relative to the round's starting parameters.
+  std::vector<std::vector<float>> deltas;
+  deltas.reserve(updates.size());
+  std::vector<double> weights;
+  double total_weight = 0.0;
+  for (const fl::ClientUpdate& u : updates) {
+    std::vector<float> delta(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      delta[j] = u.params[j] - global_params[j];
+    }
+    deltas.push_back(std::move(delta));
+    weights.push_back(static_cast<double>(u.num_samples));
+    total_weight += static_cast<double>(u.num_samples);
+  }
+  if (total_weight <= 0.0) total_weight = 1.0;
+
+  const std::vector<float> agreement = fl::SignAgreement(deltas);
+
+  std::vector<float> out(global_params.begin(), global_params.end());
+  for (std::size_t j = 0; j < dim; ++j) {
+    double avg_delta = 0.0;
+    for (std::size_t k = 0; k < deltas.size(); ++k) {
+      avg_delta += weights[k] / total_weight * deltas[k][j];
+    }
+    const float mask = agreement[j] >= options_.tau ? 1.0f : agreement[j];
+    out[j] += options_.server_lr * mask * static_cast<float>(avg_delta);
+  }
+  return out;
+}
+
+}  // namespace pardon::baselines

@@ -1,0 +1,60 @@
+#include "baselines/fedprox.hpp"
+
+#include "data/batcher.hpp"
+#include "nn/losses.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pardon::baselines {
+
+fl::ClientUpdate FedProx::TrainClient(int /*client_id*/,
+                                      const data::Dataset& dataset,
+                                      const nn::MlpClassifier& global_model,
+                                      int /*round*/, tensor::Pcg32& rng) {
+  fl::ClientUpdate update;
+  update.num_samples = dataset.size();
+  if (dataset.empty()) {
+    update.params = global_model.FlatParams();
+    return update;
+  }
+
+  const util::Stopwatch watch;
+  nn::MlpClassifier model = global_model.Clone();
+  nn::MlpClassifier anchor = global_model.Clone();  // frozen w_global
+  const std::unique_ptr<nn::Optimizer> optimizer =
+      nn::MakeOptimizer(model.Params(), model.Grads(), config_.optimizer);
+
+  const std::vector<tensor::Tensor*> params = model.Params();
+  const std::vector<tensor::Tensor*> grads = model.Grads();
+  const std::vector<tensor::Tensor*> anchors = anchor.Params();
+
+  for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
+    for (const data::Batch& batch :
+         data::MakeEpochBatches(dataset, config_.batch_size, rng)) {
+      model.ZeroGrad();
+      nn::Sequential::Trace feature_trace, head_trace;
+      const tensor::Tensor z =
+          model.Embed(batch.images, &feature_trace, /*training=*/true, &rng);
+      const tensor::Tensor logits =
+          model.Logits(z, &head_trace, /*training=*/true, &rng);
+      const nn::CrossEntropyResult ce =
+          nn::SoftmaxCrossEntropy(logits, batch.labels);
+      model.BackwardFeatures(model.BackwardHead(ce.grad_logits, head_trace),
+                             feature_trace);
+      // Proximal gradient: mu * (w - w_global), per parameter tensor.
+      for (std::size_t k = 0; k < params.size(); ++k) {
+        const tensor::Tensor& w = *params[k];
+        const tensor::Tensor& w0 = *anchors[k];
+        tensor::Tensor& g = *grads[k];
+        for (std::int64_t i = 0; i < w.size(); ++i) {
+          g[i] += options_.mu * (w[i] - w0[i]);
+        }
+      }
+      optimizer->Step();
+    }
+  }
+  update.params = model.FlatParams();
+  update.train_seconds = watch.ElapsedSeconds();
+  return update;
+}
+
+}  // namespace pardon::baselines

@@ -1,0 +1,35 @@
+// FedProx (Li et al., MLSys 2020): FedAvg with a proximal term
+// mu/2 ||w - w_global||^2 added to each client's local objective, limiting
+// client drift under heterogeneity. Not one of the paper's compared methods
+// (it targets label skew, not domain shift) but the standard heterogeneity
+// baseline the related-work section positions FedDG methods against —
+// included so downstream users can measure how far plain drift control gets
+// under domain shift.
+#pragma once
+
+#include "fl/algorithm.hpp"
+
+namespace pardon::baselines {
+
+class FedProx : public fl::Algorithm {
+ public:
+  struct Options {
+    float mu = 0.01f;  // proximal strength
+  };
+
+  FedProx() : FedProx(Options{}) {}
+  explicit FedProx(Options options) : options_(options) {}
+
+  std::string Name() const override { return "FedProx"; }
+  void Setup(const fl::FlContext& context) override { config_ = context.config; }
+
+  fl::ClientUpdate TrainClient(int client_id, const data::Dataset& dataset,
+                               const nn::MlpClassifier& global_model,
+                               int round, tensor::Pcg32& rng) override;
+
+ private:
+  Options options_;
+  fl::FlConfig config_;
+};
+
+}  // namespace pardon::baselines

@@ -1,0 +1,103 @@
+#include "baselines/fedsr.hpp"
+
+#include <vector>
+
+#include "data/batcher.hpp"
+#include "nn/losses.hpp"
+#include "tensor/ops.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pardon::baselines {
+
+namespace {
+
+// Stop-gradient class means of the embedding batch.
+tensor::Tensor ClassMeans(const tensor::Tensor& embeddings,
+                          std::span<const int> labels, int num_classes) {
+  const std::int64_t d = embeddings.dim(1);
+  tensor::Tensor means({num_classes, d});
+  std::vector<int> counts(static_cast<std::size_t>(num_classes), 0);
+  for (std::int64_t i = 0; i < embeddings.dim(0); ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(y)];
+    const float* row = embeddings.data() + i * d;
+    float* mean = means.data() + static_cast<std::int64_t>(y) * d;
+    for (std::int64_t c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  for (int y = 0; y < num_classes; ++y) {
+    if (counts[static_cast<std::size_t>(y)] == 0) continue;
+    const float inv = 1.0f / static_cast<float>(counts[static_cast<std::size_t>(y)]);
+    float* mean = means.data() + static_cast<std::int64_t>(y) * d;
+    for (std::int64_t c = 0; c < d; ++c) mean[c] *= inv;
+  }
+  return means;
+}
+
+}  // namespace
+
+fl::ClientUpdate FedSr::TrainClient(int /*client_id*/,
+                                    const data::Dataset& dataset,
+                                    const nn::MlpClassifier& global_model,
+                                    int /*round*/, tensor::Pcg32& rng) {
+  fl::ClientUpdate update;
+  update.num_samples = dataset.size();
+  if (dataset.empty()) {
+    update.params = global_model.FlatParams();
+    return update;
+  }
+
+  const util::Stopwatch watch;
+  nn::MlpClassifier model = global_model.Clone();
+  const std::unique_ptr<nn::Optimizer> optimizer =
+      nn::MakeOptimizer(model.Params(), model.Grads(), config_.optimizer);
+  const int num_classes = dataset.num_classes();
+
+  for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
+    for (const data::Batch& batch :
+         data::MakeEpochBatches(dataset, config_.batch_size, rng)) {
+      model.ZeroGrad();
+      nn::Sequential::Trace feature_trace, head_trace;
+      const tensor::Tensor z =
+          model.Embed(batch.images, &feature_trace, /*training=*/true, &rng);
+
+      // Stochastic representation: z_s = z + sigma * eps. The reparameterized
+      // sample's gradient w.r.t. z is identity, so CE backprop through z_s
+      // applies unchanged to z.
+      tensor::Tensor z_sampled = z;
+      for (std::int64_t i = 0; i < z_sampled.size(); ++i) {
+        z_sampled[i] += options_.sample_noise * rng.NextGaussian();
+      }
+
+      const tensor::Tensor logits =
+          model.Logits(z_sampled, &head_trace, /*training=*/true, &rng);
+      const nn::CrossEntropyResult ce =
+          nn::SoftmaxCrossEntropy(logits, batch.labels);
+      tensor::Tensor grad_z = model.BackwardHead(ce.grad_logits, head_trace);
+
+      const float inv_batch = 1.0f / static_cast<float>(z.dim(0));
+      // L2R: alpha * mean ||z||^2 -> grad 2 alpha z / B.
+      grad_z += tensor::Scale(z, 2.0f * options_.alpha_l2r * inv_batch);
+      // CMI surrogate: alpha * mean ||z - mu_y||^2 with stop-grad means.
+      const tensor::Tensor means = ClassMeans(z, batch.labels, num_classes);
+      const std::int64_t d = z.dim(1);
+      for (std::int64_t i = 0; i < z.dim(0); ++i) {
+        const int y = batch.labels[static_cast<std::size_t>(i)];
+        const float* mean = means.data() + static_cast<std::int64_t>(y) * d;
+        const float* zi = z.data() + i * d;
+        float* gi = grad_z.data() + i * d;
+        for (std::int64_t c = 0; c < d; ++c) {
+          gi[c] += 2.0f * options_.alpha_cmi * inv_batch * (zi[c] - mean[c]);
+        }
+      }
+
+      model.BackwardFeatures(grad_z, feature_trace);
+      optimizer->Step();
+    }
+  }
+
+  update.params = model.FlatParams();
+  update.train_seconds = watch.ElapsedSeconds();
+  return update;
+}
+
+}  // namespace pardon::baselines

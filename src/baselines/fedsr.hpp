@@ -1,0 +1,44 @@
+// FedSR (Nguyen et al., NeurIPS 2022): simple representation regularization
+// for FedDG. Local objective = CE + alpha_L2R * E||z||^2 + alpha_CMI * CMI
+// surrogate, computed on a STOCHASTIC representation z ~ N(f(x), sigma^2).
+//
+// Substitution note (DESIGN.md): the original parameterizes a probabilistic
+// encoder whose variance is learned; we approximate it with fixed-scale
+// Gaussian sampling noise on the embedding plus the two regularizers
+// (L2R exactly as Eq. in the original; CMI via the class-conditional
+// concentration surrogate E||z - mu_{y}||^2 with stop-gradient class means).
+// The characteristic failure the paper's benchmark (Bai et al. 2024) and
+// Tables 1-3 report — FedSR collapsing when each client holds little data —
+// comes from exactly this sampling noise + regularization pressure, which the
+// approximation preserves.
+#pragma once
+
+#include "fl/algorithm.hpp"
+#include "fl/local_training.hpp"
+
+namespace pardon::baselines {
+
+class FedSr : public fl::Algorithm {
+ public:
+  struct Options {
+    float alpha_l2r = 0.01f;   // paper's default
+    float alpha_cmi = 0.001f;  // paper's default
+    float sample_noise = 0.5f; // stochastic-representation noise scale
+  };
+
+  FedSr() : FedSr(Options{}) {}
+  explicit FedSr(Options options) : options_(options) {}
+
+  std::string Name() const override { return "FedSR"; }
+  void Setup(const fl::FlContext& context) override { config_ = context.config; }
+
+  fl::ClientUpdate TrainClient(int client_id, const data::Dataset& dataset,
+                               const nn::MlpClassifier& global_model,
+                               int round, tensor::Pcg32& rng) override;
+
+ private:
+  Options options_;
+  fl::FlConfig config_;
+};
+
+}  // namespace pardon::baselines

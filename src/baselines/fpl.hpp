@@ -1,0 +1,53 @@
+// FPL (Huang et al., CVPR 2023): federated prototype learning. After local
+// training each client uploads per-class mean embeddings (prototypes); the
+// server FINCH-clusters the prototypes of each class across clients into
+// "unbiased" cluster prototypes, which clients contrast against in the next
+// round (pull toward the nearest own-class cluster prototype, push from the
+// nearest other-class prototype).
+//
+// This baseline DOES share class-level information across clients — the
+// privacy contrast the paper draws against FISC's single class-agnostic
+// style vector.
+#pragma once
+
+#include "fl/algorithm.hpp"
+
+namespace pardon::baselines {
+
+class Fpl : public fl::Algorithm {
+ public:
+  struct Options {
+    float contrast_weight = 1.0f;
+    float margin = 1.0f;
+  };
+
+  Fpl() : Fpl(Options{}) {}
+  explicit Fpl(Options options) : options_(options) {}
+
+  std::string Name() const override { return "FPL"; }
+  void Setup(const fl::FlContext& context) override;
+
+  fl::ClientUpdate TrainClient(int client_id, const data::Dataset& dataset,
+                               const nn::MlpClassifier& global_model,
+                               int round, tensor::Pcg32& rng) override;
+
+  std::vector<float> Aggregate(std::span<const float> global_params,
+                               std::span<const fl::ClientUpdate> updates,
+                               std::span<const int> client_ids,
+                               int round) override;
+
+  // Current global cluster prototypes ([P, D]; empty before round 2).
+  const tensor::Tensor& prototypes() const { return prototypes_; }
+  const std::vector<int>& prototype_classes() const {
+    return prototype_classes_;
+  }
+
+ private:
+  Options options_;
+  fl::FlConfig config_;
+  // Written only in Aggregate (single-threaded), read in TrainClient.
+  tensor::Tensor prototypes_;
+  std::vector<int> prototype_classes_;
+};
+
+}  // namespace pardon::baselines

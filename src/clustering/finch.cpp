@@ -1,0 +1,230 @@
+#include "clustering/finch.hpp"
+
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace pardon::clustering {
+
+namespace {
+
+// Union-find over [0, n).
+class DisjointSet {
+ public:
+  explicit DisjointSet(int n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[static_cast<std::size_t>(a)] = b;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// Builds the first-neighbor adjacency partition of `points`.
+Partition PartitionByFirstNeighbors(const Tensor& points, Metric metric) {
+  const int n = static_cast<int>(points.dim(0));
+  const std::vector<int> kappa = FirstNeighbors(points, metric);
+  DisjointSet dsu(n);
+  for (int i = 0; i < n; ++i) {
+    // Link i -- kappa(i). This covers all three FINCH conditions:
+    // kappa(i)=j and kappa(j)=i collapse to the same edge, and
+    // kappa(i)=kappa(j) makes i and j transitively connected through their
+    // shared neighbor.
+    dsu.Union(i, kappa[static_cast<std::size_t>(i)]);
+  }
+  Partition partition;
+  partition.labels.resize(static_cast<std::size_t>(n), -1);
+  std::vector<int> root_to_label;
+  for (int i = 0; i < n; ++i) {
+    const int root = dsu.Find(i);
+    int label = -1;
+    for (std::size_t r = 0; r < root_to_label.size(); ++r) {
+      if (root_to_label[r] == root) {
+        label = static_cast<int>(r);
+        break;
+      }
+    }
+    if (label < 0) {
+      label = static_cast<int>(root_to_label.size());
+      root_to_label.push_back(root);
+    }
+    partition.labels[static_cast<std::size_t>(i)] = label;
+  }
+  partition.num_clusters = static_cast<int>(root_to_label.size());
+  return partition;
+}
+
+Tensor ClusterMeans(const Tensor& points, const Partition& partition) {
+  const std::int64_t d = points.dim(1);
+  Tensor centers({partition.num_clusters, d});
+  std::vector<int> counts(static_cast<std::size_t>(partition.num_clusters), 0);
+  for (std::int64_t i = 0; i < points.dim(0); ++i) {
+    const int c = partition.labels[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(c)];
+    const float* row = points.data() + i * d;
+    float* center = centers.data() + static_cast<std::int64_t>(c) * d;
+    for (std::int64_t k = 0; k < d; ++k) center[k] += row[k];
+  }
+  for (int c = 0; c < partition.num_clusters; ++c) {
+    const float inv = 1.0f / static_cast<float>(counts[static_cast<std::size_t>(c)]);
+    float* center = centers.data() + static_cast<std::int64_t>(c) * d;
+    for (std::int64_t k = 0; k < d; ++k) center[k] *= inv;
+  }
+  return centers;
+}
+
+}  // namespace
+
+std::vector<int> FirstNeighbors(const Tensor& points, Metric metric) {
+  if (points.rank() != 2) {
+    throw std::invalid_argument("FirstNeighbors: expected [N, D] input");
+  }
+  const std::int64_t n = points.dim(0);
+  if (n < 2) {
+    throw std::invalid_argument("FirstNeighbors: need at least two points");
+  }
+  std::vector<int> kappa(static_cast<std::size_t>(n), -1);
+  if (metric == Metric::kCosine) {
+    const Tensor sims = tensor::PairwiseCosine(points);
+    for (std::int64_t i = 0; i < n; ++i) {
+      float best = -std::numeric_limits<float>::max();
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        if (sims.At(i, j) > best) {
+          best = sims.At(i, j);
+          kappa[static_cast<std::size_t>(i)] = static_cast<int>(j);
+        }
+      }
+    }
+  } else {
+    const Tensor dists = tensor::PairwiseSquaredL2(points, points);
+    for (std::int64_t i = 0; i < n; ++i) {
+      float best = std::numeric_limits<float>::max();
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        if (dists.At(i, j) < best) {
+          best = dists.At(i, j);
+          kappa[static_cast<std::size_t>(i)] = static_cast<int>(j);
+        }
+      }
+    }
+  }
+  return kappa;
+}
+
+FinchResult Finch(const Tensor& points, Metric metric) {
+  FinchResult result;
+  if (points.rank() != 2) {
+    throw std::invalid_argument("Finch: expected [N, D] input");
+  }
+  const std::int64_t n = points.dim(0);
+  if (n == 0) return result;
+  if (n == 1) {
+    Partition single;
+    single.labels = {0};
+    single.num_clusters = 1;
+    single.centers = points;
+    result.partitions.push_back(std::move(single));
+    return result;
+  }
+
+  // First level on raw points.
+  Partition level = PartitionByFirstNeighbors(points, metric);
+  level.centers = ClusterMeans(points, level);
+  result.partitions.push_back(level);
+
+  // Recurse on cluster centers; each new level merges previous clusters, so
+  // sample labels are composed through the chain.
+  while (result.partitions.back().num_clusters > 1) {
+    const Partition& prev = result.partitions.back();
+    const Partition meta = PartitionByFirstNeighbors(prev.centers, metric);
+    if (meta.num_clusters >= prev.num_clusters) break;  // no further merging
+    Partition next;
+    next.num_clusters = meta.num_clusters;
+    next.labels.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const int prev_cluster = prev.labels[static_cast<std::size_t>(i)];
+      next.labels[static_cast<std::size_t>(i)] =
+          meta.labels[static_cast<std::size_t>(prev_cluster)];
+    }
+    next.centers = ClusterMeans(points, next);
+    result.partitions.push_back(std::move(next));
+  }
+  return result;
+}
+
+Partition FinchWithK(const Tensor& points, int k, Metric metric) {
+  const std::int64_t n = points.dim(0);
+  if (k < 1 || k > n) {
+    throw std::invalid_argument("FinchWithK: k out of range");
+  }
+  const FinchResult chain = Finch(points, metric);
+  if (chain.partitions.empty()) {
+    throw std::invalid_argument("FinchWithK: empty input");
+  }
+  // Smallest chain partition that still has >= k clusters; Γ1 otherwise.
+  const Partition* base = &chain.Finest();
+  for (const Partition& partition : chain.partitions) {
+    if (partition.num_clusters >= k) base = &partition;
+  }
+  Partition current = *base;
+
+  while (current.num_clusters > k) {
+    // Closest pair of cluster centers under the metric.
+    std::int64_t best_a = 0, best_b = 1;
+    if (metric == Metric::kCosine) {
+      const Tensor sims = tensor::PairwiseCosine(current.centers);
+      float best = -2.0f;
+      for (std::int64_t a = 0; a < current.num_clusters; ++a) {
+        for (std::int64_t b = a + 1; b < current.num_clusters; ++b) {
+          if (sims.At(a, b) > best) {
+            best = sims.At(a, b);
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+    } else {
+      const Tensor dists =
+          tensor::PairwiseSquaredL2(current.centers, current.centers);
+      float best = std::numeric_limits<float>::max();
+      for (std::int64_t a = 0; a < current.num_clusters; ++a) {
+        for (std::int64_t b = a + 1; b < current.num_clusters; ++b) {
+          if (dists.At(a, b) < best) {
+            best = dists.At(a, b);
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+    }
+    // Merge best_b into best_a; relabel the last cluster into best_b's slot.
+    const int last = current.num_clusters - 1;
+    for (int& label : current.labels) {
+      if (label == static_cast<int>(best_b)) {
+        label = static_cast<int>(best_a);
+      } else if (label == last && static_cast<int>(best_b) != last) {
+        label = static_cast<int>(best_b);
+      }
+    }
+    --current.num_clusters;
+    current.centers = ClusterMeans(points, current);
+  }
+  return current;
+}
+
+}  // namespace pardon::clustering

@@ -1,0 +1,71 @@
+// FINCH: parameter-free clustering by first-neighbor relations
+// (Sarfraz, Sharma, Stiefelhagen, CVPR 2019).
+//
+// FISC uses FINCH twice (Eq. 1 and Eq. 3): on each client to group sample
+// styles so a dominant local domain cannot bias the client style, and on the
+// server to group client styles so clients sharing a domain are counted once.
+// FINCH is chosen precisely because the number of clusters is unknown at both
+// levels — it needs no k and no threshold.
+//
+// Algorithm: link samples i and j whenever j is i's first (nearest) neighbor,
+// i is j's, or they share a first neighbor; connected components of that graph
+// form partition Γ1. Recurse on cluster means until the cluster count stops
+// decreasing. Every Γ_{i+1} merges clusters of Γ_i, so the partition chain is
+// hierarchical with strictly decreasing cluster counts.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::clustering {
+
+using tensor::Tensor;
+
+enum class Metric { kCosine, kEuclidean };
+
+struct Partition {
+  // labels[i] in [0, num_clusters) for each input row.
+  std::vector<int> labels;
+  int num_clusters = 0;
+  // Cluster means in input space, [num_clusters, D].
+  Tensor centers;
+};
+
+struct FinchResult {
+  // Partitions from finest (Γ1) to coarsest (Γ_L); empty input -> empty.
+  // The chain may end in the trivial 1-cluster partition when merging
+  // continues all the way down (FINCH links every point to its first
+  // neighbor, so an isolated minority always eventually joins).
+  std::vector<Partition> partitions;
+
+  // The coarsest partition Γ_L. Requires at least one partition.
+  const Partition& Coarsest() const { return partitions.back(); }
+  // The coarsest partition that still carries grouping information (>= 2
+  // clusters), falling back to the only/last partition when none exists.
+  // This is the level FISC consumes at both clustering steps.
+  const Partition& CoarsestNonTrivial() const {
+    for (std::size_t i = partitions.size(); i-- > 0;) {
+      if (partitions[i].num_clusters >= 2) return partitions[i];
+    }
+    return partitions.back();
+  }
+  const Partition& Finest() const { return partitions.front(); }
+};
+
+// Runs FINCH on the rows of `points` [N, D]. N = 0 returns an empty result;
+// N = 1 returns one singleton partition.
+FinchResult Finch(const Tensor& points, Metric metric = Metric::kCosine);
+
+// First-neighbor index per row under the metric (self excluded); N must be
+// >= 2. Exposed for tests.
+std::vector<int> FirstNeighbors(const Tensor& points, Metric metric);
+
+// FINCH's "required number of clusters" mode (Sec. 3.1 of the FINCH paper):
+// take the partition in the chain with the smallest cluster count >= k, then
+// greedily merge the two closest clusters (center distance under the metric,
+// size-weighted center updates) until exactly k remain. k must be in [1, N].
+Partition FinchWithK(const Tensor& points, int k,
+                     Metric metric = Metric::kCosine);
+
+}  // namespace pardon::clustering

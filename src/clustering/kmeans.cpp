@@ -1,0 +1,105 @@
+#include "clustering/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace pardon::clustering {
+
+Partition KMeans(const Tensor& points, const KMeansOptions& options) {
+  if (points.rank() != 2) {
+    throw std::invalid_argument("KMeans: expected [N, D] input");
+  }
+  const std::int64_t n = points.dim(0);
+  const std::int64_t d = points.dim(1);
+  if (n == 0) return Partition{};
+  const int k = static_cast<int>(std::min<std::int64_t>(options.k, n));
+  if (k <= 0) throw std::invalid_argument("KMeans: k must be positive");
+
+  tensor::Pcg32 rng(options.seed, /*stream=*/0x6b6dULL);
+
+  // k-means++ seeding.
+  Tensor centers({k, d});
+  std::vector<float> min_dist(static_cast<std::size_t>(n),
+                              std::numeric_limits<float>::max());
+  std::int64_t first = rng.NextBounded(static_cast<std::uint32_t>(n));
+  centers.SetRow(0, points.Row(first));
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float dist =
+          tensor::SquaredL2Distance(points.Row(i), centers.Row(c - 1));
+      min_dist[static_cast<std::size_t>(i)] =
+          std::min(min_dist[static_cast<std::size_t>(i)], dist);
+      total += min_dist[static_cast<std::size_t>(i)];
+    }
+    double target = rng.NextDouble() * total;
+    std::int64_t chosen = n - 1;
+    for (std::int64_t i = 0; i < n; ++i) {
+      target -= min_dist[static_cast<std::size_t>(i)];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.SetRow(c, points.Row(chosen));
+  }
+
+  Partition partition;
+  partition.num_clusters = k;
+  partition.labels.assign(static_cast<std::size_t>(n), 0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    const Tensor dists = tensor::PairwiseSquaredL2(points, centers);
+    for (std::int64_t i = 0; i < n; ++i) {
+      int best = 0;
+      for (int c = 1; c < k; ++c) {
+        if (dists.At(i, c) < dists.At(i, best)) best = c;
+      }
+      if (partition.labels[static_cast<std::size_t>(i)] != best) {
+        partition.labels[static_cast<std::size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    // Recompute centers; re-seed empties from the farthest point.
+    Tensor sums({k, d});
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const int c = partition.labels[static_cast<std::size_t>(i)];
+      ++counts[static_cast<std::size_t>(c)];
+      const float* row = points.data() + i * d;
+      float* sum = sums.data() + static_cast<std::int64_t>(c) * d;
+      for (std::int64_t j = 0; j < d; ++j) sum[j] += row[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] == 0) {
+        std::int64_t farthest = 0;
+        float best = -1.0f;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const int own = partition.labels[static_cast<std::size_t>(i)];
+          const float dist =
+              tensor::SquaredL2Distance(points.Row(i), centers.Row(own));
+          if (dist > best) {
+            best = dist;
+            farthest = i;
+          }
+        }
+        centers.SetRow(c, points.Row(farthest));
+        changed = true;
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<std::size_t>(c)]);
+      float* sum = sums.data() + static_cast<std::int64_t>(c) * d;
+      float* center = centers.data() + static_cast<std::int64_t>(c) * d;
+      for (std::int64_t j = 0; j < d; ++j) center[j] = sum[j] * inv;
+    }
+    if (!changed) break;
+  }
+  partition.centers = centers;
+  return partition;
+}
+
+}  // namespace pardon::clustering

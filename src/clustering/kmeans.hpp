@@ -1,0 +1,22 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// Not used by FISC itself — it is the comparison point the DESIGN.md ablation
+// calls out (FINCH vs. a k-requiring method at both clustering levels).
+#pragma once
+
+#include "clustering/finch.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::clustering {
+
+struct KMeansOptions {
+  int k = 2;
+  int max_iterations = 50;
+  std::uint64_t seed = 1;
+};
+
+// Clusters rows of `points` [N, D]; k is clamped to N. Empty clusters are
+// re-seeded from the farthest point.
+Partition KMeans(const Tensor& points, const KMeansOptions& options);
+
+}  // namespace pardon::clustering

@@ -1,0 +1,71 @@
+#include "clustering/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace pardon::clustering {
+
+double Purity(std::span<const int> cluster_labels,
+              std::span<const int> truth_labels) {
+  if (cluster_labels.size() != truth_labels.size()) {
+    throw std::invalid_argument("Purity: label count mismatch");
+  }
+  if (cluster_labels.empty()) return 0.0;
+  std::map<int, std::map<int, int>> counts;
+  for (std::size_t i = 0; i < cluster_labels.size(); ++i) {
+    ++counts[cluster_labels[i]][truth_labels[i]];
+  }
+  std::int64_t correct = 0;
+  for (const auto& [cluster, truth_counts] : counts) {
+    int best = 0;
+    for (const auto& [truth, count] : truth_counts) best = std::max(best, count);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(cluster_labels.size());
+}
+
+double Silhouette(const Tensor& points, std::span<const int> cluster_labels) {
+  const std::int64_t n = points.dim(0);
+  if (static_cast<std::size_t>(n) != cluster_labels.size()) {
+    throw std::invalid_argument("Silhouette: label count mismatch");
+  }
+  int num_clusters = 0;
+  for (const int c : cluster_labels) num_clusters = std::max(num_clusters, c + 1);
+  if (num_clusters < 2) return 0.0;
+
+  const Tensor sq = tensor::PairwiseSquaredL2(points, points);
+  std::vector<int> sizes(static_cast<std::size_t>(num_clusters), 0);
+  for (const int c : cluster_labels) ++sizes[static_cast<std::size_t>(c)];
+
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int own = cluster_labels[static_cast<std::size_t>(i)];
+    if (sizes[static_cast<std::size_t>(own)] <= 1) continue;  // contributes 0
+    std::vector<double> sum_d(static_cast<std::size_t>(num_clusters), 0.0);
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum_d[static_cast<std::size_t>(cluster_labels[static_cast<std::size_t>(j)])] +=
+          std::sqrt(static_cast<double>(sq.At(i, j)));
+    }
+    const double a =
+        sum_d[static_cast<std::size_t>(own)] /
+        static_cast<double>(sizes[static_cast<std::size_t>(own)] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (int c = 0; c < num_clusters; ++c) {
+      if (c == own || sizes[static_cast<std::size_t>(c)] == 0) continue;
+      b = std::min(b, sum_d[static_cast<std::size_t>(c)] /
+                          static_cast<double>(sizes[static_cast<std::size_t>(c)]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace pardon::clustering

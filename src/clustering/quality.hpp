@@ -1,0 +1,21 @@
+// Cluster quality metrics used in tests and the clustering ablation bench:
+// purity against ground-truth domain labels and mean silhouette score.
+#pragma once
+
+#include <span>
+
+#include "clustering/finch.hpp"
+
+namespace pardon::clustering {
+
+// Fraction of samples whose cluster's majority ground-truth label matches
+// their own. 1.0 = perfect recovery of the labeling (up to splits).
+double Purity(std::span<const int> cluster_labels,
+              std::span<const int> truth_labels);
+
+// Mean silhouette coefficient over all samples, Euclidean distances.
+// Clusters of size 1 contribute 0 (scikit-learn convention). Returns 0 when
+// there are fewer than 2 clusters.
+double Silhouette(const Tensor& points, std::span<const int> cluster_labels);
+
+}  // namespace pardon::clustering

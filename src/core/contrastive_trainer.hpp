@@ -1,0 +1,38 @@
+// FISC's local contrastive training (Step 3, Algorithm 2).
+//
+// Per batch B:
+//   B_p   = AdaIN-transfer of B to the global interpolation style S_g
+//   z_a   = f(B), z_p = f(B_p)           (two traces through the SAME f)
+//   L     = CE(g(z_a), y) + gamma1 * Triplet(z_a, z_p, negatives from B_p)
+//           + gamma2 * (|z_a|^2 + |z_p|^2)/|B|
+// and the gradients of both traces accumulate into f's parameters.
+#pragma once
+
+#include "core/fisc_config.hpp"
+#include "data/dataset.hpp"
+#include "fl/types.hpp"
+#include "style/adain.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::core {
+
+struct ContrastiveTrainOptions {
+  FiscOptions fisc;
+  int epochs = 1;
+  int batch_size = 32;
+  nn::OptimizerOptions optimizer{};
+};
+
+// Trains a clone of `global_model` on `dataset` with the FISC objective and
+// returns the client update. `global_style` is S_g from the server; `encoder`
+// is the shared frozen AdaIN encoder. Honors the ablation switches in
+// options.fisc (contrastive off -> CE on original+transferred data only;
+// PositiveMode::kSimpleAugmentation -> FISC-v4 positives).
+fl::ClientUpdate ContrastiveTrainLocal(const nn::MlpClassifier& global_model,
+                                       const data::Dataset& dataset,
+                                       const style::StyleVector& global_style,
+                                       const style::FrozenEncoder& encoder,
+                                       const ContrastiveTrainOptions& options,
+                                       tensor::Pcg32& rng);
+
+}  // namespace pardon::core

@@ -1,0 +1,81 @@
+#include "core/fisc.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace pardon::core {
+
+Fisc::Fisc(FiscOptions options) : options_(options) {}
+
+std::string Fisc::Name() const {
+  if (options_.contrastive && options_.local_clustering &&
+      options_.global_clustering &&
+      options_.positives == PositiveMode::kInterpolationStyle) {
+    return "FISC";
+  }
+  return "FISC-variant";
+}
+
+void Fisc::Setup(const fl::FlContext& context) {
+  if (context.client_data == nullptr || context.client_data->empty()) {
+    throw std::invalid_argument("Fisc::Setup: missing client data");
+  }
+  fl_config_ = context.config;
+
+  // Shared frozen encoder: every party derives the identical encoder from
+  // the public seed, mirroring the public pre-trained VGG in the paper.
+  const data::ImageShape& shape = context.client_data->front().shape();
+  encoder_ = std::make_unique<style::FrozenEncoder>(style::FrozenEncoder::Config{
+      .in_channels = shape.channels,
+      .feature_channels = options_.encoder_feature_channels,
+      .pool = options_.encoder_pool,
+      .seed = options_.encoder_seed,
+  });
+
+  // Step 1: local style per client (clients with no data upload nothing).
+  client_styles_.clear();
+  tensor::Pcg32 noise_rng(fl_config_.seed ^ 0x70657274ULL, /*stream=*/0x6eULL);
+  for (const data::Dataset& dataset : *context.client_data) {
+    if (dataset.empty()) continue;
+    LocalStyleResult local =
+        ComputeClientStyle(dataset, *encoder_, options_.local_clustering);
+    client_styles_.push_back(style::PerturbStyle(
+        local.client_style, options_.perturbation, noise_rng));
+  }
+  if (client_styles_.empty()) {
+    throw std::invalid_argument("Fisc::Setup: every client is empty");
+  }
+
+  // Step 2: server-side interpolation style extraction.
+  const style::InterpolationResult interpolation =
+      style::ExtractInterpolationStyle(
+          client_styles_,
+          {.cluster = options_.global_clustering,
+           .center = options_.interpolation_center});
+  global_style_ = interpolation.global_style;
+  num_style_clusters_ = interpolation.num_style_clusters;
+  setup_done_ = true;
+  PARDON_LOG_DEBUG << "FISC setup: " << client_styles_.size()
+                   << " client styles -> " << num_style_clusters_
+                   << " style clusters";
+}
+
+fl::ClientUpdate Fisc::TrainClient(int /*client_id*/,
+                                   const data::Dataset& dataset,
+                                   const nn::MlpClassifier& global_model,
+                                   int /*round*/, tensor::Pcg32& rng) {
+  if (!setup_done_) {
+    throw std::logic_error("Fisc::TrainClient called before Setup");
+  }
+  const ContrastiveTrainOptions options{
+      .fisc = options_,
+      .epochs = fl_config_.local_epochs,
+      .batch_size = fl_config_.batch_size,
+      .optimizer = fl_config_.optimizer,
+  };
+  return ContrastiveTrainLocal(global_model, dataset, global_style_, *encoder_,
+                               options, rng);
+}
+
+}  // namespace pardon::core

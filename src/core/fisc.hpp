@@ -1,0 +1,51 @@
+// FISC (the paper's contribution; library name "pardon") as an
+// fl::Algorithm:
+//   Setup      — every client computes its local style (Step 1) and the
+//                server extracts the global interpolation style S_g (Step 2);
+//                a one-time cost, exactly as the paper accounts it.
+//   TrainClient— contrastive local training against S_g (Step 3).
+//   Aggregate  — inherited sample-weighted FedAvg (Step 4).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/contrastive_trainer.hpp"
+#include "core/fisc_config.hpp"
+#include "core/local_style.hpp"
+#include "fl/algorithm.hpp"
+
+namespace pardon::core {
+
+class Fisc : public fl::Algorithm {
+ public:
+  explicit Fisc(FiscOptions options = {});
+
+  std::string Name() const override;
+
+  void Setup(const fl::FlContext& context) override;
+
+  fl::ClientUpdate TrainClient(int client_id, const data::Dataset& dataset,
+                               const nn::MlpClassifier& global_model,
+                               int round, tensor::Pcg32& rng) override;
+
+  // Introspection (tests, security bench).
+  const style::StyleVector& global_style() const { return global_style_; }
+  const std::vector<style::StyleVector>& client_styles() const {
+    return client_styles_;
+  }
+  int num_style_clusters() const { return num_style_clusters_; }
+  const style::FrozenEncoder& encoder() const { return *encoder_; }
+  const FiscOptions& options() const { return options_; }
+
+ private:
+  FiscOptions options_;
+  fl::FlConfig fl_config_;
+  std::unique_ptr<style::FrozenEncoder> encoder_;
+  std::vector<style::StyleVector> client_styles_;  // as uploaded (perturbed)
+  style::StyleVector global_style_;
+  int num_style_clusters_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace pardon::core

@@ -1,0 +1,77 @@
+// FISC hyper-parameters and ablation switches.
+//
+// Defaults follow the paper's Appendix A.3: gamma1 (triplet coefficient) in
+// [0.5, 0.75], gamma2 (embedding regularizer) in [0.05, 0.2], triplet margin
+// alpha in [0.1, 1.0]. The ablation booleans reproduce Table 11's FISC-v1..v4
+// variants; all-true (+ interpolation positives) is the full FISC-v5.
+#pragma once
+
+#include <cstdint>
+
+#include "style/interpolate.hpp"
+#include "style/perturb.hpp"
+
+namespace pardon::core {
+
+enum class NegativeMining {
+  kRandom,   // paper: "one negative sample will be selected from this set"
+  kHardest,  // ablation: hardest different-class negative
+};
+
+enum class ContrastKind {
+  kTriplet,  // Eq. 5 (the paper's objective)
+  kSupCon,   // InfoNCE-style supervised contrastive (extension ablation)
+};
+
+enum class PositiveMode {
+  // Positives are interpolation-style-transferred twins (FISC).
+  kInterpolationStyle,
+  // Positives are generic augmentations (noise + channel jitter) of the
+  // anchor — Table 11's FISC-v4 "standard contrastive learning" variant.
+  kSimpleAugmentation,
+};
+
+struct FiscOptions {
+  float gamma1 = 0.6f;  // triplet loss coefficient
+  float gamma2 = 0.1f;  // embedding L2 regularizer coefficient
+  // Triplet margin alpha. The paper uses 0.3 (PACS/Office-Home) to 1.0
+  // (IWildCam) on ResNet-50 embeddings; on this substrate's unit-sphere
+  // embeddings 1.0 keeps the hinge active through training (0.3 deactivates
+  // almost immediately), so 1.0 is the calibrated default.
+  float margin = 1.0f;
+  // Hardest-negative mining (FaceNet practice). The paper's wording ("one
+  // negative sample will be selected from this set") admits either; random
+  // selection is available for the ablation bench.
+  NegativeMining mining = NegativeMining::kHardest;
+  PositiveMode positives = PositiveMode::kInterpolationStyle;
+  // Weight of the cross-entropy on the style-transferred half (the original
+  // half gets 1 - this). Algorithm 2 writes CE on the original batch only
+  // (weight 0); CCST-style implementations supervise the transferred copies
+  // equally (0.5). 0.25 is the calibrated default: transferred images carry
+  // noisier class evidence (the decoder is lossy), and the cost of
+  // supervising them grows with the number of classes.
+  float transferred_ce_weight = 0.25f;
+  // Contrastive objective family (triplet in the paper; SupCon available for
+  // the DESIGN.md extension ablation).
+  ContrastKind contrast = ContrastKind::kTriplet;
+  float supcon_temperature = 0.2f;
+
+  // Ablation switches (Table 11). When a clustering level is disabled, the
+  // corresponding style is a plain average instead of FINCH-clustered.
+  bool local_clustering = true;
+  bool global_clustering = true;
+  bool contrastive = true;  // off = CE-only on original + transferred data
+
+  // Center statistic of the interpolation style (median in the paper).
+  style::CenterMethod interpolation_center = style::CenterMethod::kMedian;
+
+  // Optional client-side Gaussian style perturbation (Table 10).
+  style::PerturbOptions perturbation{};
+
+  // Frozen encoder configuration (shared by all parties).
+  std::int64_t encoder_feature_channels = 12;
+  std::int64_t encoder_pool = 2;
+  std::uint64_t encoder_seed = 7;
+};
+
+}  // namespace pardon::core

@@ -1,0 +1,60 @@
+#include "core/local_style.hpp"
+
+#include <stdexcept>
+
+#include "clustering/finch.hpp"
+
+namespace pardon::core {
+
+LocalStyleResult ComputeClientStyle(const data::Dataset& dataset,
+                                    const style::FrozenEncoder& encoder,
+                                    bool use_clustering) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("ComputeClientStyle: empty dataset");
+  }
+
+  // Encode all local images once; keep both feature maps (for pooled cluster
+  // styles) and per-sample style vectors (the clustering space).
+  std::vector<tensor::Tensor> features;
+  std::vector<style::StyleVector> sample_styles;
+  features.reserve(static_cast<std::size_t>(dataset.size()));
+  sample_styles.reserve(static_cast<std::size_t>(dataset.size()));
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    features.push_back(encoder.Encode(dataset.Image(i)));
+    sample_styles.push_back(style::ComputeStyle(features.back()));
+  }
+
+  LocalStyleResult result;
+  if (!use_clustering || dataset.size() < 2) {
+    // FISC-v1: one pseudo-cluster over everything.
+    result.num_clusters = 1;
+    result.client_style = style::PooledStyle(features);
+    result.cluster_styles =
+        tensor::Tensor::Stack({result.client_style.Flat()});
+    return result;
+  }
+
+  const tensor::Tensor stacked = style::StackStyles(sample_styles);
+  const clustering::FinchResult finch =
+      clustering::Finch(stacked, clustering::Metric::kCosine);
+  const clustering::Partition& partition = finch.CoarsestNonTrivial();
+  result.num_clusters = partition.num_clusters;
+
+  // Pixel-pooled style per cluster (Eq. 2 applied to each Phi_j).
+  std::vector<style::StyleVector> cluster_styles;
+  cluster_styles.reserve(static_cast<std::size_t>(partition.num_clusters));
+  for (int cluster = 0; cluster < partition.num_clusters; ++cluster) {
+    std::vector<tensor::Tensor> members;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      if (partition.labels[i] == cluster) members.push_back(features[i]);
+    }
+    cluster_styles.push_back(style::PooledStyle(members));
+  }
+  result.cluster_styles = style::StackStyles(cluster_styles);
+  // Client style statistic: average of cluster styles (equal weight per
+  // cluster, NOT per sample — that is the de-biasing step).
+  result.client_style = style::AverageStyles(cluster_styles);
+  return result;
+}
+
+}  // namespace pardon::core

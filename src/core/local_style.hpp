@@ -1,0 +1,28 @@
+// Client-side local style calculation (Step 1 of FISC, Eq. 1-2):
+// encode every local image with the frozen encoder, FINCH-cluster the
+// per-sample styles (cosine), compute each cluster's pixel-pooled style, and
+// average cluster styles into the client style. Clustering prevents a
+// dominant local domain from swamping minority-domain styles when the client
+// holds a domain mixture.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "style/encoder.hpp"
+#include "style/style_stats.hpp"
+
+namespace pardon::core {
+
+struct LocalStyleResult {
+  style::StyleVector client_style;
+  int num_clusters = 0;   // L_k (1 when clustering is disabled or trivial)
+  // Per-cluster styles (each a [2D] flat vector row) — inspectable by tests.
+  tensor::Tensor cluster_styles;
+};
+
+// `use_clustering` = false reproduces ablation FISC-v1 (plain average of
+// per-sample styles). Empty datasets are invalid.
+LocalStyleResult ComputeClientStyle(const data::Dataset& dataset,
+                                    const style::FrozenEncoder& encoder,
+                                    bool use_clustering);
+
+}  // namespace pardon::core

@@ -1,0 +1,31 @@
+#include "data/batcher.hpp"
+
+#include <stdexcept>
+
+namespace pardon::data {
+
+std::vector<Batch> MakeEpochBatches(const Dataset& dataset, int batch_size,
+                                    tensor::Pcg32& rng) {
+  if (batch_size <= 0) {
+    throw std::invalid_argument("MakeEpochBatches: non-positive batch size");
+  }
+  const std::int64_t n = dataset.size();
+  std::vector<Batch> batches;
+  if (n == 0) return batches;
+
+  const std::vector<int> order = rng.Permutation(static_cast<int>(n));
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const std::int64_t end = std::min<std::int64_t>(start + batch_size, n);
+    if (end - start < 2 && n >= 2) continue;  // singleton tail: skip
+    std::vector<int> indices(order.begin() + static_cast<std::ptrdiff_t>(start),
+                             order.begin() + static_cast<std::ptrdiff_t>(end));
+    Batch batch;
+    batch.images = dataset.images().Gather(indices);
+    batch.labels.reserve(indices.size());
+    for (const int idx : indices) batch.labels.push_back(dataset.Label(idx));
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace pardon::data

@@ -1,0 +1,23 @@
+// Mini-batch iteration over a Dataset: one shuffled epoch at a time, matching
+// the paper's "1 local epoch, batch size 32" training protocol.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::data {
+
+struct Batch {
+  Tensor images;            // [B, C*H*W]
+  std::vector<int> labels;  // length B
+};
+
+// Shuffles the dataset and splits it into batches of `batch_size` (the final
+// batch may be smaller; it is dropped only if it would contain one sample,
+// which breaks contrastive negative sampling).
+std::vector<Batch> MakeEpochBatches(const Dataset& dataset, int batch_size,
+                                    tensor::Pcg32& rng);
+
+}  // namespace pardon::data

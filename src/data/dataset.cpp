@@ -1,0 +1,103 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+namespace pardon::data {
+
+Dataset::Dataset(ImageShape shape, int num_classes, int num_domains)
+    : shape_(shape), num_classes_(num_classes), num_domains_(num_domains) {
+  if (shape.FlatDim() <= 0 || num_classes <= 0 || num_domains <= 0) {
+    throw std::invalid_argument("Dataset: non-positive dimensions");
+  }
+}
+
+void Dataset::Materialize() const {
+  if (!dirty_) return;
+  images_ = Tensor({size(), shape_.FlatDim()}, storage_);
+  dirty_ = false;
+}
+
+const Tensor& Dataset::images() const {
+  Materialize();
+  return images_;
+}
+
+Tensor Dataset::Image(std::int64_t i) const {
+  if (i < 0 || i >= size()) throw std::out_of_range("Dataset::Image: index");
+  const std::int64_t d = shape_.FlatDim();
+  std::vector<float> values(
+      storage_.begin() + static_cast<std::ptrdiff_t>(i * d),
+      storage_.begin() + static_cast<std::ptrdiff_t>((i + 1) * d));
+  return Tensor({shape_.channels, shape_.height, shape_.width},
+                std::move(values));
+}
+
+void Dataset::Add(const Tensor& flat_image, int label, int domain) {
+  if (flat_image.size() != shape_.FlatDim()) {
+    throw std::invalid_argument("Dataset::Add: image size mismatch");
+  }
+  if (label < 0 || label >= num_classes_) {
+    throw std::out_of_range("Dataset::Add: label out of range");
+  }
+  if (domain < 0 || domain >= num_domains_) {
+    throw std::out_of_range("Dataset::Add: domain out of range");
+  }
+  storage_.insert(storage_.end(), flat_image.data(),
+                  flat_image.data() + flat_image.size());
+  labels_.push_back(label);
+  domains_.push_back(domain);
+  dirty_ = true;
+}
+
+void Dataset::Append(const Dataset& other) {
+  if (!(other.shape_ == shape_) || other.num_classes_ != num_classes_ ||
+      other.num_domains_ != num_domains_) {
+    throw std::invalid_argument("Dataset::Append: incompatible dataset");
+  }
+  storage_.insert(storage_.end(), other.storage_.begin(), other.storage_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  domains_.insert(domains_.end(), other.domains_.begin(), other.domains_.end());
+  dirty_ = true;
+}
+
+Dataset Dataset::Select(std::span<const int> indices) const {
+  Dataset out(shape_, num_classes_, num_domains_);
+  const std::int64_t d = shape_.FlatDim();
+  for (const int idx : indices) {
+    if (idx < 0 || idx >= size()) {
+      throw std::out_of_range("Dataset::Select: index out of range");
+    }
+    out.storage_.insert(
+        out.storage_.end(),
+        storage_.begin() + static_cast<std::ptrdiff_t>(std::int64_t(idx) * d),
+        storage_.begin() + static_cast<std::ptrdiff_t>((std::int64_t(idx) + 1) * d));
+    out.labels_.push_back(labels_[static_cast<std::size_t>(idx)]);
+    out.domains_.push_back(domains_[static_cast<std::size_t>(idx)]);
+  }
+  out.dirty_ = true;
+  return out;
+}
+
+Dataset Dataset::FilterDomain(int domain) const {
+  std::vector<int> indices;
+  for (std::int64_t i = 0; i < size(); ++i) {
+    if (domains_[static_cast<std::size_t>(i)] == domain) {
+      indices.push_back(static_cast<int>(i));
+    }
+  }
+  return Select(indices);
+}
+
+std::vector<std::int64_t> Dataset::DomainHistogram() const {
+  std::vector<std::int64_t> histogram(static_cast<std::size_t>(num_domains_), 0);
+  for (const int d : domains_) ++histogram[static_cast<std::size_t>(d)];
+  return histogram;
+}
+
+std::vector<std::int64_t> Dataset::ClassHistogram() const {
+  std::vector<std::int64_t> histogram(static_cast<std::size_t>(num_classes_), 0);
+  for (const int c : labels_) ++histogram[static_cast<std::size_t>(c)];
+  return histogram;
+}
+
+}  // namespace pardon::data

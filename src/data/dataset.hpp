@@ -1,0 +1,77 @@
+// In-memory labeled image dataset with domain annotations.
+//
+// Images are stored flattened ([C*H*W] per sample, row-major [C,H,W]) so
+// batches view directly as [B, D] matrices for the MLP; the style modules
+// reshape to [C,H,W] when they need spatial structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::data {
+
+using tensor::Tensor;
+
+struct ImageShape {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+
+  std::int64_t FlatDim() const { return channels * height * width; }
+  bool operator==(const ImageShape&) const = default;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(ImageShape shape, int num_classes, int num_domains);
+
+  const ImageShape& shape() const { return shape_; }
+  int num_classes() const { return num_classes_; }
+  int num_domains() const { return num_domains_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(labels_.size()); }
+  bool empty() const { return size() == 0; }
+
+  // All images as an [N, C*H*W] matrix.
+  const Tensor& images() const;
+  std::span<const int> labels() const { return labels_; }
+  std::span<const int> domains() const { return domains_; }
+
+  // The i-th image reshaped to [C,H,W].
+  Tensor Image(std::int64_t i) const;
+  int Label(std::int64_t i) const { return labels_.at(static_cast<std::size_t>(i)); }
+  int Domain(std::int64_t i) const { return domains_.at(static_cast<std::size_t>(i)); }
+
+  // Appends one flattened image.
+  void Add(const Tensor& flat_image, int label, int domain);
+  // Appends all samples of another dataset (shapes must match).
+  void Append(const Dataset& other);
+  // Subset by sample indices.
+  Dataset Select(std::span<const int> indices) const;
+  // All samples belonging to one domain.
+  Dataset FilterDomain(int domain) const;
+
+  // Per-domain sample counts (length num_domains).
+  std::vector<std::int64_t> DomainHistogram() const;
+  // Per-class sample counts (length num_classes).
+  std::vector<std::int64_t> ClassHistogram() const;
+
+ private:
+  // Rows accumulate in storage_; the [N, D] tensor view is rebuilt lazily on
+  // first access after a mutation.
+  void Materialize() const;
+
+  ImageShape shape_;
+  int num_classes_ = 0;
+  int num_domains_ = 0;
+  std::vector<float> storage_;
+  std::vector<int> labels_;
+  std::vector<int> domains_;
+  mutable Tensor images_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace pardon::data

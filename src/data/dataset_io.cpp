@@ -1,0 +1,86 @@
+#include "data/dataset_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/io.hpp"
+
+namespace pardon::data {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'D', 'D', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("dataset io: truncated stream");
+  return value;
+}
+}  // namespace
+
+void SaveDataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("dataset io: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, dataset.shape().channels);
+  WritePod(out, dataset.shape().height);
+  WritePod(out, dataset.shape().width);
+  WritePod(out, static_cast<std::int32_t>(dataset.num_classes()));
+  WritePod(out, static_cast<std::int32_t>(dataset.num_domains()));
+  WritePod(out, dataset.size());
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    WritePod(out, static_cast<std::int32_t>(dataset.Label(i)));
+  }
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    WritePod(out, static_cast<std::int32_t>(dataset.Domain(i)));
+  }
+  tensor::WriteTensor(out, dataset.images());
+  if (!out) throw std::runtime_error("dataset io: write failed");
+}
+
+Dataset LoadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("dataset io: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("dataset io: bad magic");
+  }
+  if (ReadPod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("dataset io: bad version");
+  }
+  ImageShape shape;
+  shape.channels = ReadPod<std::int64_t>(in);
+  shape.height = ReadPod<std::int64_t>(in);
+  shape.width = ReadPod<std::int64_t>(in);
+  const std::int32_t classes = ReadPod<std::int32_t>(in);
+  const std::int32_t domains = ReadPod<std::int32_t>(in);
+  const std::int64_t count = ReadPod<std::int64_t>(in);
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(count));
+  for (auto& l : labels) l = ReadPod<std::int32_t>(in);
+  std::vector<std::int32_t> sample_domains(static_cast<std::size_t>(count));
+  for (auto& d : sample_domains) d = ReadPod<std::int32_t>(in);
+  const tensor::Tensor images = tensor::ReadTensor(in);
+  if (images.rank() != 2 || images.dim(0) != count ||
+      images.dim(1) != shape.FlatDim()) {
+    throw std::runtime_error("dataset io: inconsistent image blob");
+  }
+
+  Dataset dataset(shape, classes, domains);
+  for (std::int64_t i = 0; i < count; ++i) {
+    dataset.Add(images.Row(i), labels[static_cast<std::size_t>(i)],
+                sample_domains[static_cast<std::size_t>(i)]);
+  }
+  return dataset;
+}
+
+}  // namespace pardon::data

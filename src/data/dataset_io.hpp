@@ -1,0 +1,19 @@
+// Binary dataset (de)serialization: caches generated datasets so repeated
+// experiment runs skip synthesis, and lets the experiment-runner tool export
+// splits for external consumers.
+//
+// Format: magic "PDDS" | u32 version | shape (3 x i64) | i32 classes |
+//         i32 domains | i64 count | labels (i32...) | domains (i32...) |
+//         image tensor blob.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace pardon::data {
+
+void SaveDataset(const std::string& path, const Dataset& dataset);
+Dataset LoadDataset(const std::string& path);
+
+}  // namespace pardon::data

@@ -1,0 +1,156 @@
+#include "data/domain_generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pardon::data {
+
+DomainGenerator::DomainGenerator(const GeneratorConfig& config)
+    : config_(config) {
+  if (config.num_domains <= 0 || config.num_classes <= 0) {
+    throw std::invalid_argument("DomainGenerator: non-positive counts");
+  }
+  Pcg32 rng(config.seed, /*stream=*/0x646f6dULL);
+
+  // Class prototypes: sparse-ish spatial patterns, identical across domains.
+  prototypes_.reserve(static_cast<std::size_t>(config.num_classes));
+  for (int c = 0; c < config.num_classes; ++c) {
+    Tensor proto = Tensor::Gaussian(
+        {config.shape.channels, config.shape.height, config.shape.width}, 0.0f,
+        1.0f, rng);
+    // Sparsify so classes differ in WHERE energy sits, not overall level —
+    // that keeps class identity partially separable from channel statistics.
+    for (std::int64_t i = 0; i < proto.size(); ++i) {
+      if (std::fabs(proto[i]) < 0.8f) proto[i] = 0.0f;
+      proto[i] *= config.prototype_scale;
+    }
+    prototypes_.push_back(std::move(proto));
+  }
+
+  // Domain styles.
+  if (!config.domain_style_scale.empty() &&
+      config.domain_style_scale.size() !=
+          static_cast<std::size_t>(config.num_domains)) {
+    throw std::invalid_argument(
+        "DomainGenerator: domain_style_scale size must match num_domains");
+  }
+  domains_.reserve(static_cast<std::size_t>(config.num_domains));
+  const std::int64_t channels = config.shape.channels;
+  const int latent = config.style_latent_dim;
+  // Shared style basis: one row of factors per (channel, property). Scaled so
+  // that basis . u has unit-order magnitude for u ~ U(-1, 1)^F.
+  Tensor basis_gain, basis_bias, basis_tone;
+  if (latent > 0) {
+    const float basis_std = 1.0f / std::sqrt(static_cast<float>(latent) / 3.0f);
+    basis_gain = Tensor::Gaussian({channels, latent}, 0.0f, basis_std, rng);
+    basis_bias = Tensor::Gaussian({channels, latent}, 0.0f, basis_std, rng);
+    basis_tone = Tensor::Gaussian({channels, latent}, 0.0f, basis_std, rng);
+  }
+  for (int d = 0; d < config.num_domains; ++d) {
+    const float scale = config.domain_style_scale.empty()
+                            ? 1.0f
+                            : config.domain_style_scale[static_cast<std::size_t>(d)];
+    DomainSpec spec;
+    spec.gain = Tensor({channels});
+    spec.bias = Tensor({channels});
+    spec.tone = Tensor({channels});
+    if (latent > 0) {
+      Tensor u({latent});
+      for (int f = 0; f < latent; ++f) u[f] = rng.NextUniform(-1.0f, 1.0f);
+      for (std::int64_t ch = 0; ch < channels; ++ch) {
+        float raw_gain = 0.0f, raw_bias = 0.0f, raw_tone = 0.0f;
+        for (int f = 0; f < latent; ++f) {
+          raw_gain += basis_gain.At(ch, f) * u[f];
+          raw_bias += basis_bias.At(ch, f) * u[f];
+          raw_tone += basis_tone.At(ch, f) * u[f];
+        }
+        spec.gain[ch] = std::exp(config.gain_spread * raw_gain * scale);
+        spec.bias[ch] = config.bias_spread * raw_bias * scale;
+        spec.tone[ch] = std::exp(config.tone_spread * raw_tone * scale);
+      }
+    } else {
+      for (std::int64_t ch = 0; ch < channels; ++ch) {
+        // Log-uniform gains keep them positive and symmetric around 1.
+        spec.gain[ch] = std::exp(
+            rng.NextUniform(-config.gain_spread, config.gain_spread) * scale);
+        spec.bias[ch] =
+            rng.NextUniform(-config.bias_spread, config.bias_spread) * scale;
+        spec.tone[ch] = std::exp(
+            rng.NextUniform(-config.tone_spread, config.tone_spread) * scale);
+      }
+    }
+    spec.texture = Tensor::Gaussian(
+        {config.shape.channels, config.shape.height, config.shape.width}, 0.0f,
+        scale, rng);
+    domains_.push_back(std::move(spec));
+  }
+
+  // Class sampling distribution (Zipf when imbalanced).
+  class_cdf_.resize(static_cast<std::size_t>(config.num_classes));
+  double total = 0.0;
+  for (int c = 0; c < config.num_classes; ++c) {
+    const double weight =
+        config.class_imbalance > 0.0f
+            ? 1.0 / std::pow(static_cast<double>(c + 1),
+                             static_cast<double>(config.class_imbalance))
+            : 1.0;
+    total += weight;
+    class_cdf_[static_cast<std::size_t>(c)] = total;
+  }
+  for (double& v : class_cdf_) v /= total;
+}
+
+int DomainGenerator::SampleClass(Pcg32& rng) const {
+  const double u = rng.NextDouble();
+  for (std::size_t c = 0; c < class_cdf_.size(); ++c) {
+    if (u <= class_cdf_[c]) return static_cast<int>(c);
+  }
+  return config_.num_classes - 1;
+}
+
+Tensor DomainGenerator::GenerateImage(int class_id, int domain_id,
+                                      Pcg32& rng) const {
+  if (class_id < 0 || class_id >= config_.num_classes) {
+    throw std::out_of_range("GenerateImage: class id");
+  }
+  if (domain_id < 0 || domain_id >= config_.num_domains) {
+    throw std::out_of_range("GenerateImage: domain id");
+  }
+  const Tensor& proto = prototypes_[static_cast<std::size_t>(class_id)];
+  const DomainSpec& spec = domains_[static_cast<std::size_t>(domain_id)];
+  const std::int64_t hw = config_.shape.height * config_.shape.width;
+
+  Tensor image(proto.shape());
+  for (std::int64_t ch = 0; ch < config_.shape.channels; ++ch) {
+    const float gain = spec.gain[ch];
+    const float bias = spec.bias[ch];
+    const float* proto_plane = proto.data() + ch * hw;
+    const float* texture_plane = spec.texture.data() + ch * hw;
+    float* out_plane = image.data() + ch * hw;
+    const float tone = spec.tone[ch];
+    for (std::int64_t i = 0; i < hw; ++i) {
+      const float content =
+          proto_plane[i] + config_.content_noise * rng.NextGaussian();
+      float value = gain * content + bias +
+                    config_.texture_weight * texture_plane[i];
+      // Nonlinear per-channel tone curve: sign-preserving gamma.
+      if (tone != 1.0f) {
+        value = std::copysign(std::pow(std::fabs(value), tone), value);
+      }
+      out_plane[i] = value + config_.pixel_noise * rng.NextGaussian();
+    }
+  }
+  return image.Flatten();
+}
+
+Dataset DomainGenerator::GenerateDomain(int domain_id, std::int64_t count,
+                                        Pcg32& rng) const {
+  Dataset dataset(config_.shape, config_.num_classes, config_.num_domains);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const int class_id = SampleClass(rng);
+    dataset.Add(GenerateImage(class_id, domain_id, rng), class_id, domain_id);
+  }
+  return dataset;
+}
+
+}  // namespace pardon::data

@@ -1,0 +1,64 @@
+#include "data/normalize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pardon::data {
+
+ChannelStats ComputeChannelStats(const Dataset& dataset, float epsilon) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("ComputeChannelStats: empty dataset");
+  }
+  const ImageShape& shape = dataset.shape();
+  const std::int64_t hw = shape.height * shape.width;
+  std::vector<double> sum(static_cast<std::size_t>(shape.channels), 0.0);
+  std::vector<double> sum_sq(static_cast<std::size_t>(shape.channels), 0.0);
+  const Tensor& images = dataset.images();
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    const float* sample = images.data() + i * shape.FlatDim();
+    for (std::int64_t ch = 0; ch < shape.channels; ++ch) {
+      const float* plane = sample + ch * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        sum[static_cast<std::size_t>(ch)] += plane[p];
+        sum_sq[static_cast<std::size_t>(ch)] += double(plane[p]) * plane[p];
+      }
+    }
+  }
+  const double count = static_cast<double>(dataset.size()) * hw;
+  ChannelStats stats;
+  stats.mean = Tensor({shape.channels});
+  stats.std = Tensor({shape.channels});
+  for (std::int64_t ch = 0; ch < shape.channels; ++ch) {
+    const double mean = sum[static_cast<std::size_t>(ch)] / count;
+    const double var =
+        std::max(sum_sq[static_cast<std::size_t>(ch)] / count - mean * mean, 0.0);
+    stats.mean[ch] = static_cast<float>(mean);
+    stats.std[ch] = std::max(static_cast<float>(std::sqrt(var)), epsilon);
+  }
+  return stats;
+}
+
+Dataset ApplyChannelNormalization(const Dataset& dataset,
+                                  const ChannelStats& stats) {
+  const ImageShape& shape = dataset.shape();
+  if (stats.mean.size() != shape.channels) {
+    throw std::invalid_argument("ApplyChannelNormalization: channel mismatch");
+  }
+  const std::int64_t hw = shape.height * shape.width;
+  Dataset out(shape, dataset.num_classes(), dataset.num_domains());
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    Tensor image = dataset.Image(i);
+    for (std::int64_t ch = 0; ch < shape.channels; ++ch) {
+      const float mean = stats.mean[ch];
+      const float inv_std = 1.0f / stats.std[ch];
+      float* plane = image.data() + ch * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        plane[p] = (plane[p] - mean) * inv_std;
+      }
+    }
+    out.Add(image.Flatten(), dataset.Label(i), dataset.Domain(i));
+  }
+  return out;
+}
+
+}  // namespace pardon::data

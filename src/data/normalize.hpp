@@ -1,0 +1,25 @@
+// Global per-channel input normalization — the analogue of the fixed
+// ImageNet mean/std preprocessing every real-world DG pipeline applies.
+// Statistics are computed on the TRAINING pool only and applied to every
+// split; being global (not per-sample), the transform preserves per-domain
+// style differences while bounding input scale so optimization is
+// well-conditioned for every method alike.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace pardon::data {
+
+struct ChannelStats {
+  Tensor mean;  // [C]
+  Tensor std;   // [C], floored at epsilon
+};
+
+// Per-channel mean/std over all pixels of all samples.
+ChannelStats ComputeChannelStats(const Dataset& dataset, float epsilon = 1e-4f);
+
+// Returns a copy with each channel standardized: (x - mean_c) / std_c.
+Dataset ApplyChannelNormalization(const Dataset& dataset,
+                                  const ChannelStats& stats);
+
+}  // namespace pardon::data

@@ -1,0 +1,133 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pardon::data {
+
+std::vector<std::int64_t> PartitionPlan(
+    const std::vector<std::int64_t>& domain_counts,
+    const PartitionOptions& options) {
+  const int num_domains = static_cast<int>(domain_counts.size());
+  const int num_clients = options.num_clients;
+  if (num_clients <= 0) {
+    throw std::invalid_argument("PartitionPlan: need at least one client");
+  }
+  if (options.lambda < 0.0 || options.lambda > 1.0) {
+    throw std::invalid_argument("PartitionPlan: lambda must be in [0, 1]");
+  }
+
+  // Domains that actually have samples; clients take home domains from this
+  // list round-robin so lambda = 0 yields domain separation.
+  std::vector<int> present;
+  std::int64_t total = 0;
+  for (int d = 0; d < num_domains; ++d) {
+    if (domain_counts[static_cast<std::size_t>(d)] > 0) present.push_back(d);
+    total += domain_counts[static_cast<std::size_t>(d)];
+  }
+  if (present.empty() || total == 0) {
+    throw std::invalid_argument("PartitionPlan: empty training set");
+  }
+
+  std::vector<double> global(static_cast<std::size_t>(num_domains), 0.0);
+  for (int d = 0; d < num_domains; ++d) {
+    global[static_cast<std::size_t>(d)] =
+        static_cast<double>(domain_counts[static_cast<std::size_t>(d)]) /
+        static_cast<double>(total);
+  }
+
+  // w[i][d] = (1 - lambda) * one_hot(home(i)) + lambda * global(d).
+  std::vector<double> weights(
+      static_cast<std::size_t>(num_clients) * num_domains, 0.0);
+  for (int i = 0; i < num_clients; ++i) {
+    const int home = present[static_cast<std::size_t>(i) % present.size()];
+    for (int d = 0; d < num_domains; ++d) {
+      double w = options.lambda * global[static_cast<std::size_t>(d)];
+      if (d == home) w += 1.0 - options.lambda;
+      weights[static_cast<std::size_t>(i) * num_domains + d] = w;
+    }
+  }
+
+  // Apportion each domain's samples across clients by largest remainder.
+  std::vector<std::int64_t> plan(
+      static_cast<std::size_t>(num_clients) * num_domains, 0);
+  for (int d = 0; d < num_domains; ++d) {
+    const std::int64_t n_d = domain_counts[static_cast<std::size_t>(d)];
+    if (n_d == 0) continue;
+    double column_sum = 0.0;
+    for (int i = 0; i < num_clients; ++i) {
+      column_sum += weights[static_cast<std::size_t>(i) * num_domains + d];
+    }
+    std::vector<double> remainders(static_cast<std::size_t>(num_clients));
+    std::int64_t assigned = 0;
+    for (int i = 0; i < num_clients; ++i) {
+      const double share =
+          column_sum > 0.0
+              ? weights[static_cast<std::size_t>(i) * num_domains + d] /
+                    column_sum
+              : 1.0 / num_clients;
+      const double quota = share * static_cast<double>(n_d);
+      const std::int64_t floor_quota = static_cast<std::int64_t>(quota);
+      plan[static_cast<std::size_t>(i) * num_domains + d] = floor_quota;
+      remainders[static_cast<std::size_t>(i)] =
+          quota - static_cast<double>(floor_quota);
+      assigned += floor_quota;
+    }
+    // Hand out the leftover samples to the largest fractional remainders.
+    std::vector<int> order(static_cast<std::size_t>(num_clients));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int lhs, int rhs) {
+      return remainders[static_cast<std::size_t>(lhs)] >
+             remainders[static_cast<std::size_t>(rhs)];
+    });
+    for (std::int64_t k = 0; k < n_d - assigned; ++k) {
+      const int client = order[static_cast<std::size_t>(k) % order.size()];
+      ++plan[static_cast<std::size_t>(client) * num_domains + d];
+    }
+  }
+  return plan;
+}
+
+std::vector<Dataset> PartitionHeterogeneous(const Dataset& train,
+                                            const PartitionOptions& options) {
+  const int num_domains = train.num_domains();
+  const std::vector<std::int64_t> counts = train.DomainHistogram();
+  const std::vector<std::int64_t> plan = PartitionPlan(counts, options);
+
+  // Shuffle sample indices within each domain.
+  tensor::Pcg32 rng(options.seed, /*stream=*/0x706172ULL);
+  std::vector<std::vector<int>> domain_indices(
+      static_cast<std::size_t>(num_domains));
+  for (std::int64_t i = 0; i < train.size(); ++i) {
+    domain_indices[static_cast<std::size_t>(train.Domain(i))].push_back(
+        static_cast<int>(i));
+  }
+  for (auto& indices : domain_indices) {
+    for (std::size_t i = indices.size(); i > 1; --i) {
+      const std::size_t j = rng.NextBounded(static_cast<std::uint32_t>(i));
+      std::swap(indices[i - 1], indices[j]);
+    }
+  }
+
+  std::vector<Dataset> clients;
+  clients.reserve(static_cast<std::size_t>(options.num_clients));
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(num_domains), 0);
+  for (int i = 0; i < options.num_clients; ++i) {
+    std::vector<int> mine;
+    for (int d = 0; d < num_domains; ++d) {
+      const std::int64_t take =
+          plan[static_cast<std::size_t>(i) * num_domains + d];
+      auto& pool = domain_indices[static_cast<std::size_t>(d)];
+      auto& pos = cursor[static_cast<std::size_t>(d)];
+      for (std::int64_t k = 0; k < take; ++k) {
+        mine.push_back(pool[pos++]);
+      }
+    }
+    clients.push_back(train.Select(mine));
+  }
+  return clients;
+}
+
+}  // namespace pardon::data

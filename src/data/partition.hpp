@@ -1,0 +1,45 @@
+// Heterogeneous Partitioning P_lambda (Bai et al., ICLR 2024) — the FL
+// simulation substrate behind every experiment's "domain-based client
+// heterogeneity level".
+//
+// lambda = 0: complete heterogeneity — client i receives samples only from
+//             domain (i mod M); with at least as many domains as clients
+//             there is no domain overlap at all.
+// lambda = 1: homogeneity — every client's domain mixture equals the global
+//             mixture.
+// Intermediate lambda linearly interpolates each client's domain weight
+// vector between its one-hot assignment and the global proportions, then
+// allocates each domain's samples to clients by largest-remainder
+// apportionment so the True Partition property holds for all lambda (every
+// sample is assigned to exactly one client).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::data {
+
+struct PartitionOptions {
+  int num_clients = 10;
+  // Heterogeneity level in [0, 1] (paper's lambda; larger = more homogeneous).
+  double lambda = 0.1;
+  std::uint64_t seed = 17;
+};
+
+// Splits `train` into one dataset per client. Samples are shuffled within
+// each domain before apportionment so repeated runs with different seeds give
+// different (but equally-distributed) partitions.
+std::vector<Dataset> PartitionHeterogeneous(const Dataset& train,
+                                            const PartitionOptions& options);
+
+// The client-by-domain sample-count matrix the partition would produce
+// ([num_clients x num_domains], row-major) without materializing datasets.
+// Exposed for tests and the heterogeneity visualization (paper Fig. 7/8).
+std::vector<std::int64_t> PartitionPlan(
+    const std::vector<std::int64_t>& domain_counts,
+    const PartitionOptions& options);
+
+}  // namespace pardon::data

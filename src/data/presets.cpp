@@ -1,0 +1,117 @@
+#include "data/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pardon::data {
+
+ScenarioPreset MakePacsLike(std::uint64_t seed) {
+  ScenarioPreset preset;
+  preset.name = "pacs-like";
+  preset.domain_names = {"Photo", "Art", "Cartoon", "Sketch"};
+  preset.generator.num_domains = 4;
+  preset.generator.num_classes = 7;
+  preset.generator.shape = {.channels = 6, .height = 8, .width = 8};
+  preset.generator.content_noise = 0.55f;
+  preset.generator.pixel_noise = 0.15f;
+  preset.generator.gain_spread = 1.1f;
+  preset.generator.bias_spread = 1.8f;
+  preset.generator.texture_weight = 0.7f;
+  preset.generator.tone_spread = 0.25f;
+  preset.generator.prototype_scale = 0.75f;
+  preset.generator.style_latent_dim = 3;
+  // Sketch is stylistically extreme within PACS; Photo is mild.
+  preset.generator.domain_style_scale = {0.7f, 1.0f, 1.1f, 1.4f};
+  preset.generator.seed = seed;
+  preset.default_total_clients = 100;
+  preset.default_participants = 20;
+  preset.default_rounds = 50;
+  preset.default_lambda = 0.1;
+  preset.batch_size = 32;
+  return preset;
+}
+
+ScenarioPreset MakeOfficeHomeLike(std::uint64_t seed) {
+  ScenarioPreset preset;
+  preset.name = "officehome-like";
+  preset.domain_names = {"Art", "Clipart", "Product", "RealWorld"};
+  preset.generator.num_domains = 4;
+  preset.generator.num_classes = 65;
+  preset.generator.shape = {.channels = 6, .height = 8, .width = 8};
+  preset.generator.content_noise = 0.45f;
+  preset.generator.pixel_noise = 0.12f;
+  preset.generator.gain_spread = 0.9f;
+  preset.generator.bias_spread = 1.5f;
+  preset.generator.texture_weight = 0.6f;
+  preset.generator.tone_spread = 0.25f;
+  preset.generator.prototype_scale = 1.1f;
+  preset.generator.style_latent_dim = 3;
+  preset.generator.domain_style_scale = {1.0f, 1.2f, 0.9f, 0.8f};
+  preset.generator.seed = seed;
+  preset.default_total_clients = 100;
+  preset.default_participants = 20;
+  preset.default_rounds = 50;
+  preset.default_lambda = 0.1;
+  preset.batch_size = 32;
+  return preset;
+}
+
+ScenarioPreset MakeIWildCamLike(const IWildCamLikeConfig& config) {
+  ScenarioPreset preset;
+  preset.name = "iwildcam-like";
+  const double scale = std::clamp(config.scale, 0.02, 1.0);
+  const int total_domains =
+      std::max(5, static_cast<int>(std::lround(323.0 * scale)));
+  const int num_classes =
+      std::max(6, static_cast<int>(std::lround(182.0 * scale)));
+  preset.generator.num_domains = total_domains;
+  preset.generator.num_classes = num_classes;
+  preset.generator.shape = {.channels = 6, .height = 8, .width = 8};
+  // Camera traps: many mildly-different domains (location, lighting) with a
+  // long-tailed species distribution.
+  preset.generator.content_noise = 0.85f;
+  preset.generator.pixel_noise = 0.30f;
+  preset.generator.gain_spread = 1.5f;
+  preset.generator.bias_spread = 2.4f;
+  preset.generator.texture_weight = 1.2f;
+  preset.generator.tone_spread = 0.45f;
+  preset.generator.prototype_scale = 0.6f;
+  preset.generator.style_latent_dim = 4;
+  preset.generator.class_imbalance = 1.0f;
+  preset.generator.seed = config.seed;
+  preset.domain_names.reserve(static_cast<std::size_t>(total_domains));
+  for (int d = 0; d < total_domains; ++d) {
+    preset.domain_names.push_back("camera-" + std::to_string(d));
+  }
+  preset.default_total_clients =
+      std::max(5, static_cast<int>(std::lround(243.0 * scale)));
+  preset.default_participants =
+      std::max(2, static_cast<int>(std::lround(24.0 * scale)));
+  preset.default_rounds = 100;
+  preset.default_lambda = 0.1;
+  preset.batch_size = 32;
+  return preset;
+}
+
+IWildCamDomainSplit IWildCamDomains(const ScenarioPreset& preset) {
+  const int total = preset.generator.num_domains;
+  // Preserve the paper's 243/32/48 proportions.
+  int train = static_cast<int>(std::lround(total * 243.0 / 323.0));
+  int val = static_cast<int>(std::lround(total * 32.0 / 323.0));
+  train = std::max(1, train);
+  val = std::max(1, val);
+  int test = total - train - val;
+  if (test < 1) {
+    test = 1;
+    if (train + val + test > total) train = total - val - test;
+  }
+  IWildCamDomainSplit split;
+  int cursor = 0;
+  for (int i = 0; i < train; ++i) split.train.push_back(cursor++);
+  for (int i = 0; i < val; ++i) split.val.push_back(cursor++);
+  for (int i = 0; i < test; ++i) split.test.push_back(cursor++);
+  return split;
+}
+
+}  // namespace pardon::data

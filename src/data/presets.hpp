@@ -1,0 +1,53 @@
+// Dataset presets mirroring the paper's three benchmarks (see DESIGN.md
+// substitutions). Each preset bundles a generator configuration with the
+// paper's default FL simulation parameters (Table 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/domain_generator.hpp"
+
+namespace pardon::data {
+
+struct ScenarioPreset {
+  std::string name;
+  GeneratorConfig generator;
+  std::vector<std::string> domain_names;
+  // Paper defaults (Table 4).
+  int default_total_clients = 100;   // N
+  int default_participants = 20;     // K
+  int default_rounds = 50;
+  double default_lambda = 0.1;
+  int batch_size = 32;
+};
+
+// PACS-like: 4 domains (Photo, Art, Cartoon, Sketch), 7 classes. The fourth
+// domain ("Sketch") is configured with the most extreme style so training
+// without it is hardest — mirroring PACS's empirical ordering.
+ScenarioPreset MakePacsLike(std::uint64_t seed = 101);
+
+// Office-Home-like: 4 domains (Art, Clipart, Product, Real-World), 65
+// classes — many classes, moderate style spread, hence lower absolute
+// accuracy than PACS, as in the paper.
+ScenarioPreset MakeOfficeHomeLike(std::uint64_t seed = 202);
+
+// IWildCam-like: 323 camera-trap domains (243 train / 32 val / 48 test),
+// 182 classes with a Zipf long tail. `scale` in (0, 1] shrinks the domain
+// count proportionally for cheap CI runs while keeping the train/val/test
+// ratio.
+struct IWildCamLikeConfig {
+  double scale = 1.0;
+  std::uint64_t seed = 303;
+};
+ScenarioPreset MakeIWildCamLike(const IWildCamLikeConfig& config = {});
+
+// Domain index helpers for the IWildCam-like preset.
+struct IWildCamDomainSplit {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+IWildCamDomainSplit IWildCamDomains(const ScenarioPreset& preset);
+
+}  // namespace pardon::data

@@ -1,0 +1,75 @@
+#include "data/splits.hpp"
+
+#include "data/normalize.hpp"
+
+#include <stdexcept>
+
+namespace pardon::data {
+
+FederatedSplit BuildSplit(const DomainGenerator& generator,
+                          const SplitConfig& config) {
+  if (config.train_domains.empty()) {
+    throw std::invalid_argument("BuildSplit: no training domains");
+  }
+  if (config.in_domain_holdout < 0.0 || config.in_domain_holdout > 0.4) {
+    throw std::invalid_argument("BuildSplit: holdout fraction out of range");
+  }
+  tensor::Pcg32 rng(config.seed, /*stream=*/0x73706cULL);
+
+  FederatedSplit split;
+  split.train_domains = config.train_domains;
+  split.val_domains = config.val_domains;
+  split.test_domains = config.test_domains;
+
+  const GeneratorConfig& gen = generator.config();
+  split.train = Dataset(gen.shape, gen.num_classes, gen.num_domains);
+  split.in_domain_val = Dataset(gen.shape, gen.num_classes, gen.num_domains);
+  split.in_domain_test = Dataset(gen.shape, gen.num_classes, gen.num_domains);
+  split.val = Dataset(gen.shape, gen.num_classes, gen.num_domains);
+  split.test = Dataset(gen.shape, gen.num_classes, gen.num_domains);
+
+  for (const int d : config.train_domains) {
+    tensor::Pcg32 domain_rng = rng.Fork(static_cast<std::uint64_t>(d) + 1);
+    const Dataset pool =
+        generator.GenerateDomain(d, config.samples_per_train_domain, domain_rng);
+    const std::int64_t holdout = static_cast<std::int64_t>(
+        config.in_domain_holdout * static_cast<double>(pool.size()));
+    // First `holdout` to in-domain val, next `holdout` to in-domain test,
+    // rest to train. The pool is freshly sampled, so order is already random.
+    for (std::int64_t i = 0; i < pool.size(); ++i) {
+      const Tensor row = pool.images().Row(i);
+      if (i < holdout) {
+        split.in_domain_val.Add(row, pool.Label(i), pool.Domain(i));
+      } else if (i < 2 * holdout) {
+        split.in_domain_test.Add(row, pool.Label(i), pool.Domain(i));
+      } else {
+        split.train.Add(row, pool.Label(i), pool.Domain(i));
+      }
+    }
+  }
+  for (const int d : config.val_domains) {
+    tensor::Pcg32 domain_rng = rng.Fork(0x1000 + static_cast<std::uint64_t>(d));
+    split.val.Append(
+        generator.GenerateDomain(d, config.samples_per_eval_domain, domain_rng));
+  }
+  for (const int d : config.test_domains) {
+    tensor::Pcg32 domain_rng = rng.Fork(0x2000 + static_cast<std::uint64_t>(d));
+    split.test.Append(
+        generator.GenerateDomain(d, config.samples_per_eval_domain, domain_rng));
+  }
+  if (config.normalize) {
+    const ChannelStats stats = ComputeChannelStats(split.train);
+    split.train = ApplyChannelNormalization(split.train, stats);
+    split.in_domain_val = ApplyChannelNormalization(split.in_domain_val, stats);
+    split.in_domain_test = ApplyChannelNormalization(split.in_domain_test, stats);
+    if (!split.val.empty()) {
+      split.val = ApplyChannelNormalization(split.val, stats);
+    }
+    if (!split.test.empty()) {
+      split.test = ApplyChannelNormalization(split.test, stats);
+    }
+  }
+  return split;
+}
+
+}  // namespace pardon::data

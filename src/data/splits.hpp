@@ -1,0 +1,44 @@
+// LODO / LTDO split construction (Section 3.1 and Appendix A.2.2).
+//
+// A split designates train domains (pooled, later partitioned across
+// clients), held-out validation domain(s), and held-out test domain(s). From
+// the train pool, 10% + 10% are carved off as in-domain validation/test, as
+// the paper's appendix describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/domain_generator.hpp"
+
+namespace pardon::data {
+
+struct SplitConfig {
+  std::vector<int> train_domains;
+  std::vector<int> val_domains;
+  std::vector<int> test_domains;
+  std::int64_t samples_per_train_domain = 200;
+  std::int64_t samples_per_eval_domain = 150;
+  // Fraction of the train pool held out for in-domain validation and test.
+  double in_domain_holdout = 0.1;
+  // Standardize channels globally using TRAIN-pool statistics (the ImageNet
+  // mean/std preprocessing analogue). Applied to every split.
+  bool normalize = true;
+  std::uint64_t seed = 23;
+};
+
+struct FederatedSplit {
+  Dataset train;           // pooled training data (to be partitioned)
+  Dataset in_domain_val;
+  Dataset in_domain_test;
+  Dataset val;             // held-out validation domain(s)
+  Dataset test;            // held-out test domain(s)
+  std::vector<int> train_domains;
+  std::vector<int> val_domains;
+  std::vector<int> test_domains;
+};
+
+FederatedSplit BuildSplit(const DomainGenerator& generator,
+                          const SplitConfig& config);
+
+}  // namespace pardon::data

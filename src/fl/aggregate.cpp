@@ -1,0 +1,72 @@
+#include "fl/aggregate.hpp"
+
+#include <stdexcept>
+
+namespace pardon::fl {
+
+std::vector<float> FedAvg(std::span<const ClientUpdate> updates) {
+  std::vector<double> weights;
+  weights.reserve(updates.size());
+  for (const ClientUpdate& u : updates) {
+    weights.push_back(static_cast<double>(u.num_samples));
+  }
+  return WeightedAverage(updates, weights);
+}
+
+std::vector<float> WeightedAverage(std::span<const ClientUpdate> updates,
+                                   std::span<const double> weights) {
+  if (updates.empty()) {
+    throw std::invalid_argument("WeightedAverage: no updates");
+  }
+  if (updates.size() != weights.size()) {
+    throw std::invalid_argument("WeightedAverage: weight count mismatch");
+  }
+  const std::size_t dim = updates.front().params.size();
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("WeightedAverage: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("WeightedAverage: zero total weight");
+  }
+  std::vector<double> acc(dim, 0.0);
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    const ClientUpdate& u = updates[k];
+    if (u.params.size() != dim) {
+      throw std::invalid_argument("WeightedAverage: parameter dim mismatch");
+    }
+    const double w = weights[k] / total;
+    for (std::size_t j = 0; j < dim; ++j) acc[j] += w * u.params[j];
+  }
+  std::vector<float> out(dim);
+  for (std::size_t j = 0; j < dim; ++j) out[j] = static_cast<float>(acc[j]);
+  return out;
+}
+
+std::vector<float> SignAgreement(
+    const std::vector<std::vector<float>>& deltas) {
+  if (deltas.empty()) {
+    throw std::invalid_argument("SignAgreement: no deltas");
+  }
+  const std::size_t dim = deltas.front().size();
+  std::vector<float> agreement(dim, 0.0f);
+  for (std::size_t j = 0; j < dim; ++j) {
+    int positive = 0, negative = 0;
+    for (const auto& delta : deltas) {
+      if (delta.size() != dim) {
+        throw std::invalid_argument("SignAgreement: delta dim mismatch");
+      }
+      if (delta[j] > 0.0f) {
+        ++positive;
+      } else if (delta[j] < 0.0f) {
+        ++negative;
+      }
+    }
+    agreement[j] = static_cast<float>(std::max(positive, negative)) /
+                   static_cast<float>(deltas.size());
+  }
+  return agreement;
+}
+
+}  // namespace pardon::fl

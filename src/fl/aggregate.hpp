@@ -1,0 +1,28 @@
+// Server-side parameter aggregation primitives.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fl/types.hpp"
+
+namespace pardon::fl {
+
+// Sample-count-weighted FedAvg over client parameter vectors (the paper's
+// aggregation step: G = (1/N) sum_i n_i G_i with N = sum n_i). All updates
+// must share the global parameter dimension.
+std::vector<float> FedAvg(std::span<const ClientUpdate> updates);
+
+// Weighted average with explicit weights (FedDG-GA's adjusted weights);
+// weights are normalized internally and must be non-negative with a positive
+// sum.
+std::vector<float> WeightedAverage(std::span<const ClientUpdate> updates,
+                                   std::span<const double> weights);
+
+// Per-coordinate agreement mask over client deltas (FedGMA): for coordinate
+// j, agreement = max(share of positive deltas, share of negative deltas).
+// Returns agreement in [0, 1] per coordinate. `deltas` are (local - global).
+std::vector<float> SignAgreement(
+    const std::vector<std::vector<float>>& deltas);
+
+}  // namespace pardon::fl

@@ -1,0 +1,14 @@
+#include "fl/algorithm.hpp"
+
+#include "fl/aggregate.hpp"
+
+namespace pardon::fl {
+
+std::vector<float> Algorithm::Aggregate(std::span<const float> /*global_params*/,
+                                        std::span<const ClientUpdate> updates,
+                                        std::span<const int> /*client_ids*/,
+                                        int /*round*/) {
+  return FedAvg(updates);
+}
+
+}  // namespace pardon::fl

@@ -1,0 +1,43 @@
+// Strategy interface every FedDG method implements.
+//
+// The simulator drives: Setup (once) -> per round { TrainClient for each
+// sampled client (in parallel) -> Aggregate }. TrainClient MUST be safe to
+// call concurrently for distinct clients: implementations may read state
+// written in Setup/Aggregate but must not mutate shared state during
+// training (the simulator establishes a barrier between phases).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "fl/types.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::fl {
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string Name() const = 0;
+
+  // One-time pre-training work (FISC/CCST style extraction). Timed into the
+  // cost breakdown's one-time slot.
+  virtual void Setup(const FlContext& /*context*/) {}
+
+  // Local training of `client_id` starting from `global_model`. `rng` is a
+  // per-(round, client) fork — deterministic and race-free.
+  virtual ClientUpdate TrainClient(int client_id, const data::Dataset& data,
+                                   const nn::MlpClassifier& global_model,
+                                   int round, tensor::Pcg32& rng) = 0;
+
+  // Server aggregation; default is sample-weighted FedAvg. `global_params`
+  // are the parameters the round started from (needed by delta-based
+  // methods). May mutate algorithm state (runs single-threaded).
+  virtual std::vector<float> Aggregate(std::span<const float> global_params,
+                                       std::span<const ClientUpdate> updates,
+                                       std::span<const int> client_ids,
+                                       int round);
+};
+
+}  // namespace pardon::fl

@@ -1,0 +1,207 @@
+#include "fl/comm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pardon::fl {
+
+namespace {
+constexpr std::int64_t kFloat = 4;
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t GetU32(const std::vector<std::uint8_t>& in, std::size_t& cursor) {
+  if (cursor + 4 > in.size()) throw std::runtime_error("comm: truncated u32");
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(in[cursor + static_cast<std::size_t>(i)])
+             << (8 * i);
+  }
+  cursor += 4;
+  return value;
+}
+
+void PutFloats(std::vector<std::uint8_t>& out, const float* data,
+               std::size_t count) {
+  PutU32(out, static_cast<std::uint32_t>(count));
+  const std::size_t offset = out.size();
+  out.resize(offset + count * 4);
+  std::memcpy(out.data() + offset, data, count * 4);
+}
+
+std::vector<float> GetFloats(const std::vector<std::uint8_t>& in,
+                             std::size_t& cursor) {
+  const std::uint32_t count = GetU32(in, cursor);
+  if (cursor + count * 4 > in.size()) {
+    throw std::runtime_error("comm: truncated float section");
+  }
+  std::vector<float> values(count);
+  std::memcpy(values.data(), in.data() + cursor, count * 4);
+  cursor += count * 4;
+  return values;
+}
+
+void PutDouble(std::vector<std::uint8_t>& out, double value) {
+  const std::size_t offset = out.size();
+  out.resize(offset + 8);
+  std::memcpy(out.data() + offset, &value, 8);
+}
+
+double GetDouble(const std::vector<std::uint8_t>& in, std::size_t& cursor) {
+  if (cursor + 8 > in.size()) throw std::runtime_error("comm: truncated f64");
+  double value = 0;
+  std::memcpy(&value, in.data() + cursor, 8);
+  cursor += 8;
+  return value;
+}
+}  // namespace
+
+std::vector<std::uint8_t> EncodeClientUpdate(const ClientUpdate& update) {
+  std::vector<std::uint8_t> out;
+  out.reserve(update.params.size() * 4 + 64);
+  PutFloats(out, update.params.data(), update.params.size());
+  PutU32(out, static_cast<std::uint32_t>(update.num_samples));
+  PutDouble(out, update.loss_before);
+  PutDouble(out, update.loss_after);
+  PutFloats(out, update.prototypes.data(),
+            static_cast<std::size_t>(update.prototypes.size()));
+  PutU32(out, static_cast<std::uint32_t>(update.prototypes.rank() == 2
+                                             ? update.prototypes.dim(1)
+                                             : 0));
+  PutU32(out, static_cast<std::uint32_t>(update.prototype_class.size()));
+  for (const int c : update.prototype_class) {
+    PutU32(out, static_cast<std::uint32_t>(c));
+  }
+  return out;
+}
+
+ClientUpdate DecodeClientUpdate(const std::vector<std::uint8_t>& bytes) {
+  ClientUpdate update;
+  std::size_t cursor = 0;
+  update.params = GetFloats(bytes, cursor);
+  update.num_samples = GetU32(bytes, cursor);
+  update.loss_before = GetDouble(bytes, cursor);
+  update.loss_after = GetDouble(bytes, cursor);
+  const std::vector<float> proto_values = GetFloats(bytes, cursor);
+  const std::uint32_t proto_dim = GetU32(bytes, cursor);
+  const std::uint32_t proto_count = GetU32(bytes, cursor);
+  update.prototype_class.reserve(proto_count);
+  for (std::uint32_t i = 0; i < proto_count; ++i) {
+    update.prototype_class.push_back(static_cast<int>(GetU32(bytes, cursor)));
+  }
+  if (proto_dim > 0 && !proto_values.empty()) {
+    update.prototypes = tensor::Tensor(
+        {static_cast<std::int64_t>(proto_values.size() / proto_dim),
+         static_cast<std::int64_t>(proto_dim)},
+        proto_values);
+  }
+  return update;
+}
+
+std::vector<std::uint8_t> EncodeStyle(const style::StyleVector& style) {
+  std::vector<std::uint8_t> out;
+  const tensor::Tensor flat = style.Flat();
+  PutFloats(out, flat.data(), static_cast<std::size_t>(flat.size()));
+  return out;
+}
+
+style::StyleVector DecodeStyle(const std::vector<std::uint8_t>& bytes) {
+  std::size_t cursor = 0;
+  const std::vector<float> values = GetFloats(bytes, cursor);
+  return style::StyleVector::FromFlat(
+      tensor::Tensor({static_cast<std::int64_t>(values.size())}, values));
+}
+
+std::int64_t CommProfile::OneTimeBytes() const {
+  std::int64_t total = 0;
+  for (const CommEntry& entry : entries) {
+    if (entry.one_time) total += entry.upstream_bytes + entry.downstream_bytes;
+  }
+  return total;
+}
+
+std::int64_t CommProfile::PerRoundBytes() const {
+  std::int64_t total = 0;
+  for (const CommEntry& entry : entries) {
+    if (!entry.one_time) total += entry.upstream_bytes + entry.downstream_bytes;
+  }
+  return total;
+}
+
+std::int64_t CommProfile::TotalBytes(int rounds) const {
+  return OneTimeBytes() + PerRoundBytes() * rounds;
+}
+
+std::vector<CommProfile> BuildCommProfiles(const CommModel& model) {
+  const std::int64_t params_bytes = model.model_params * kFloat;
+  const std::int64_t k = model.participants_per_round;
+  const std::int64_t n = model.total_clients;
+  const std::int64_t style_bytes = 2 * model.style_channels * kFloat;
+
+  // Shared by every method: the server broadcasts the global model to the K
+  // participants and receives K trained models back.
+  const CommEntry model_exchange{
+      .description = "model download + upload (K participants)",
+      .upstream_bytes = k * params_bytes,
+      .downstream_bytes = k * params_bytes,
+  };
+
+  std::vector<CommProfile> profiles;
+
+  profiles.push_back({.method = "FedSR", .entries = {model_exchange}});
+  profiles.push_back({.method = "FedGMA", .entries = {model_exchange}});
+
+  {
+    CommProfile fpl{.method = "FPL", .entries = {model_exchange}};
+    const std::int64_t proto_bytes = static_cast<std::int64_t>(
+        model.avg_prototypes_per_client * static_cast<double>(model.embed_dim) *
+        kFloat);
+    fpl.entries.push_back({
+        .description = "class prototypes up + cluster prototypes down",
+        .upstream_bytes = k * proto_bytes,
+        // Cluster prototypes: bounded by classes x embed per participant.
+        .downstream_bytes =
+            k * model.num_classes * model.embed_dim * kFloat,
+    });
+    profiles.push_back(std::move(fpl));
+  }
+
+  {
+    CommProfile ga{.method = "FedDG-GA", .entries = {model_exchange}};
+    ga.entries.push_back({
+        .description = "per-client generalization-gap losses",
+        .upstream_bytes = k * 2 * 8,  // two f64 per participant
+        .downstream_bytes = 0,
+    });
+    profiles.push_back(std::move(ga));
+  }
+
+  {
+    CommProfile ccst{.method = "CCST", .entries = {model_exchange}};
+    ccst.entries.push_back({
+        .description = "style bank: N styles up, N-entry bank to N clients",
+        .upstream_bytes = n * style_bytes,
+        .downstream_bytes = n * n * style_bytes,
+        .one_time = true,
+    });
+    profiles.push_back(std::move(ccst));
+  }
+
+  {
+    CommProfile fisc{.method = "FISC", .entries = {model_exchange}};
+    fisc.entries.push_back({
+        .description = "N styles up, ONE interpolation style to N clients",
+        .upstream_bytes = n * style_bytes,
+        .downstream_bytes = n * style_bytes,
+        .one_time = true,
+    });
+    profiles.push_back(std::move(fisc));
+  }
+  return profiles;
+}
+
+}  // namespace pardon::fl

@@ -1,0 +1,64 @@
+// Communication accounting and wire serialization.
+//
+// FedDG methods differ not just in compute but in what crosses the network:
+// every method ships model parameters both ways each round, but FISC adds a
+// one-time style upload (2D floats per client) and broadcast, CCST broadcasts
+// the full N-entry style bank to every client, FPL ships per-class prototype
+// matrices every round, and FedDG-GA adds per-client loss scalars. This
+// module measures those costs exactly (bytes), and provides the binary wire
+// codec used to size them — the numbers behind the communication-overhead
+// extension bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fl/types.hpp"
+#include "style/style_stats.hpp"
+
+namespace pardon::fl {
+
+// -- wire codec -----------------------------------------------------------------
+// Compact little-endian framing: u32 section count, then per section a u32
+// length + payload. Matches what a real transport would ship; used to derive
+// exact byte counts and round-trippable in tests.
+std::vector<std::uint8_t> EncodeClientUpdate(const ClientUpdate& update);
+ClientUpdate DecodeClientUpdate(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> EncodeStyle(const style::StyleVector& style);
+style::StyleVector DecodeStyle(const std::vector<std::uint8_t>& bytes);
+
+// -- accounting -------------------------------------------------------------------
+struct CommEntry {
+  std::string description;
+  // Bytes sent client->server per occurrence, and server->client.
+  std::int64_t upstream_bytes = 0;
+  std::int64_t downstream_bytes = 0;
+  bool one_time = false;  // otherwise per-round
+};
+
+struct CommProfile {
+  std::string method;
+  std::vector<CommEntry> entries;
+
+  std::int64_t OneTimeBytes() const;
+  std::int64_t PerRoundBytes() const;
+  // Total over a full run of `rounds` rounds.
+  std::int64_t TotalBytes(int rounds) const;
+};
+
+struct CommModel {
+  std::int64_t model_params = 0;       // per model copy
+  int total_clients = 0;               // N
+  int participants_per_round = 0;      // K
+  std::int64_t style_channels = 0;     // D (style vector = 2D floats)
+  int num_classes = 0;
+  std::int64_t embed_dim = 0;
+  double avg_prototypes_per_client = 0;  // classes actually present
+};
+
+// Byte profiles for the paper's six methods under the given sizes.
+std::vector<CommProfile> BuildCommProfiles(const CommModel& model);
+
+}  // namespace pardon::fl

@@ -1,0 +1,61 @@
+#include "fl/local_training.hpp"
+
+#include "metrics/evaluation.hpp"
+#include "nn/losses.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pardon::fl {
+
+ClientUpdate TrainLocal(const nn::MlpClassifier& global_model,
+                        const data::Dataset& dataset,
+                        const LocalTrainOptions& options, tensor::Pcg32& rng,
+                        const EmbedLossHook* embed_hook,
+                        const BatchAugmenter* augmenter) {
+  ClientUpdate update;
+  update.num_samples = dataset.size();
+  if (dataset.empty()) {
+    update.params = global_model.FlatParams();
+    return update;
+  }
+
+  const util::Stopwatch watch;
+  nn::MlpClassifier model = global_model.Clone();
+  if (options.track_generalization_gap) {
+    update.loss_before = metrics::MeanLoss(model, dataset);
+  }
+  const std::unique_ptr<nn::Optimizer> optimizer =
+      nn::MakeOptimizer(model.Params(), model.Grads(), options.optimizer);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (data::Batch& batch : data::MakeEpochBatches(
+             dataset, options.batch_size, rng)) {
+      if (augmenter != nullptr) batch = (*augmenter)(batch, rng);
+
+      model.ZeroGrad();
+      nn::Sequential::Trace feature_trace, head_trace;
+      const tensor::Tensor embeddings =
+          model.Embed(batch.images, &feature_trace, /*training=*/true, &rng);
+      const tensor::Tensor logits =
+          model.Logits(embeddings, &head_trace, /*training=*/true, &rng);
+
+      const nn::CrossEntropyResult ce =
+          nn::SoftmaxCrossEntropy(logits, batch.labels);
+      tensor::Tensor grad_embed =
+          model.BackwardHead(ce.grad_logits, head_trace);
+      if (embed_hook != nullptr) {
+        (*embed_hook)(embeddings, batch.labels, grad_embed);
+      }
+      model.BackwardFeatures(grad_embed, feature_trace);
+      optimizer->Step();
+    }
+  }
+
+  if (options.track_generalization_gap) {
+    update.loss_after = metrics::MeanLoss(model, dataset);
+  }
+  update.params = model.FlatParams();
+  update.train_seconds = watch.ElapsedSeconds();
+  return update;
+}
+
+}  // namespace pardon::fl

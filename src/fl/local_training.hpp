@@ -1,0 +1,51 @@
+// Shared local-training loop for ERM-style algorithms.
+//
+// Most baselines are "clone the global model, run CE (+ an extra embedding
+// loss) for E epochs, ship the parameters back"; this helper implements that
+// once. Two extension points cover all of them:
+//   * BatchAugmenter — rewrites each batch before the forward pass (CCST's
+//     cross-client style augmentation).
+//   * EmbedLossHook — adds a loss on the embedding matrix and accumulates
+//     its gradient (FedSR's regularizers, FPL's prototype contrast).
+// FISC does NOT use this helper: its objective backprops through a second
+// forward pass of the feature extractor (see core/contrastive_trainer).
+#pragma once
+
+#include <functional>
+
+#include "data/batcher.hpp"
+#include "fl/types.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::fl {
+
+struct LocalTrainOptions {
+  int epochs = 1;
+  int batch_size = 32;
+  nn::OptimizerOptions optimizer{};
+  // When true, evaluates the local mean CE loss with the incoming global
+  // model before training and with the trained model after (FedDG-GA's
+  // generalization-gap signal); costs two extra inference passes.
+  bool track_generalization_gap = false;
+};
+
+// Extra embedding-level loss: given embeddings [B, D] and labels, returns the
+// loss value and ADDS its gradient into grad_embed (same shape, pre-zeroed by
+// the caller contract: the hook must accumulate, not overwrite).
+using EmbedLossHook = std::function<float(
+    const tensor::Tensor& embeddings, std::span<const int> labels,
+    tensor::Tensor& grad_embed)>;
+
+// Batch rewriter applied before the forward pass.
+using BatchAugmenter =
+    std::function<data::Batch(const data::Batch& batch, tensor::Pcg32& rng)>;
+
+// Runs local training and returns the resulting update (params, sample
+// count, loss bookkeeping, measured seconds).
+ClientUpdate TrainLocal(const nn::MlpClassifier& global_model,
+                        const data::Dataset& dataset,
+                        const LocalTrainOptions& options, tensor::Pcg32& rng,
+                        const EmbedLossHook* embed_hook = nullptr,
+                        const BatchAugmenter* augmenter = nullptr);
+
+}  // namespace pardon::fl

@@ -1,0 +1,76 @@
+#include "fl/sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace pardon::fl {
+
+ClientSampler::ClientSampler(int total_clients, int participants_per_round,
+                             std::uint64_t seed, SamplingStrategy strategy,
+                             std::vector<std::int64_t> client_sizes)
+    : total_clients_(total_clients),
+      participants_(std::min(participants_per_round, total_clients)),
+      seed_(seed),
+      strategy_(strategy),
+      client_sizes_(std::move(client_sizes)) {
+  if (total_clients <= 0 || participants_per_round <= 0) {
+    throw std::invalid_argument("ClientSampler: non-positive counts");
+  }
+  if (strategy_ == SamplingStrategy::kWeightedBySize &&
+      static_cast<int>(client_sizes_.size()) != total_clients) {
+    throw std::invalid_argument(
+        "ClientSampler: kWeightedBySize needs one size per client");
+  }
+}
+
+std::vector<int> ClientSampler::Sample(int round) const {
+  std::vector<int> selected;
+  selected.reserve(static_cast<std::size_t>(participants_));
+
+  if (strategy_ == SamplingStrategy::kRoundRobin) {
+    const int start =
+        ((round - 1) * participants_) % total_clients_;
+    for (int k = 0; k < participants_; ++k) {
+      selected.push_back((start + k) % total_clients_);
+    }
+    std::sort(selected.begin(), selected.end());
+    return selected;
+  }
+
+  // A fresh generator per round keeps sampling independent of how much
+  // randomness local training consumed.
+  tensor::Pcg32 rng(seed_ + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(round + 1),
+                    /*stream=*/0x73616dULL);
+
+  if (strategy_ == SamplingStrategy::kWeightedBySize) {
+    // Weighted sampling without replacement (sequential draws).
+    std::vector<double> weights(client_sizes_.begin(), client_sizes_.end());
+    for (int k = 0; k < participants_; ++k) {
+      double total = 0.0;
+      for (const double w : weights) total += w;
+      if (total <= 0.0) break;  // all remaining clients are empty
+      double target = rng.NextDouble() * total;
+      int chosen = total_clients_ - 1;
+      for (int i = 0; i < total_clients_; ++i) {
+        target -= weights[static_cast<std::size_t>(i)];
+        if (target <= 0.0 && weights[static_cast<std::size_t>(i)] > 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+      selected.push_back(chosen);
+      weights[static_cast<std::size_t>(chosen)] = 0.0;
+    }
+    std::sort(selected.begin(), selected.end());
+    return selected;
+  }
+
+  std::vector<int> all = rng.Permutation(total_clients_);
+  all.resize(static_cast<std::size_t>(participants_));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace pardon::fl

@@ -1,0 +1,43 @@
+// Client sampling: each round the server selects K of N clients — the
+// "client sampling" setting the paper argues prior FedDG work overlooks.
+// Deterministic given (seed, round).
+//
+// Strategies (the client-selection literature the paper cites, Fu et al.
+// 2023, surveys these families):
+//   kUniform      — K drawn uniformly without replacement (the default, and
+//                   what every experiment in the paper uses).
+//   kRoundRobin   — deterministic rotation; every client participates every
+//                   ceil(N/K) rounds (the fairness-first strategy).
+//   kWeightedBySize — probability proportional to client data size, sampled
+//                   without replacement (importance sampling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pardon::fl {
+
+enum class SamplingStrategy { kUniform, kRoundRobin, kWeightedBySize };
+
+class ClientSampler {
+ public:
+  ClientSampler(int total_clients, int participants_per_round,
+                std::uint64_t seed,
+                SamplingStrategy strategy = SamplingStrategy::kUniform,
+                std::vector<std::int64_t> client_sizes = {});
+
+  // The sorted client ids participating in `round` (1-based).
+  std::vector<int> Sample(int round) const;
+
+  int total_clients() const { return total_clients_; }
+  int participants_per_round() const { return participants_; }
+
+ private:
+  int total_clients_;
+  int participants_;
+  std::uint64_t seed_;
+  SamplingStrategy strategy_;
+  std::vector<std::int64_t> client_sizes_;
+};
+
+}  // namespace pardon::fl

@@ -1,0 +1,86 @@
+#include "fl/secure_aggregation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace pardon::fl {
+
+SecureAggregation::SecureAggregation(std::vector<int> participants,
+                                     std::uint64_t session_key,
+                                     std::size_t vector_size)
+    : participants_(std::move(participants)),
+      session_key_(session_key),
+      vector_size_(vector_size) {
+  if (participants_.size() < 2) {
+    throw std::invalid_argument(
+        "SecureAggregation: need at least two participants");
+  }
+  std::vector<int> sorted = participants_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("SecureAggregation: duplicate participant");
+  }
+}
+
+std::vector<float> SecureAggregation::PairMask(int low, int high) const {
+  // Deterministic pair seed: in the real protocol this comes from a
+  // Diffie-Hellman key agreement; here both sides derive it from the session
+  // key and the ordered pair.
+  const std::uint64_t seed =
+      session_key_ ^ (static_cast<std::uint64_t>(low) * 0x9e3779b97f4a7c15ULL) ^
+      (static_cast<std::uint64_t>(high) << 32);
+  tensor::Pcg32 rng(seed, /*stream=*/0x736563ULL);
+  std::vector<float> mask(vector_size_);
+  // Large-amplitude masks: individually masked updates carry no usable
+  // signal.
+  for (float& v : mask) v = 100.0f * rng.NextGaussian();
+  return mask;
+}
+
+std::vector<float> SecureAggregation::Mask(
+    int client_id, const std::vector<float>& update) const {
+  if (update.size() != vector_size_) {
+    throw std::invalid_argument("SecureAggregation::Mask: size mismatch");
+  }
+  if (std::find(participants_.begin(), participants_.end(), client_id) ==
+      participants_.end()) {
+    throw std::invalid_argument("SecureAggregation::Mask: unknown client");
+  }
+  std::vector<float> masked = update;
+  for (const int other : participants_) {
+    if (other == client_id) continue;
+    const int low = std::min(client_id, other);
+    const int high = std::max(client_id, other);
+    const std::vector<float> mask = PairMask(low, high);
+    const float sign = client_id == low ? 1.0f : -1.0f;
+    for (std::size_t i = 0; i < vector_size_; ++i) {
+      masked[i] += sign * mask[i];
+    }
+  }
+  return masked;
+}
+
+std::vector<float> SecureAggregation::Aggregate(
+    const std::vector<std::vector<float>>& masked) const {
+  if (masked.size() != participants_.size()) {
+    throw std::invalid_argument(
+        "SecureAggregation::Aggregate: participant count mismatch");
+  }
+  std::vector<double> acc(vector_size_, 0.0);
+  for (const std::vector<float>& update : masked) {
+    if (update.size() != vector_size_) {
+      throw std::invalid_argument(
+          "SecureAggregation::Aggregate: size mismatch");
+    }
+    for (std::size_t i = 0; i < vector_size_; ++i) acc[i] += update[i];
+  }
+  std::vector<float> sum(vector_size_);
+  for (std::size_t i = 0; i < vector_size_; ++i) {
+    sum[i] = static_cast<float>(acc[i]);
+  }
+  return sum;
+}
+
+}  // namespace pardon::fl

@@ -1,0 +1,155 @@
+#include "fl/simulator.hpp"
+
+#include <stdexcept>
+
+#include "metrics/evaluation.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pardon::fl {
+
+Simulator::Simulator(std::vector<data::Dataset> client_data, FlConfig config)
+    : client_data_(std::move(client_data)), config_(config) {
+  if (static_cast<int>(client_data_.size()) != config_.total_clients) {
+    throw std::invalid_argument(
+        "Simulator: client_data size must equal total_clients");
+  }
+  if (config_.participants_per_round <= 0 || config_.rounds <= 0) {
+    throw std::invalid_argument("Simulator: non-positive rounds/participants");
+  }
+}
+
+SimulationResult Simulator::Run(Algorithm& algorithm,
+                                const nn::MlpClassifier& initial_model,
+                                const std::vector<EvalSet>& eval_sets,
+                                util::ThreadPool* pool) const {
+  SimulationResult result{.final_model = initial_model.Clone(),
+                          .recorder = {},
+                          .costs = {},
+                          .final_accuracy = {}};
+
+  FlContext context{.client_data = &client_data_,
+                    .initial_model = &initial_model,
+                    .config = config_};
+  {
+    const util::Stopwatch watch;
+    algorithm.Setup(context);
+    result.costs.one_time_seconds = watch.ElapsedSeconds();
+  }
+
+  std::vector<std::int64_t> client_sizes;
+  if (config_.sampling == SamplingStrategy::kWeightedBySize) {
+    client_sizes.reserve(client_data_.size());
+    for (const data::Dataset& dataset : client_data_) {
+      client_sizes.push_back(dataset.size());
+    }
+  }
+  ClientSampler sampler(config_.total_clients, config_.participants_per_round,
+                        config_.seed, config_.sampling,
+                        std::move(client_sizes));
+  tensor::Pcg32 root_rng(config_.seed, /*stream=*/0x73696dULL);
+  std::vector<float> global_params = result.final_model.FlatParams();
+
+  const auto evaluate = [&](int round) {
+    result.final_model.SetFlatParams(global_params);
+    for (const EvalSet& eval : eval_sets) {
+      if (eval.data == nullptr || eval.data->empty()) continue;
+      const double accuracy = metrics::Accuracy(result.final_model, *eval.data);
+      result.recorder.Record(eval.name, round, accuracy);
+    }
+  };
+
+  for (int round = 1; round <= config_.rounds; ++round) {
+    const std::vector<int> participants = sampler.Sample(round);
+    std::vector<ClientUpdate> updates(participants.size());
+
+    // Deterministic per-(round, client) RNG forks, independent of thread
+    // scheduling.
+    std::vector<tensor::Pcg32> rngs;
+    rngs.reserve(participants.size());
+    for (const int client : participants) {
+      rngs.push_back(root_rng.Fork(
+          (static_cast<std::uint64_t>(round) << 20) ^
+          static_cast<std::uint64_t>(client)));
+    }
+
+    result.final_model.SetFlatParams(global_params);
+    const nn::MlpClassifier& global_model = result.final_model;
+
+    const util::Stopwatch train_watch;
+    const auto train_one = [&](std::size_t k) {
+      const int client = participants[k];
+      updates[k] = algorithm.TrainClient(client,
+                                         client_data_[static_cast<std::size_t>(client)],
+                                         global_model, round, rngs[k]);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(participants.size(), train_one);
+    } else {
+      for (std::size_t k = 0; k < participants.size(); ++k) train_one(k);
+    }
+    // Per-client measured seconds when available; wall time as fallback.
+    double round_train_seconds = 0.0;
+    for (const ClientUpdate& u : updates) round_train_seconds += u.train_seconds;
+    if (round_train_seconds == 0.0) {
+      round_train_seconds = train_watch.ElapsedSeconds();
+    }
+    result.costs.local_train_seconds += round_train_seconds;
+    result.costs.client_rounds += static_cast<std::int64_t>(participants.size());
+
+    // Client dropout: some trained updates never arrive. Deterministic per
+    // (seed, round); if every update is lost, the round is skipped.
+    std::vector<ClientUpdate> delivered;
+    std::vector<int> delivered_ids;
+    if (config_.client_dropout > 0.0) {
+      tensor::Pcg32 drop_rng(
+          config_.seed ^ (0xd509ULL + static_cast<std::uint64_t>(round)),
+          /*stream=*/0x64726fULL);
+      for (std::size_t k = 0; k < updates.size(); ++k) {
+        if (drop_rng.NextDouble() >= config_.client_dropout) {
+          delivered.push_back(std::move(updates[k]));
+          delivered_ids.push_back(participants[k]);
+        }
+      }
+    } else {
+      delivered = std::move(updates);
+      delivered_ids = participants;
+    }
+
+    if (!delivered.empty()) {
+      const util::Stopwatch watch;
+      global_params =
+          algorithm.Aggregate(global_params, delivered, delivered_ids, round);
+      result.costs.aggregate_seconds += watch.ElapsedSeconds();
+      ++result.costs.aggregate_rounds;
+    }
+
+    const bool last_round = round == config_.rounds;
+    if (last_round ||
+        (config_.eval_every > 0 && round % config_.eval_every == 0)) {
+      evaluate(round);
+      PARDON_LOG_DEBUG << algorithm.Name() << " round " << round << "/"
+                       << config_.rounds;
+      if (config_.target_accuracy > 0.0 && !eval_sets.empty() &&
+          result.recorder.Has(eval_sets.front().name) &&
+          result.recorder.Last(eval_sets.front().name) >=
+              config_.target_accuracy) {
+        PARDON_LOG_DEBUG << algorithm.Name() << " reached target accuracy at "
+                         << "round " << round;
+        break;
+      }
+    }
+  }
+
+  result.final_model.SetFlatParams(global_params);
+  result.final_accuracy.reserve(eval_sets.size());
+  for (const EvalSet& eval : eval_sets) {
+    result.final_accuracy.push_back(
+        eval.data == nullptr || eval.data->empty()
+            ? 0.0
+            : result.recorder.Last(eval.name));
+  }
+  return result;
+}
+
+}  // namespace pardon::fl

@@ -1,0 +1,50 @@
+// The FL round loop: sample K clients, train them in parallel on a thread
+// pool, aggregate, evaluate — repeated for the configured number of rounds,
+// with wall-clock cost accounting per phase (paper Table 8 structure).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fl/algorithm.hpp"
+#include "fl/sampler.hpp"
+#include "fl/types.hpp"
+#include "metrics/recorder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pardon::fl {
+
+struct EvalSet {
+  std::string name;                  // series name in the recorder
+  const data::Dataset* data = nullptr;
+};
+
+struct SimulationResult {
+  nn::MlpClassifier final_model;
+  metrics::Recorder recorder;   // "<eval name>" series per evaluated round
+  CostBreakdown costs;
+  // Final-round accuracy per eval set, in input order.
+  std::vector<double> final_accuracy;
+};
+
+class Simulator {
+ public:
+  // `client_data` has one dataset per client id (size == config.total_clients).
+  Simulator(std::vector<data::Dataset> client_data, FlConfig config);
+
+  // Runs the algorithm from `initial_model`, evaluating on `eval_sets` every
+  // config.eval_every rounds and at the end. `pool` may be null (serial).
+  SimulationResult Run(Algorithm& algorithm,
+                       const nn::MlpClassifier& initial_model,
+                       const std::vector<EvalSet>& eval_sets,
+                       util::ThreadPool* pool = nullptr) const;
+
+  const FlConfig& config() const { return config_; }
+  const std::vector<data::Dataset>& client_data() const { return client_data_; }
+
+ private:
+  std::vector<data::Dataset> client_data_;
+  FlConfig config_;
+};
+
+}  // namespace pardon::fl

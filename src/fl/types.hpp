@@ -1,0 +1,80 @@
+// Core federated-learning value types shared by the simulator, the FISC
+// implementation, and every baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fl/sampler.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+namespace pardon::fl {
+
+struct FlConfig {
+  int total_clients = 10;        // N
+  int participants_per_round = 5;  // K (sampled uniformly without replacement)
+  int rounds = 50;
+  int local_epochs = 1;
+  int batch_size = 32;
+  // How the K participants are chosen each round (see fl/sampler.hpp).
+  SamplingStrategy sampling = SamplingStrategy::kUniform;
+  nn::OptimizerOptions optimizer{};
+  // Probability that a sampled client fails mid-round (network loss, device
+  // churn) and its update never reaches the server — the "robustness"
+  // stressor real deployments add on top of client sampling. 0 disables.
+  double client_dropout = 0.0;
+  // Evaluate every `eval_every` rounds (and always at the final round);
+  // 0 disables intermediate evaluation.
+  int eval_every = 5;
+  // Stop early once the FIRST eval set reaches this accuracy at an
+  // evaluation point (0 disables). Useful for convergence-time comparisons.
+  double target_accuracy = 0.0;
+  std::uint64_t seed = 41;
+};
+
+// What a client sends back to the server after local training.
+struct ClientUpdate {
+  std::vector<float> params;   // trained local parameters (flat)
+  std::int64_t num_samples = 0;
+  // Local mean loss of the incoming global model / the trained local model —
+  // the generalization-gap signal FedDG-GA aggregates (0 when untracked).
+  double loss_before = 0.0;
+  double loss_after = 0.0;
+  // FPL-style class prototypes: [P, D] embeddings plus their class ids
+  // (empty for algorithms that do not exchange prototypes).
+  tensor::Tensor prototypes;
+  std::vector<int> prototype_class;
+  // Measured wall-clock seconds of local training.
+  double train_seconds = 0.0;
+};
+
+// Accumulated cost accounting (paper Table 8 / Fig. 4 structure).
+struct CostBreakdown {
+  double one_time_seconds = 0.0;        // pre-training setup (style extraction)
+  double local_train_seconds = 0.0;     // summed over all client-rounds
+  std::int64_t client_rounds = 0;       // count of local trainings
+  double aggregate_seconds = 0.0;       // summed over rounds
+  std::int64_t aggregate_rounds = 0;
+
+  double AvgLocalTrain() const {
+    return client_rounds ? local_train_seconds / static_cast<double>(client_rounds)
+                         : 0.0;
+  }
+  double AvgAggregate() const {
+    return aggregate_rounds
+               ? aggregate_seconds / static_cast<double>(aggregate_rounds)
+               : 0.0;
+  }
+};
+
+// Read-only view handed to Algorithm::Setup before round 1.
+struct FlContext {
+  const std::vector<data::Dataset>* client_data = nullptr;
+  const nn::MlpClassifier* initial_model = nullptr;
+  FlConfig config;
+};
+
+}  // namespace pardon::fl

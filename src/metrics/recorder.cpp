@@ -1,0 +1,67 @@
+#include "metrics/recorder.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pardon::metrics {
+
+void Recorder::Record(const std::string& series, int round, double value) {
+  series_[series][round] = value;
+}
+
+std::vector<int> Recorder::Rounds(const std::string& series) const {
+  std::vector<int> rounds;
+  const auto it = series_.find(series);
+  if (it == series_.end()) return rounds;
+  rounds.reserve(it->second.size());
+  for (const auto& [round, value] : it->second) rounds.push_back(round);
+  return rounds;
+}
+
+std::vector<double> Recorder::Values(const std::string& series) const {
+  std::vector<double> values;
+  const auto it = series_.find(series);
+  if (it == series_.end()) return values;
+  values.reserve(it->second.size());
+  for (const auto& [round, value] : it->second) values.push_back(value);
+  return values;
+}
+
+double Recorder::Last(const std::string& series) const {
+  const auto it = series_.find(series);
+  if (it == series_.end() || it->second.empty()) {
+    throw std::out_of_range("Recorder::Last: unknown series " + series);
+  }
+  return it->second.rbegin()->second;
+}
+
+bool Recorder::Has(const std::string& series) const {
+  return series_.count(series) > 0;
+}
+
+std::vector<std::string> Recorder::SeriesNames() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, values] : series_) names.push_back(name);
+  return names;
+}
+
+std::string Recorder::ToCsv() const {
+  std::ostringstream out;
+  out << "series,round,value\n";
+  for (const auto& [name, values] : series_) {
+    for (const auto& [round, value] : values) {
+      out << name << "," << round << "," << value << "\n";
+    }
+  }
+  return out.str();
+}
+
+void Recorder::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Recorder::SaveCsv: cannot open " + path);
+  out << ToCsv();
+}
+
+}  // namespace pardon::metrics

@@ -1,0 +1,32 @@
+// Convergence recorder: named scalar series indexed by round, with CSV
+// export. Figures 3 and 9 of the paper are round-indexed curves; the bench
+// harness prints these series and can dump them for external plotting.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pardon::metrics {
+
+class Recorder {
+ public:
+  void Record(const std::string& series, int round, double value);
+
+  // Rounds recorded for a series, ascending.
+  std::vector<int> Rounds(const std::string& series) const;
+  // Values aligned with Rounds().
+  std::vector<double> Values(const std::string& series) const;
+  double Last(const std::string& series) const;
+  bool Has(const std::string& series) const;
+  std::vector<std::string> SeriesNames() const;
+
+  // CSV with columns: series,round,value.
+  std::string ToCsv() const;
+  void SaveCsv(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::map<int, double>> series_;
+};
+
+}  // namespace pardon::metrics

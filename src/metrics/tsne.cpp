@@ -1,0 +1,135 @@
+#include "metrics/tsne.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::metrics {
+
+namespace {
+
+// Binary-searches the Gaussian bandwidth for row i so the conditional
+// distribution's perplexity matches the target; fills p_cond row i.
+void FitRowBandwidth(const tensor::Tensor& sq_dists, std::int64_t i,
+                     double target_entropy, std::vector<double>& p_row) {
+  const std::int64_t n = sq_dists.dim(0);
+  double beta = 1.0, beta_min = 0.0, beta_max = 1e12;
+  for (int attempt = 0; attempt < 60; ++attempt) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      p_row[static_cast<std::size_t>(j)] =
+          j == i ? 0.0 : std::exp(-beta * sq_dists.At(i, j));
+      sum += p_row[static_cast<std::size_t>(j)];
+    }
+    if (sum < 1e-300) sum = 1e-300;
+    // Shannon entropy of the conditional distribution.
+    double entropy = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double p = p_row[static_cast<std::size_t>(j)] / sum;
+      if (p > 1e-12) entropy -= p * std::log(p);
+      p_row[static_cast<std::size_t>(j)] = p;
+    }
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_min = beta;
+      beta = beta_max > 1e11 ? beta * 2.0 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = 0.5 * (beta + beta_min);
+    }
+  }
+}
+
+}  // namespace
+
+tensor::Tensor Tsne(const tensor::Tensor& points, const TsneOptions& options) {
+  if (points.rank() != 2) throw std::invalid_argument("Tsne: expected [N, D]");
+  const std::int64_t n = points.dim(0);
+  if (n < 5) throw std::invalid_argument("Tsne: need at least 5 points");
+  if (options.perplexity >= static_cast<double>(n)) {
+    throw std::invalid_argument("Tsne: perplexity must be < N");
+  }
+
+  // Symmetrized input affinities P.
+  const tensor::Tensor sq = tensor::PairwiseSquaredL2(points, points);
+  const double target_entropy = std::log(options.perplexity);
+  std::vector<double> p(static_cast<std::size_t>(n * n), 0.0);
+  {
+    std::vector<double> row(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      FitRowBandwidth(sq, i, target_entropy, row);
+      for (std::int64_t j = 0; j < n; ++j) {
+        p[static_cast<std::size_t>(i * n + j)] = row[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  double p_sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const double sym = p[static_cast<std::size_t>(i * n + j)] +
+                         p[static_cast<std::size_t>(j * n + i)];
+      p[static_cast<std::size_t>(i * n + j)] = sym;
+      p[static_cast<std::size_t>(j * n + i)] = sym;
+      p_sum += 2.0 * sym;
+    }
+  }
+  for (double& v : p) v = std::max(v / std::max(p_sum, 1e-300), 1e-12);
+
+  // Gradient descent on the 2-D embedding.
+  tensor::Pcg32 rng(options.seed, 0x74736eULL);
+  tensor::Tensor y = tensor::Tensor::Gaussian({n, 2}, 0.0f, 1e-2f, rng);
+  tensor::Tensor velocity({n, 2});
+  std::vector<double> q(static_cast<std::size_t>(n * n));
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.iterations / 4 ? options.exaggeration : 1.0;
+
+    // Student-t affinities Q.
+    double q_sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const double dy0 = double(y.At(i, 0)) - y.At(j, 0);
+        const double dy1 = double(y.At(i, 1)) - y.At(j, 1);
+        const double w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        q[static_cast<std::size_t>(i * n + j)] = w;
+        q[static_cast<std::size_t>(j * n + i)] = w;
+        q_sum += 2.0 * w;
+      }
+      q[static_cast<std::size_t>(i * n + i)] = 0.0;
+    }
+    q_sum = std::max(q_sum, 1e-300);
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      double g0 = 0.0, g1 = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = q[static_cast<std::size_t>(i * n + j)];
+        const double coeff =
+            4.0 * (exaggeration * p[static_cast<std::size_t>(i * n + j)] -
+                   w / q_sum) * w;
+        g0 += coeff * (double(y.At(i, 0)) - y.At(j, 0));
+        g1 += coeff * (double(y.At(i, 1)) - y.At(j, 1));
+      }
+      velocity.At(i, 0) = static_cast<float>(
+          options.momentum * velocity.At(i, 0) - options.learning_rate * g0);
+      velocity.At(i, 1) = static_cast<float>(
+          options.momentum * velocity.At(i, 1) - options.learning_rate * g1);
+    }
+    y += velocity;
+
+    // Re-center to keep the embedding bounded.
+    const tensor::Tensor mean = tensor::ColMean(y);
+    for (std::int64_t i = 0; i < n; ++i) {
+      y.At(i, 0) -= mean[0];
+      y.At(i, 1) -= mean[1];
+    }
+  }
+  return y;
+}
+
+}  // namespace pardon::metrics

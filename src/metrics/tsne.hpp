@@ -1,0 +1,30 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for small point sets.
+//
+// Used by the Figure 9 bench: the paper visualizes the FISC feature
+// extractor's embeddings with t-SNE at several communication rounds to show
+// class structure emerging. O(N^2) per iteration — appropriate for the few
+// hundred evaluation points the figure uses.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::metrics {
+
+struct TsneOptions {
+  double perplexity = 20.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  // Early exaggeration factor applied for the first quarter of iterations.
+  double exaggeration = 4.0;
+  double momentum = 0.8;
+  std::uint64_t seed = 71;
+};
+
+// Embeds the rows of `points` [N, D] into 2-D. N must be >= 5 and
+// perplexity < N. Deterministic given the seed.
+tensor::Tensor Tsne(const tensor::Tensor& points,
+                    const TsneOptions& options = {});
+
+}  // namespace pardon::metrics

@@ -1,0 +1,28 @@
+#include "nn/checkpoint.hpp"
+
+#include <stdexcept>
+
+#include "tensor/io.hpp"
+
+namespace pardon::nn {
+
+void SaveCheckpoint(const std::string& path, const MlpClassifier& model) {
+  const std::vector<float> flat = model.FlatParams();
+  tensor::Tensor blob({static_cast<std::int64_t>(flat.size())}, flat);
+  tensor::SaveTensors(path, {blob});
+}
+
+void LoadCheckpoint(const std::string& path, MlpClassifier& model) {
+  const std::vector<tensor::Tensor> tensors = tensor::LoadTensors(path);
+  if (tensors.size() != 1) {
+    throw std::runtime_error("checkpoint: expected a single tensor bundle");
+  }
+  const tensor::Tensor& blob = tensors.front();
+  if (blob.size() != model.NumParams()) {
+    throw std::runtime_error(
+        "checkpoint: parameter count mismatch (model architecture differs)");
+  }
+  model.SetFlatParams(blob.values());
+}
+
+}  // namespace pardon::nn

@@ -1,0 +1,16 @@
+// Model checkpoints: persists an MlpClassifier's parameters to disk so the
+// examples can save a trained global model and reload it for inference.
+// The architecture is not serialized — the loader must construct a model
+// with the same Config; a parameter-count mismatch raises.
+#pragma once
+
+#include <string>
+
+#include "nn/mlp.hpp"
+
+namespace pardon::nn {
+
+void SaveCheckpoint(const std::string& path, const MlpClassifier& model);
+void LoadCheckpoint(const std::string& path, MlpClassifier& model);
+
+}  // namespace pardon::nn

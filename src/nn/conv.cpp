@@ -1,0 +1,193 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pardon::nn {
+
+namespace {
+struct InputContext : Layer::Context {
+  explicit InputContext(Tensor t) : input(std::move(t)) {}
+  Tensor input;
+};
+
+struct PoolContext : Layer::Context {
+  // Index (within each sample row) of the max element chosen per output.
+  std::vector<std::int64_t> argmax;
+  std::int64_t batch = 0;
+};
+}  // namespace
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t height, std::int64_t width, Pcg32& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      height_(height),
+      width_(width),
+      weight_({out_channels, in_channels, 3, 3}),
+      bias_({out_channels}),
+      grad_weight_({out_channels, in_channels, 3, 3}),
+      grad_bias_({out_channels}) {
+  if (in_channels <= 0 || out_channels <= 0 || height <= 0 || width <= 0) {
+    throw std::invalid_argument("Conv2d: non-positive dimensions");
+  }
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_channels * 9));
+  for (std::int64_t i = 0; i < weight_.size(); ++i) {
+    weight_[i] = rng.NextUniform(-bound, bound);
+  }
+}
+
+Tensor Conv2d::Forward(const Tensor& x, std::unique_ptr<Context>& ctx,
+                       bool /*training*/, Pcg32* /*rng*/) const {
+  if (x.rank() != 2 || x.dim(1) != in_channels_ * height_ * width_) {
+    throw std::invalid_argument("Conv2d: bad input shape " + x.ShapeString());
+  }
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t hw = height_ * width_;
+  Tensor out({batch, out_channels_ * hw});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* sample = x.data() + n * x.dim(1);
+    float* dst = out.data() + n * out.dim(1);
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* kernel = weight_.data() + oc * in_channels_ * 9;
+      for (std::int64_t i = 0; i < height_; ++i) {
+        for (std::int64_t j = 0; j < width_; ++j) {
+          float acc = bias_[oc];
+          for (std::int64_t ic = 0; ic < in_channels_; ++ic) {
+            const float* plane = sample + ic * hw;
+            const float* k = kernel + ic * 9;
+            for (int di = -1; di <= 1; ++di) {
+              const std::int64_t si = i + di;
+              if (si < 0 || si >= height_) continue;
+              for (int dj = -1; dj <= 1; ++dj) {
+                const std::int64_t sj = j + dj;
+                if (sj < 0 || sj >= width_) continue;
+                acc += k[(di + 1) * 3 + (dj + 1)] * plane[si * width_ + sj];
+              }
+            }
+          }
+          dst[oc * hw + i * width_ + j] = acc;
+        }
+      }
+    }
+  }
+  ctx = std::make_unique<InputContext>(x);
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out, const Context& ctx) {
+  const Tensor& x = static_cast<const InputContext&>(ctx).input;
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t hw = height_ * width_;
+  Tensor grad_in(x.shape());
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* sample = x.data() + n * x.dim(1);
+    const float* g = grad_out.data() + n * grad_out.dim(1);
+    float* gi = grad_in.data() + n * grad_in.dim(1);
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* kernel = weight_.data() + oc * in_channels_ * 9;
+      float* gk = grad_weight_.data() + oc * in_channels_ * 9;
+      for (std::int64_t i = 0; i < height_; ++i) {
+        for (std::int64_t j = 0; j < width_; ++j) {
+          const float go = g[oc * hw + i * width_ + j];
+          if (go == 0.0f) continue;
+          grad_bias_[oc] += go;
+          for (std::int64_t ic = 0; ic < in_channels_; ++ic) {
+            const float* plane = sample + ic * hw;
+            float* gplane = gi + ic * hw;
+            const float* k = kernel + ic * 9;
+            float* gkc = gk + ic * 9;
+            for (int di = -1; di <= 1; ++di) {
+              const std::int64_t si = i + di;
+              if (si < 0 || si >= height_) continue;
+              for (int dj = -1; dj <= 1; ++dj) {
+                const std::int64_t sj = j + dj;
+                if (sj < 0 || sj >= width_) continue;
+                gkc[(di + 1) * 3 + (dj + 1)] += go * plane[si * width_ + sj];
+                gplane[si * width_ + sj] += go * k[(di + 1) * 3 + (dj + 1)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Conv2d::Clone() const {
+  tensor::Pcg32 dummy(1);
+  auto clone = std::make_unique<Conv2d>(in_channels_, out_channels_, height_,
+                                        width_, dummy);
+  clone->weight_ = weight_;
+  clone->bias_ = bias_;
+  return clone;
+}
+
+MaxPool2d::MaxPool2d(std::int64_t channels, std::int64_t height,
+                     std::int64_t width)
+    : channels_(channels), height_(height), width_(width) {
+  if (height % 2 != 0 || width % 2 != 0) {
+    throw std::invalid_argument("MaxPool2d: spatial dims must be even");
+  }
+}
+
+Tensor MaxPool2d::Forward(const Tensor& x, std::unique_ptr<Context>& ctx,
+                          bool /*training*/, Pcg32* /*rng*/) const {
+  if (x.rank() != 2 || x.dim(1) != channels_ * height_ * width_) {
+    throw std::invalid_argument("MaxPool2d: bad input shape " + x.ShapeString());
+  }
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t oh = height_ / 2, ow = width_ / 2;
+  auto pool_ctx = std::make_unique<PoolContext>();
+  pool_ctx->batch = batch;
+  pool_ctx->argmax.resize(
+      static_cast<std::size_t>(batch * channels_ * oh * ow));
+  Tensor out({batch, channels_ * oh * ow});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* sample = x.data() + n * x.dim(1);
+    float* dst = out.data() + n * out.dim(1);
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* plane = sample + c * height_ * width_;
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          float best = -std::numeric_limits<float>::max();
+          std::int64_t best_index = 0;
+          for (int di = 0; di < 2; ++di) {
+            for (int dj = 0; dj < 2; ++dj) {
+              const std::int64_t index =
+                  (2 * i + di) * width_ + (2 * j + dj);
+              if (plane[index] > best) {
+                best = plane[index];
+                best_index = c * height_ * width_ + index;
+              }
+            }
+          }
+          dst[c * oh * ow + i * ow + j] = best;
+          pool_ctx->argmax[static_cast<std::size_t>(
+              n * channels_ * oh * ow + c * oh * ow + i * ow + j)] = best_index;
+        }
+      }
+    }
+  }
+  ctx = std::move(pool_ctx);
+  return out;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_out, const Context& ctx) {
+  const auto& pool_ctx = static_cast<const PoolContext&>(ctx);
+  const std::int64_t per_sample_out = grad_out.dim(1);
+  Tensor grad_in({pool_ctx.batch, channels_ * height_ * width_});
+  for (std::int64_t n = 0; n < pool_ctx.batch; ++n) {
+    const float* g = grad_out.data() + n * per_sample_out;
+    float* gi = grad_in.data() + n * grad_in.dim(1);
+    for (std::int64_t k = 0; k < per_sample_out; ++k) {
+      gi[pool_ctx.argmax[static_cast<std::size_t>(n * per_sample_out + k)]] +=
+          g[k];
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace pardon::nn

@@ -1,0 +1,66 @@
+// 2-D convolution and max-pooling layers.
+//
+// These operate on flattened [N, C*H*W] rows (the library's batch layout) and
+// are configured with the spatial shape at construction. They give the shared
+// classifier an optional convolutional front-end — closer to the paper's
+// ResNet-50 — at the cost of slower simulation; the benches default to the
+// MLP extractor and the CNN is exercised by tests and available through
+// MlpClassifier::Config::conv_channels.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace pardon::nn {
+
+// 3x3 convolution, stride 1, zero padding 1 (shape-preserving), bias per
+// output channel.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t height, std::int64_t width, Pcg32& rng);
+
+  std::string Name() const override { return "Conv2d"; }
+  Tensor Forward(const Tensor& x, std::unique_ptr<Context>& ctx, bool training,
+                 Pcg32* rng) const override;
+  Tensor Backward(const Tensor& grad_out, const Context& ctx) override;
+  std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Grads() override { return {&grad_weight_, &grad_bias_}; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  std::int64_t out_dim() const { return out_channels_ * height_ * width_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::int64_t height_;
+  std::int64_t width_;
+  Tensor weight_;  // [out, in, 3, 3]
+  Tensor bias_;    // [out]
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+};
+
+// 2x2 max pooling, stride 2. Height and width must be even.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::int64_t channels, std::int64_t height, std::int64_t width);
+
+  std::string Name() const override { return "MaxPool2d"; }
+  Tensor Forward(const Tensor& x, std::unique_ptr<Context>& ctx, bool training,
+                 Pcg32* rng) const override;
+  Tensor Backward(const Tensor& grad_out, const Context& ctx) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<MaxPool2d>(channels_, height_, width_);
+  }
+
+  std::int64_t out_dim() const {
+    return channels_ * (height_ / 2) * (width_ / 2);
+  }
+
+ private:
+  std::int64_t channels_;
+  std::int64_t height_;
+  std::int64_t width_;
+};
+
+}  // namespace pardon::nn

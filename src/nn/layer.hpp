@@ -1,0 +1,58 @@
+// Layer abstraction with explicit per-call forward contexts.
+//
+// FISC's local objective backpropagates through TWO forward passes of the
+// same feature extractor (the original batch and its style-transferred twin,
+// Algorithm 2). Layers therefore never cache activations in member state:
+// Forward writes what Backward needs into a caller-owned Context, so any
+// number of concurrent traces through one parameter set are valid, and
+// gradients from both traces accumulate into the shared grad buffers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pardon::nn {
+
+using tensor::Pcg32;
+using tensor::Tensor;
+
+class Layer {
+ public:
+  // Opaque per-forward-call activation cache.
+  struct Context {
+    virtual ~Context() = default;
+  };
+
+  virtual ~Layer() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Computes y = f(x). `training` toggles stochastic behaviour (dropout);
+  // `rng` must be non-null when the layer is stochastic and training is true.
+  virtual Tensor Forward(const Tensor& x, std::unique_ptr<Context>& ctx,
+                         bool training, Pcg32* rng) const = 0;
+
+  // Given dL/dy and the matching context, accumulates dL/dparams into the
+  // layer's grad buffers and returns dL/dx.
+  virtual Tensor Backward(const Tensor& grad_out, const Context& ctx) = 0;
+
+  // Trainable parameters and their gradient buffers, in a stable order.
+  virtual std::vector<Tensor*> Params() { return {}; }
+  virtual std::vector<Tensor*> Grads() { return {}; }
+  // Non-trainable state that must still travel with the model in FL
+  // aggregation (BatchNorm running statistics). Averaged by FedAvg alongside
+  // parameters, exactly as frameworks average ResNet's running stats.
+  virtual std::vector<Tensor*> Buffers() { return {}; }
+
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+
+  void ZeroGrad() {
+    for (Tensor* g : Grads()) g->Fill(0.0f);
+  }
+};
+
+}  // namespace pardon::nn

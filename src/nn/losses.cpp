@@ -1,0 +1,337 @@
+#include "nn/losses.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::nn {
+
+namespace {
+void CheckBatch(const Tensor& m, std::size_t labels, const char* what) {
+  if (m.rank() != 2) {
+    throw std::invalid_argument(std::string(what) + ": expected rank-2 input");
+  }
+  if (static_cast<std::size_t>(m.dim(0)) != labels) {
+    throw std::invalid_argument(std::string(what) + ": batch/label mismatch");
+  }
+}
+}  // namespace
+
+CrossEntropyResult SoftmaxCrossEntropy(const Tensor& logits,
+                                       std::span<const int> labels,
+                                       float label_smoothing) {
+  CheckBatch(logits, labels.size(), "SoftmaxCrossEntropy");
+  if (label_smoothing < 0.0f || label_smoothing >= 1.0f) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: smoothing in [0, 1)");
+  }
+  const std::int64_t batch = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  CrossEntropyResult result;
+  result.probabilities = tensor::SoftmaxRows(logits);
+  result.grad_logits = result.probabilities;
+  const float on_target = 1.0f - label_smoothing;
+  const float off_target = label_smoothing / static_cast<float>(classes);
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const int label = labels[static_cast<std::size_t>(i)];
+    if (label < 0 || label >= classes) {
+      throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
+    }
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const float target =
+          off_target + (c == label ? on_target : 0.0f);
+      if (target > 0.0f) {
+        loss -= target *
+                std::log(std::max(result.probabilities.At(i, c), 1e-12f));
+      }
+      result.grad_logits.At(i, c) -= target;
+    }
+  }
+  result.grad_logits *= inv_batch;
+  result.loss = static_cast<float>(loss / static_cast<double>(batch));
+  return result;
+}
+
+TripletResult TripletLoss(const Tensor& anchors, const Tensor& positives,
+                          std::span<const int> negative_index, float margin) {
+  CheckBatch(anchors, negative_index.size(), "TripletLoss");
+  if (anchors.shape() != positives.shape()) {
+    throw std::invalid_argument("TripletLoss: anchor/positive shape mismatch");
+  }
+  const std::int64_t batch = anchors.dim(0);
+  const std::int64_t dim = anchors.dim(1);
+  TripletResult result;
+  result.grad_anchors = Tensor(anchors.shape());
+  result.grad_positives = Tensor(positives.shape());
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const int neg = negative_index[static_cast<std::size_t>(i)];
+    if (neg < 0) continue;
+    if (neg >= batch) throw std::out_of_range("TripletLoss: negative index");
+    const float* a = anchors.data() + i * dim;
+    const float* p = positives.data() + i * dim;
+    const float* n = positives.data() + static_cast<std::int64_t>(neg) * dim;
+    double d_ap = 0.0, d_an = 0.0;
+    for (std::int64_t c = 0; c < dim; ++c) {
+      const double dp = double(a[c]) - p[c];
+      const double dn = double(a[c]) - n[c];
+      d_ap += dp * dp;
+      d_an += dn * dn;
+    }
+    const double hinge = d_ap - d_an + margin;
+    if (hinge <= 0.0) continue;
+    loss += hinge;
+    ++result.active_triplets;
+    float* ga = result.grad_anchors.data() + i * dim;
+    float* gp = result.grad_positives.data() + i * dim;
+    float* gn =
+        result.grad_positives.data() + static_cast<std::int64_t>(neg) * dim;
+    for (std::int64_t c = 0; c < dim; ++c) {
+      // d/da (|a-p|^2 - |a-n|^2) = 2(n - p); d/dp = 2(p - a); d/dn = 2(a - n).
+      ga[c] += 2.0f * (n[c] - p[c]) * inv_batch;
+      gp[c] += 2.0f * (p[c] - a[c]) * inv_batch;
+      gn[c] += 2.0f * (a[c] - n[c]) * inv_batch;
+    }
+  }
+  result.loss = static_cast<float>(loss / static_cast<double>(batch));
+  return result;
+}
+
+std::vector<int> SampleNegativeIndices(std::span<const int> labels,
+                                       tensor::Pcg32& rng) {
+  const std::size_t n = labels.size();
+  std::vector<int> negatives(n, -1);
+  std::vector<int> candidates;
+  candidates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    candidates.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (labels[j] != labels[i]) candidates.push_back(static_cast<int>(j));
+    }
+    if (!candidates.empty()) {
+      negatives[i] = candidates[rng.NextBounded(
+          static_cast<std::uint32_t>(candidates.size()))];
+    }
+  }
+  return negatives;
+}
+
+std::vector<int> HardestNegativeIndices(const Tensor& anchors,
+                                        const Tensor& positives,
+                                        std::span<const int> labels) {
+  CheckBatch(anchors, labels.size(), "HardestNegativeIndices");
+  const std::int64_t batch = anchors.dim(0);
+  const Tensor distances = tensor::PairwiseSquaredL2(anchors, positives);
+  std::vector<int> negatives(static_cast<std::size_t>(batch), -1);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    float best = std::numeric_limits<float>::max();
+    for (std::int64_t j = 0; j < batch; ++j) {
+      if (labels[static_cast<std::size_t>(j)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        continue;
+      }
+      if (distances.At(i, j) < best) {
+        best = distances.At(i, j);
+        negatives[static_cast<std::size_t>(i)] = static_cast<int>(j);
+      }
+    }
+  }
+  return negatives;
+}
+
+EmbeddingRegResult EmbeddingL2Reg(const Tensor& anchors,
+                                  const Tensor& positives) {
+  if (anchors.shape() != positives.shape()) {
+    throw std::invalid_argument("EmbeddingL2Reg: shape mismatch");
+  }
+  const std::int64_t batch = anchors.dim(0);
+  const std::int64_t dim = anchors.rank() == 2 ? anchors.dim(1) : 1;
+  EmbeddingRegResult result;
+  // Normalized per batch AND per coordinate so the coefficient's meaning is
+  // independent of embedding width (the paper's gamma2 in [0.05, 0.2]).
+  const float inv = 1.0f / static_cast<float>(
+                               std::max<std::int64_t>(batch * dim, 1));
+  result.loss =
+      (tensor::Dot(anchors, anchors) + tensor::Dot(positives, positives)) * inv;
+  result.grad_anchors = tensor::Scale(anchors, 2.0f * inv);
+  result.grad_positives = tensor::Scale(positives, 2.0f * inv);
+  return result;
+}
+
+SupConResult SupervisedContrastiveLoss(const Tensor& anchors,
+                                       const Tensor& positives,
+                                       std::span<const int> labels,
+                                       float temperature) {
+  CheckBatch(anchors, labels.size(), "SupervisedContrastiveLoss");
+  if (anchors.shape() != positives.shape()) {
+    throw std::invalid_argument("SupervisedContrastiveLoss: shape mismatch");
+  }
+  if (temperature <= 0.0f) {
+    throw std::invalid_argument("SupervisedContrastiveLoss: temperature > 0");
+  }
+  const std::int64_t batch = anchors.dim(0);
+  const std::int64_t dim = anchors.dim(1);
+  SupConResult result;
+  result.grad_anchors = Tensor(anchors.shape());
+  result.grad_positives = Tensor(positives.shape());
+
+  // Similarity logits L_ij = <a_i, p_j> / tau, then row softmax.
+  Tensor logits = tensor::MatMulTransB(anchors, positives);
+  logits *= 1.0f / temperature;
+  const Tensor softmax = tensor::SoftmaxRows(logits);
+
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    double positive_mass = 0.0;
+    for (std::int64_t j = 0; j < batch; ++j) {
+      if (labels[static_cast<std::size_t>(j)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        positive_mass += softmax.At(i, j);
+      }
+    }
+    positive_mass = std::max(positive_mass, 1e-12);
+    loss -= std::log(positive_mass);
+    // dL_i/dlogit_ij = s_ij - 1[same class] * s_ij / positive_mass.
+    for (std::int64_t j = 0; j < batch; ++j) {
+      const bool same = labels[static_cast<std::size_t>(j)] ==
+                        labels[static_cast<std::size_t>(i)];
+      const float g = static_cast<float>(
+          (softmax.At(i, j) -
+           (same ? softmax.At(i, j) / positive_mass : 0.0)) *
+          inv_batch / temperature);
+      // Chain through L_ij = <a_i, p_j>.
+      const float* a = anchors.data() + i * dim;
+      const float* pj = positives.data() + j * dim;
+      float* ga = result.grad_anchors.data() + i * dim;
+      float* gp = result.grad_positives.data() + j * dim;
+      for (std::int64_t c = 0; c < dim; ++c) {
+        ga[c] += g * pj[c];
+        gp[c] += g * a[c];
+      }
+    }
+  }
+  result.loss = static_cast<float>(loss) * inv_batch;
+  return result;
+}
+
+RowNormalizeResult L2NormalizeRows(const Tensor& m, float epsilon) {
+  if (m.rank() != 2) {
+    throw std::invalid_argument("L2NormalizeRows: expected [B, D]");
+  }
+  const std::int64_t n = m.dim(0), d = m.dim(1);
+  RowNormalizeResult result;
+  result.normalized = Tensor({n, d});
+  result.norms = Tensor({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = m.data() + i * d;
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) acc += double(row[c]) * row[c];
+    const float norm = static_cast<float>(std::sqrt(acc)) + epsilon;
+    result.norms[i] = norm;
+    float* out = result.normalized.data() + i * d;
+    const float inv = 1.0f / norm;
+    for (std::int64_t c = 0; c < d; ++c) out[c] = row[c] * inv;
+  }
+  return result;
+}
+
+Tensor L2NormalizeRowsBackward(const Tensor& grad_normalized,
+                               const RowNormalizeResult& forward) {
+  const Tensor& y = forward.normalized;
+  if (grad_normalized.shape() != y.shape()) {
+    throw std::invalid_argument("L2NormalizeRowsBackward: shape mismatch");
+  }
+  const std::int64_t n = y.dim(0), d = y.dim(1);
+  Tensor grad({n, d});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* g = grad_normalized.data() + i * d;
+    const float* yr = y.data() + i * d;
+    double dot = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) dot += double(g[c]) * yr[c];
+    const float inv_norm = 1.0f / forward.norms[i];
+    float* out = grad.data() + i * d;
+    for (std::int64_t c = 0; c < d; ++c) {
+      // d/dz (z/|z|) applied to g: (g - (g.y) y) / |z|.
+      out[c] = (g[c] - static_cast<float>(dot) * yr[c]) * inv_norm;
+    }
+  }
+  return grad;
+}
+
+MseResult MeanSquaredError(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape()) {
+    throw std::invalid_argument("MeanSquaredError: shape mismatch");
+  }
+  MseResult result;
+  const std::int64_t n = pred.size();
+  result.grad_pred = Tensor(pred.shape());
+  double loss = 0.0;
+  const float scale = 2.0f / static_cast<float>(std::max<std::int64_t>(n, 1));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double diff = double(pred[i]) - target[i];
+    loss += diff * diff;
+    result.grad_pred[i] = static_cast<float>(diff) * scale;
+  }
+  result.loss = static_cast<float>(loss / static_cast<double>(std::max<std::int64_t>(n, 1)));
+  return result;
+}
+
+PrototypeContrastResult PrototypeContrastiveLoss(
+    const Tensor& embeddings, std::span<const int> labels,
+    const Tensor& prototypes, std::span<const int> prototype_class,
+    float margin) {
+  CheckBatch(embeddings, labels.size(), "PrototypeContrastiveLoss");
+  PrototypeContrastResult result;
+  result.grad_embeddings = Tensor(embeddings.shape());
+  if (prototypes.size() == 0) return result;
+  if (prototypes.rank() != 2 ||
+      static_cast<std::size_t>(prototypes.dim(0)) != prototype_class.size() ||
+      prototypes.dim(1) != embeddings.dim(1)) {
+    throw std::invalid_argument("PrototypeContrastiveLoss: prototype shape");
+  }
+  const std::int64_t batch = embeddings.dim(0);
+  const std::int64_t dim = embeddings.dim(1);
+  const std::int64_t num_protos = prototypes.dim(0);
+  const Tensor distances = tensor::PairwiseSquaredL2(embeddings, prototypes);
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const int label = labels[static_cast<std::size_t>(i)];
+    std::int64_t own = -1, other = -1;
+    float own_d = std::numeric_limits<float>::max();
+    float other_d = std::numeric_limits<float>::max();
+    for (std::int64_t p = 0; p < num_protos; ++p) {
+      const float d = distances.At(i, p);
+      if (prototype_class[static_cast<std::size_t>(p)] == label) {
+        if (d < own_d) {
+          own_d = d;
+          own = p;
+        }
+      } else if (d < other_d) {
+        other_d = d;
+        other = p;
+      }
+    }
+    if (own < 0 || other < 0) continue;
+    const double hinge = double(own_d) - other_d + margin;
+    if (hinge <= 0.0) continue;
+    loss += hinge;
+    const float* po = prototypes.data() + own * dim;
+    const float* pn = prototypes.data() + other * dim;
+    float* g = result.grad_embeddings.data() + i * dim;
+    for (std::int64_t c = 0; c < dim; ++c) {
+      g[c] += 2.0f * (pn[c] - po[c]) * inv_batch;
+    }
+  }
+  result.loss = static_cast<float>(loss / static_cast<double>(batch));
+  return result;
+}
+
+}  // namespace pardon::nn

@@ -1,0 +1,120 @@
+// Loss functions with analytic gradients.
+//
+// Each Compute returns the scalar loss and the gradient with respect to its
+// tensor inputs; callers chain these into Sequential::Backward. Conventions:
+// losses are means over the batch so loss scales are comparable across batch
+// sizes (matching Algorithm 2 in the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::nn {
+
+using tensor::Tensor;
+
+// Softmax cross-entropy over logits [B, C] with integer labels.
+struct CrossEntropyResult {
+  float loss = 0.0f;
+  Tensor grad_logits;  // [B, C]
+  // Row-wise probabilities (softmax output), useful for metrics.
+  Tensor probabilities;  // [B, C]
+};
+// `label_smoothing` in [0, 1): the target distribution becomes
+// (1 - s) * one_hot + s / C.
+CrossEntropyResult SoftmaxCrossEntropy(const Tensor& logits,
+                                       std::span<const int> labels,
+                                       float label_smoothing = 0.0f);
+
+// Triplet loss (Eq. 5): mean_i max(0, |a_i - p_i|^2 - |a_i - n_i|^2 + margin),
+// where anchors are rows of `anchors` [B,D], the positive of row i is row i of
+// `positives`, and the negative of row i is row negative_index[i] of
+// `positives` (-1 disables the term for that row — e.g. no other-class sample
+// exists in the batch). Gradients w.r.t. both matrices are returned;
+// grad_positives accumulates contributions from both the positive role and
+// the negative role, since the paper's negatives are style-transferred
+// embeddings drawn from the same batch.
+struct TripletResult {
+  float loss = 0.0f;
+  Tensor grad_anchors;    // [B, D]
+  Tensor grad_positives;  // [B, D]
+  int active_triplets = 0;  // rows with a valid negative and positive hinge
+};
+TripletResult TripletLoss(const Tensor& anchors, const Tensor& positives,
+                          std::span<const int> negative_index, float margin);
+
+// Selects one negative index per row: a uniformly random row j of `labels`
+// with labels[j] != labels[i], or -1 if none exists.
+std::vector<int> SampleNegativeIndices(std::span<const int> labels,
+                                       tensor::Pcg32& rng);
+// Hardest-negative variant: the different-class row of `positives` closest to
+// the anchor (classic semi-hard mining degenerate case; used by ablations).
+std::vector<int> HardestNegativeIndices(const Tensor& anchors,
+                                        const Tensor& positives,
+                                        std::span<const int> labels);
+
+// Embedding L2 regularizer (Eq. 6): mean over batch and embedding coordinate
+// of (a^2 + p^2), so gamma2's scale is architecture-independent.
+struct EmbeddingRegResult {
+  float loss = 0.0f;
+  Tensor grad_anchors;
+  Tensor grad_positives;
+};
+EmbeddingRegResult EmbeddingL2Reg(const Tensor& anchors,
+                                  const Tensor& positives);
+
+// Supervised contrastive loss over anchor/positive pairs (cited by the paper
+// as the alternative contrastive family, Sohn 2016 / SupCon): for anchor i,
+// softmax over similarities to ALL positives' embeddings at temperature tau,
+// maximizing the probability mass of same-class entries:
+//   L = -1/B sum_i log( sum_{j: y_j = y_i} exp(<a_i, p_j>/tau)
+//                       / sum_j exp(<a_i, p_j>/tau) ).
+// Inputs should be L2-normalized rows. Used by the FISC ablation comparing
+// triplet vs. InfoNCE-style objectives.
+struct SupConResult {
+  float loss = 0.0f;
+  Tensor grad_anchors;    // [B, D]
+  Tensor grad_positives;  // [B, D]
+};
+SupConResult SupervisedContrastiveLoss(const Tensor& anchors,
+                                       const Tensor& positives,
+                                       std::span<const int> labels,
+                                       float temperature);
+
+// Row-wise L2 normalization with a backward map — FaceNet-style triplet
+// losses operate on unit-sphere embeddings, which bounds pair distances to
+// [0, 4] and makes the margin's scale meaningful.
+struct RowNormalizeResult {
+  Tensor normalized;  // [B, D], unit rows
+  Tensor norms;       // [B]
+};
+RowNormalizeResult L2NormalizeRows(const Tensor& m, float epsilon = 1e-8f);
+// Given dL/d(normalized), returns dL/d(raw input).
+Tensor L2NormalizeRowsBackward(const Tensor& grad_normalized,
+                               const RowNormalizeResult& forward);
+
+// Mean squared error between predictions and targets of identical shape.
+struct MseResult {
+  float loss = 0.0f;
+  Tensor grad_pred;
+};
+MseResult MeanSquaredError(const Tensor& pred, const Tensor& target);
+
+// Prototype contrastive hinge used by the FPL baseline:
+// mean_i max(0, |z_i - nearest own-class prototype|^2
+//             - |z_i - nearest other-class prototype|^2 + margin).
+// `prototypes` is [P, D]; prototype_class[p] gives each row's class id.
+// Prototypes are constants — no gradient flows to them. Rows whose class has
+// no prototype, or for which no other-class prototype exists, contribute 0.
+struct PrototypeContrastResult {
+  float loss = 0.0f;
+  Tensor grad_embeddings;  // [B, D]
+};
+PrototypeContrastResult PrototypeContrastiveLoss(
+    const Tensor& embeddings, std::span<const int> labels,
+    const Tensor& prototypes, std::span<const int> prototype_class,
+    float margin);
+
+}  // namespace pardon::nn

@@ -1,0 +1,32 @@
+#include "nn/lr_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace pardon::nn {
+
+float LrSchedule::Multiplier(int round) const {
+  const int clamped = std::clamp(round, 1, std::max(total_rounds, 1));
+  const float progress =
+      total_rounds > 1
+          ? static_cast<float>(clamped - 1) / static_cast<float>(total_rounds - 1)
+          : 0.0f;
+  switch (kind) {
+    case LrScheduleKind::kConstant:
+      return 1.0f;
+    case LrScheduleKind::kLinearDecay:
+      return 1.0f + (end_factor - 1.0f) * progress;
+    case LrScheduleKind::kCosineDecay:
+      return end_factor +
+             0.5f * (1.0f - end_factor) *
+                 (1.0f + std::cos(std::numbers::pi_v<float> * progress));
+    case LrScheduleKind::kStepDecay: {
+      const int steps = (clamped - 1) / std::max(step_rounds, 1);
+      return std::pow(gamma, static_cast<float>(steps));
+    }
+  }
+  return 1.0f;
+}
+
+}  // namespace pardon::nn

@@ -1,0 +1,32 @@
+// Learning-rate schedules over communication rounds.
+//
+// FL methods commonly decay the client learning rate across rounds (the
+// paper's FedDG-GA decays its aggregation step size the same way). These are
+// pure functions round -> multiplier so any algorithm can apply them when
+// constructing its per-round optimizer options.
+#pragma once
+
+#include <cstdint>
+
+namespace pardon::nn {
+
+enum class LrScheduleKind {
+  kConstant,
+  kLinearDecay,   // 1 -> end_factor across the horizon
+  kCosineDecay,   // 1 -> end_factor along a half cosine
+  kStepDecay,     // multiply by `gamma` every `step_rounds`
+};
+
+struct LrSchedule {
+  LrScheduleKind kind = LrScheduleKind::kConstant;
+  int total_rounds = 1;
+  float end_factor = 0.1f;  // linear/cosine floor relative to the base lr
+  int step_rounds = 10;     // step decay period
+  float gamma = 0.5f;       // step decay multiplier
+
+  // Multiplier applied to the base learning rate in `round` (1-based).
+  // Rounds past the horizon clamp to the final value.
+  float Multiplier(int round) const;
+};
+
+}  // namespace pardon::nn

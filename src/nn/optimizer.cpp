@@ -1,0 +1,95 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pardon::nn {
+
+Optimizer::Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads)
+    : params_(std::move(params)), grads_(std::move(grads)) {
+  if (params_.size() != grads_.size()) {
+    throw std::invalid_argument("Optimizer: params/grads size mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->shape() != grads_[i]->shape()) {
+      throw std::invalid_argument("Optimizer: param/grad shape mismatch");
+    }
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor* g : grads_) g->Fill(0.0f);
+}
+
+Sgd::Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+         Options options)
+    : Optimizer(std::move(params), std::move(grads)), options_(options) {
+  if (options_.momentum != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Tensor* p : params_) velocity_.emplace_back(p->shape());
+  }
+}
+
+void Sgd::Step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    for (std::int64_t j = 0; j < p.size(); ++j) {
+      float grad = g[j] + options_.weight_decay * p[j];
+      if (options_.momentum != 0.0f) {
+        float& vel = velocity_[i][j];
+        vel = options_.momentum * vel + grad;
+        grad = vel;
+      }
+      p[j] -= options_.lr * grad;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+           Options options)
+    : Optimizer(std::move(params), std::move(grads)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Tensor* p : params_) {
+    m_.emplace_back(p->shape());
+    v_.emplace_back(p->shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < p.size(); ++j) {
+      const float grad = g[j] + options_.weight_decay * p[j];
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * grad;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * grad * grad;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      p[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(std::vector<Tensor*> params,
+                                         std::vector<Tensor*> grads,
+                                         const OptimizerOptions& options) {
+  if (options.kind == OptimizerOptions::Kind::kSgdMomentum) {
+    return std::make_unique<Sgd>(
+        std::move(params), std::move(grads),
+        Sgd::Options{.lr = options.lr,
+                     .momentum = options.momentum,
+                     .weight_decay = options.weight_decay});
+  }
+  return std::make_unique<Adam>(
+      std::move(params), std::move(grads),
+      Adam::Options{.lr = options.lr, .weight_decay = options.weight_decay});
+}
+
+}  // namespace pardon::nn

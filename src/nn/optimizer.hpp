@@ -1,0 +1,81 @@
+// First-order optimizers over (param, grad) pointer pairs.
+//
+// The optimizer does not own the tensors; it binds to a model's parameter
+// list once and Step() applies the current gradients. Clients construct a
+// fresh optimizer per local round (standard FL practice — optimizer state is
+// not communicated).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::nn {
+
+using tensor::Tensor;
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads);
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the currently-accumulated gradients.
+  virtual void Step() = 0;
+  void ZeroGrad();
+
+ protected:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    float lr = 0.01f;
+    float momentum = 0.0f;
+    float weight_decay = 0.0f;
+  };
+  Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, Options options);
+  void Step() override;
+
+ private:
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+// Algorithm-agnostic optimizer configuration used across the FL stack.
+struct OptimizerOptions {
+  enum class Kind { kAdam, kSgdMomentum };
+  Kind kind = Kind::kAdam;
+  float lr = 1e-3f;
+  float momentum = 0.9f;  // SGD only
+  float weight_decay = 0.0f;
+};
+
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-4f;
+    float weight_decay = 0.0f;
+  };
+  Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+       Options options);
+  void Step() override;
+
+ private:
+  Options options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+// Factory over OptimizerOptions.
+std::unique_ptr<Optimizer> MakeOptimizer(std::vector<Tensor*> params,
+                                         std::vector<Tensor*> grads,
+                                         const OptimizerOptions& options);
+
+}  // namespace pardon::nn

@@ -1,0 +1,93 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace pardon::nn {
+
+Sequential::Sequential(std::vector<std::unique_ptr<Layer>> layers)
+    : layers_(std::move(layers)) {}
+
+Sequential::Sequential(const Sequential& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->Clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  std::vector<std::unique_ptr<Layer>> copied;
+  copied.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) copied.push_back(layer->Clone());
+  layers_ = std::move(copied);
+  return *this;
+}
+
+void Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::Forward(const Tensor& x, Trace* trace, bool training,
+                           Pcg32* rng) const {
+  Tensor current = x;
+  if (trace != nullptr) {
+    trace->contexts.clear();
+    trace->contexts.resize(layers_.size());
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    std::unique_ptr<Layer::Context> local;
+    std::unique_ptr<Layer::Context>& slot =
+        trace != nullptr ? trace->contexts[i] : local;
+    current = layers_[i]->Forward(current, slot, training, rng);
+  }
+  return current;
+}
+
+Tensor Sequential::Infer(const Tensor& x) const {
+  return Forward(x, nullptr, /*training=*/false, nullptr);
+}
+
+Tensor Sequential::Backward(const Tensor& grad_out, const Trace& trace) {
+  if (trace.contexts.size() != layers_.size()) {
+    throw std::invalid_argument("Sequential::Backward: trace/layer mismatch");
+  }
+  Tensor grad = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Layer::Context* ctx = trace.contexts[i].get();
+    if (ctx == nullptr) {
+      // Layers that declined to record a context are identity in backward
+      // (eval-mode dropout).
+      continue;
+    }
+    grad = layers_[i]->Backward(grad, *ctx);
+  }
+  return grad;
+}
+
+std::vector<Tensor*> Sequential::Params() {
+  std::vector<Tensor*> params;
+  for (const auto& layer : layers_) {
+    for (Tensor* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Tensor*> Sequential::Grads() {
+  std::vector<Tensor*> grads;
+  for (const auto& layer : layers_) {
+    for (Tensor* g : layer->Grads()) grads.push_back(g);
+  }
+  return grads;
+}
+
+std::vector<Tensor*> Sequential::Buffers() {
+  std::vector<Tensor*> buffers;
+  for (const auto& layer : layers_) {
+    for (Tensor* b : layer->Buffers()) buffers.push_back(b);
+  }
+  return buffers;
+}
+
+void Sequential::ZeroGrad() {
+  for (const auto& layer : layers_) layer->ZeroGrad();
+}
+
+}  // namespace pardon::nn

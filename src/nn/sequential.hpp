@@ -1,0 +1,53 @@
+// Sequential layer container with explicit traces.
+//
+// A Trace owns the activation contexts for one forward pass; multiple traces
+// through the same Sequential may be alive simultaneously (FISC backprops
+// through both the original and the style-transferred batch).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace pardon::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<std::unique_ptr<Layer>> layers);
+
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+  Sequential(Sequential&&) noexcept = default;
+  Sequential& operator=(Sequential&&) noexcept = default;
+
+  void Add(std::unique_ptr<Layer> layer);
+  std::size_t NumLayers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  // Activation record of one forward pass.
+  struct Trace {
+    std::vector<std::unique_ptr<Layer::Context>> contexts;
+  };
+
+  // Forward pass; fills `trace` when non-null (required for Backward).
+  Tensor Forward(const Tensor& x, Trace* trace, bool training,
+                 Pcg32* rng) const;
+  // Inference shorthand (no trace, eval mode).
+  Tensor Infer(const Tensor& x) const;
+
+  // Backpropagates dL/dy through the trace, accumulating parameter grads;
+  // returns dL/dx.
+  Tensor Backward(const Tensor& grad_out, const Trace& trace);
+
+  std::vector<Tensor*> Params();
+  std::vector<Tensor*> Grads();
+  std::vector<Tensor*> Buffers();
+  void ZeroGrad();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace pardon::nn

@@ -1,0 +1,57 @@
+#include "privacy/domain_inference.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace pardon::privacy {
+
+DomainInferenceProbe::DomainInferenceProbe(
+    const std::vector<data::Dataset>& examples_per_domain,
+    const style::FrozenEncoder& encoder) {
+  if (examples_per_domain.empty()) {
+    throw std::invalid_argument("DomainInferenceProbe: no reference domains");
+  }
+  centroids_.reserve(examples_per_domain.size());
+  for (const data::Dataset& dataset : examples_per_domain) {
+    if (dataset.empty()) {
+      throw std::invalid_argument(
+          "DomainInferenceProbe: empty reference dataset");
+    }
+    std::vector<tensor::Tensor> features;
+    features.reserve(static_cast<std::size_t>(dataset.size()));
+    for (std::int64_t i = 0; i < dataset.size(); ++i) {
+      features.push_back(encoder.Encode(dataset.Image(i)));
+    }
+    centroids_.push_back(style::PooledStyle(features));
+  }
+}
+
+int DomainInferenceProbe::InferDomain(const style::StyleVector& style) const {
+  const tensor::Tensor flat = style.Flat();
+  int best = 0;
+  float best_sim = -2.0f;
+  for (std::size_t d = 0; d < centroids_.size(); ++d) {
+    const float sim = tensor::CosineSimilarity(flat, centroids_[d].Flat());
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = static_cast<int>(d);
+    }
+  }
+  return best;
+}
+
+double DomainInferenceProbe::Accuracy(
+    const std::vector<style::StyleVector>& styles,
+    const std::vector<int>& true_domains) const {
+  if (styles.size() != true_domains.size() || styles.empty()) {
+    throw std::invalid_argument("DomainInferenceProbe: size mismatch");
+  }
+  int correct = 0;
+  for (std::size_t i = 0; i < styles.size(); ++i) {
+    if (InferDomain(styles[i]) == true_domains[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(styles.size());
+}
+
+}  // namespace pardon::privacy

@@ -1,0 +1,42 @@
+// Domain-membership inference probe.
+//
+// A style vector does not reconstruct images (Table 9), but does it reveal
+// WHICH domain a client holds? This probe quantifies that second-order
+// leakage: an adversary who knows the world's domains (e.g. the public list
+// of hospital sites) trains a style -> domain classifier on styles of
+// samples it synthesizes itself, then applies it to victim client styles.
+// High probe accuracy = the style identifies the client's domain; the
+// Gaussian perturbation (Table 10) should degrade it. This extends the
+// paper's security analysis with a membership-style metric.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "style/encoder.hpp"
+#include "style/style_stats.hpp"
+
+namespace pardon::privacy {
+
+class DomainInferenceProbe {
+ public:
+  // `examples_per_domain[d]` holds the adversary's reference datasets, one
+  // per domain (its own synthesized/world-knowledge data).
+  DomainInferenceProbe(const std::vector<data::Dataset>& examples_per_domain,
+                       const style::FrozenEncoder& encoder);
+
+  // Predicted domain for a (possibly perturbed) uploaded client style:
+  // nearest reference-domain style centroid by cosine similarity.
+  int InferDomain(const style::StyleVector& style) const;
+
+  // Accuracy of the probe over victim styles with known true domains.
+  double Accuracy(const std::vector<style::StyleVector>& styles,
+                  const std::vector<int>& true_domains) const;
+
+  int num_domains() const { return static_cast<int>(centroids_.size()); }
+
+ private:
+  std::vector<style::StyleVector> centroids_;
+};
+
+}  // namespace pardon::privacy

@@ -1,0 +1,79 @@
+#include "privacy/dp_accounting.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pardon::privacy {
+
+namespace {
+// Standard normal CDF.
+double Phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// log Phi(x) valid deep into the lower tail (asymptotic expansion for very
+// negative x, where Phi underflows double precision).
+double LogPhi(double x) {
+  if (x > -10.0) return std::log(std::max(Phi(x), 1e-320));
+  // Phi(x) ~ phi(x)/(-x) * (1 - 1/x^2) for x << 0.
+  const double log_pdf = -0.5 * x * x - 0.5 * std::log(2.0 * M_PI);
+  return log_pdf - std::log(-x) + std::log1p(-1.0 / (x * x));
+}
+}  // namespace
+
+double GaussianMechanismDelta(double sigma, double sensitivity,
+                              double epsilon) {
+  if (sigma <= 0.0 || sensitivity <= 0.0) {
+    throw std::invalid_argument("GaussianMechanismDelta: non-positive inputs");
+  }
+  const double a = sensitivity / (2.0 * sigma);
+  const double b = epsilon * sigma / sensitivity;
+  // Second term computed in log space: exp(epsilon) overflows long before
+  // the product epsilon + log Phi(-a-b) does.
+  const double log_term2 = epsilon + LogPhi(-a - b);
+  const double term2 = log_term2 > 700.0 ? std::numeric_limits<double>::infinity()
+                                         : std::exp(log_term2);
+  const double delta = Phi(a - b) - term2;
+  return std::max(delta, 0.0);
+}
+
+double GaussianMechanismEpsilon(double sigma, double sensitivity,
+                                double delta) {
+  if (delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("GaussianMechanismEpsilon: delta in (0,1)");
+  }
+  if (sigma <= 0.0) return std::numeric_limits<double>::infinity();
+  // delta(epsilon) is monotonically decreasing in epsilon; bisect.
+  double lo = 0.0, hi = 1.0;
+  while (GaussianMechanismDelta(sigma, sensitivity, hi) > delta) {
+    hi *= 2.0;
+    if (hi > 1e6) return std::numeric_limits<double>::infinity();
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (GaussianMechanismDelta(sigma, sensitivity, mid) > delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double CalibrateGaussianSigma(double epsilon, double sensitivity,
+                              double delta) {
+  if (epsilon <= 0.0) {
+    throw std::invalid_argument("CalibrateGaussianSigma: epsilon > 0 required");
+  }
+  double lo = 1e-6 * sensitivity, hi = 1e6 * sensitivity;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (GaussianMechanismEpsilon(mid, sensitivity, delta) > epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace pardon::privacy

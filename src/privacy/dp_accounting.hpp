@@ -1,0 +1,30 @@
+// Differential-privacy accounting for the Gaussian style perturbation
+// (Table 10's noise knob).
+//
+// The style vector a FISC client uploads is a bounded-sensitivity statistic;
+// adding N(0, sigma^2) noise per coordinate is the classic Gaussian
+// mechanism. This module computes the (epsilon, delta)-DP guarantee of a
+// given noise scale via the ANALYTIC Gaussian mechanism calibration (Balle &
+// Wang, ICML 2018), which is exact — tighter than the classical
+// sigma >= sqrt(2 ln(1.25/delta)) * S / epsilon bound — so the Table 10
+// bench can print the privacy budget each (p, s) setting actually buys.
+#pragma once
+
+namespace pardon::privacy {
+
+// Exact epsilon of the Gaussian mechanism with noise stddev `sigma` on a
+// query of L2 `sensitivity`, at the given `delta`. Returns +infinity when
+// sigma or delta make the guarantee vacuous. Computed by bisection on the
+// analytic expression delta(epsilon) = Phi(S/2sigma - eps*sigma/S)
+//                                      - e^eps Phi(-S/2sigma - eps*sigma/S).
+double GaussianMechanismEpsilon(double sigma, double sensitivity, double delta);
+
+// Inverse calibration: smallest sigma achieving (epsilon, delta)-DP for the
+// sensitivity (bisection over GaussianMechanismEpsilon).
+double CalibrateGaussianSigma(double epsilon, double sensitivity, double delta);
+
+// delta(epsilon) for the Gaussian mechanism (the analytic expression above);
+// exposed for tests.
+double GaussianMechanismDelta(double sigma, double sensitivity, double epsilon);
+
+}  // namespace pardon::privacy

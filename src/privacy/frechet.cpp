@@ -1,0 +1,98 @@
+#include "privacy/frechet.hpp"
+
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+
+namespace pardon::privacy {
+
+double FrechetDistance(const tensor::Tensor& features_a,
+                       const tensor::Tensor& features_b) {
+  if (features_a.rank() != 2 || features_b.rank() != 2 ||
+      features_a.dim(1) != features_b.dim(1)) {
+    throw std::invalid_argument("FrechetDistance: feature shape mismatch");
+  }
+  if (features_a.dim(0) < 2 || features_b.dim(0) < 2) {
+    throw std::invalid_argument("FrechetDistance: need >= 2 samples per set");
+  }
+  const tensor::Tensor mu_a = tensor::ColMean(features_a);
+  const tensor::Tensor mu_b = tensor::ColMean(features_b);
+  const tensor::Tensor cov_a = tensor::Covariance(features_a);
+  const tensor::Tensor cov_b = tensor::Covariance(features_b);
+
+  const double mean_term =
+      static_cast<double>(tensor::SquaredL2Distance(mu_a, mu_b));
+
+  // tr(Sa + Sb - 2 sqrt(sqrt(Sa) Sb sqrt(Sa))).
+  const tensor::Tensor sqrt_a = tensor::SqrtSymmetricPsd(cov_a);
+  const tensor::Tensor inner =
+      tensor::MatMul(tensor::MatMul(sqrt_a, cov_b), sqrt_a);
+  const tensor::Tensor sqrt_inner = tensor::SqrtSymmetricPsd(inner);
+
+  double trace_term = 0.0;
+  const std::int64_t d = cov_a.dim(0);
+  for (std::int64_t i = 0; i < d; ++i) {
+    trace_term += double(cov_a.At(i, i)) + cov_b.At(i, i) -
+                  2.0 * sqrt_inner.At(i, i);
+  }
+  // Numerical noise can push the trace term slightly negative when the two
+  // distributions coincide.
+  return std::max(mean_term + trace_term, 0.0);
+}
+
+tensor::Tensor FidFeatures(const data::Dataset& dataset,
+                           const style::FrozenEncoder& encoder) {
+  return FidFeaturesOfImages(dataset.images(), dataset.shape(), encoder);
+}
+
+namespace {
+// Average-pools a [C, H, W] feature map onto a 2x2 spatial grid and flattens
+// to [4C] (quadrant means), preserving coarse spatial content.
+tensor::Tensor QuadrantPool(const tensor::Tensor& features) {
+  const std::int64_t c = features.dim(0);
+  const std::int64_t h = features.dim(1);
+  const std::int64_t w = features.dim(2);
+  tensor::Tensor pooled({4 * c});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = features.data() + ch * h * w;
+    double quads[4] = {0, 0, 0, 0};
+    std::int64_t counts[4] = {0, 0, 0, 0};
+    for (std::int64_t i = 0; i < h; ++i) {
+      for (std::int64_t j = 0; j < w; ++j) {
+        const int q = (i < h / 2 ? 0 : 2) + (j < w / 2 ? 0 : 1);
+        quads[q] += plane[i * w + j];
+        ++counts[q];
+      }
+    }
+    for (int q = 0; q < 4; ++q) {
+      pooled[4 * ch + q] = static_cast<float>(
+          quads[q] / static_cast<double>(std::max<std::int64_t>(counts[q], 1)));
+    }
+  }
+  return pooled;
+}
+}  // namespace
+
+tensor::Tensor FidFeaturesOfImages(const tensor::Tensor& images,
+                                   const data::ImageShape& shape,
+                                   const style::FrozenEncoder& encoder) {
+  if (images.rank() != 2 || images.dim(1) != shape.FlatDim()) {
+    throw std::invalid_argument("FidFeaturesOfImages: bad image matrix");
+  }
+  std::vector<tensor::Tensor> rows;
+  rows.reserve(static_cast<std::size_t>(images.dim(0)));
+  for (std::int64_t i = 0; i < images.dim(0); ++i) {
+    const tensor::Tensor image =
+        images.Row(i).Reshape({shape.channels, shape.height, shape.width});
+    rows.push_back(QuadrantPool(encoder.Encode(image)));
+  }
+  return tensor::Tensor::Stack(rows);
+}
+
+double FrechetImageDistance(const data::Dataset& a, const data::Dataset& b,
+                            const style::FrozenEncoder& encoder) {
+  return FrechetDistance(FidFeatures(a, encoder), FidFeatures(b, encoder));
+}
+
+}  // namespace pardon::privacy

@@ -1,0 +1,34 @@
+// Fréchet distance between image sets (the paper's FID, computed in the
+// frozen encoder's style space instead of Inception pool features):
+//   FD = |mu1 - mu2|^2 + tr(S1 + S2 - 2 (S1^1/2 S2 S1^1/2)^1/2).
+// Higher = the two image sets are further apart; the security analysis reads
+// high FD of reconstructions as strong privacy.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "style/encoder.hpp"
+
+namespace pardon::privacy {
+
+// Fréchet distance between two row-feature matrices [N,D] and [M,D].
+double FrechetDistance(const tensor::Tensor& features_a,
+                       const tensor::Tensor& features_b);
+
+// Embeds every image of a dataset into the FID feature space: the encoder's
+// feature map average-pooled to a 2x2 spatial grid and flattened ([4D]).
+// This keeps coarse spatial CONTENT in the features (as Inception pool
+// features do) — a feature space made only of channel statistics would be
+// blind to exactly the information a style-inversion attacker lacks, making
+// the privacy metric vacuous.
+tensor::Tensor FidFeatures(const data::Dataset& dataset,
+                           const style::FrozenEncoder& encoder);
+// Same for a raw [N, C*H*W] image matrix.
+tensor::Tensor FidFeaturesOfImages(const tensor::Tensor& images,
+                                   const data::ImageShape& shape,
+                                   const style::FrozenEncoder& encoder);
+
+// Convenience: Fréchet distance between two image sets.
+double FrechetImageDistance(const data::Dataset& a, const data::Dataset& b,
+                            const style::FrozenEncoder& encoder);
+
+}  // namespace pardon::privacy

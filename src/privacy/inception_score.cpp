@@ -1,0 +1,63 @@
+#include "privacy/inception_score.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/batcher.hpp"
+#include "nn/losses.hpp"
+#include "tensor/ops.hpp"
+
+namespace pardon::privacy {
+
+double InceptionScore(const nn::MlpClassifier& scorer,
+                      const tensor::Tensor& images) {
+  if (images.rank() != 2 || images.dim(0) == 0) {
+    throw std::invalid_argument("InceptionScore: empty image matrix");
+  }
+  const tensor::Tensor probs =
+      tensor::SoftmaxRows(scorer.InferLogits(images));
+  const tensor::Tensor marginal = tensor::ColMean(probs);
+  double kl_sum = 0.0;
+  for (std::int64_t i = 0; i < probs.dim(0); ++i) {
+    for (std::int64_t c = 0; c < probs.dim(1); ++c) {
+      const double p = std::max<double>(probs.At(i, c), 1e-12);
+      const double q = std::max<double>(marginal[c], 1e-12);
+      kl_sum += p * std::log(p / q);
+    }
+  }
+  return std::exp(kl_sum / static_cast<double>(probs.dim(0)));
+}
+
+nn::MlpClassifier TrainScorer(const data::Dataset& real_data, int epochs,
+                              std::uint64_t seed) {
+  if (real_data.empty()) {
+    throw std::invalid_argument("TrainScorer: empty dataset");
+  }
+  nn::MlpClassifier scorer(nn::MlpClassifier::Config{
+      .input_dim = real_data.shape().FlatDim(),
+      .hidden = {96},
+      .embed_dim = 48,
+      .num_classes = real_data.num_classes(),
+      .seed = seed,
+  });
+  nn::Adam optimizer(scorer.Params(), scorer.Grads(), {.lr = 3e-3f});
+  tensor::Pcg32 rng(seed, /*stream=*/0x736372ULL);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const data::Batch& batch :
+         data::MakeEpochBatches(real_data, 64, rng)) {
+      scorer.ZeroGrad();
+      nn::Sequential::Trace feature_trace, head_trace;
+      const tensor::Tensor z =
+          scorer.Embed(batch.images, &feature_trace, true, &rng);
+      const tensor::Tensor logits = scorer.Logits(z, &head_trace, true, &rng);
+      const nn::CrossEntropyResult ce =
+          nn::SoftmaxCrossEntropy(logits, batch.labels);
+      scorer.BackwardFeatures(scorer.BackwardHead(ce.grad_logits, head_trace),
+                              feature_trace);
+      optimizer.Step();
+    }
+  }
+  return scorer;
+}
+
+}  // namespace pardon::privacy

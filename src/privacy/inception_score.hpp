@@ -1,0 +1,22 @@
+// Inception-Score analogue: IS = exp(E_x KL(p(y|x) || p(y))) computed with a
+// task classifier trained on real data, standing in for the Inception network
+// (DESIGN.md substitution). High IS = confident AND diverse predictions;
+// garbage reconstructions collapse the conditional onto the marginal and
+// score near 1 (log-score near 0).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/mlp.hpp"
+
+namespace pardon::privacy {
+
+// IS of an image matrix [N, C*H*W] under `scorer`. N must be >= 1.
+double InceptionScore(const nn::MlpClassifier& scorer,
+                      const tensor::Tensor& images);
+
+// Trains a fresh scorer classifier on `real_data` (a few epochs of Adam) —
+// the "pre-trained Inception" of the analogue.
+nn::MlpClassifier TrainScorer(const data::Dataset& real_data, int epochs = 10,
+                              std::uint64_t seed = 97);
+
+}  // namespace pardon::privacy

@@ -1,0 +1,179 @@
+#include "privacy/inversion_attack.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "data/batcher.hpp"
+#include "nn/layers.hpp"
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::privacy {
+
+namespace {
+
+nn::Sequential MakeDecoder(std::int64_t in_dim, std::int64_t hidden,
+                           std::int64_t out_dim, std::uint64_t seed) {
+  tensor::Pcg32 rng(seed, /*stream=*/0x646563ULL);
+  nn::Sequential decoder;
+  decoder.Add(std::make_unique<nn::Linear>(in_dim, hidden, rng));
+  decoder.Add(std::make_unique<nn::Relu>());
+  decoder.Add(std::make_unique<nn::Linear>(hidden, hidden, rng));
+  decoder.Add(std::make_unique<nn::Relu>());
+  decoder.Add(std::make_unique<nn::Linear>(hidden, out_dim, rng));
+  return decoder;
+}
+
+// Channel-moment matching loss and gradient (the perceptual surrogate).
+float ChannelMomentLoss(const tensor::Tensor& pred, const tensor::Tensor& target,
+                        const data::ImageShape& shape, float weight,
+                        tensor::Tensor& grad_pred) {
+  const std::int64_t batch = pred.dim(0);
+  const std::int64_t hw = shape.height * shape.width;
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    for (std::int64_t ch = 0; ch < shape.channels; ++ch) {
+      const float* p = pred.data() + i * pred.dim(1) + ch * hw;
+      const float* t = target.data() + i * target.dim(1) + ch * hw;
+      double mu_p = 0.0, mu_t = 0.0;
+      for (std::int64_t k = 0; k < hw; ++k) {
+        mu_p += p[k];
+        mu_t += t[k];
+      }
+      mu_p /= static_cast<double>(hw);
+      mu_t /= static_cast<double>(hw);
+      double var_p = 0.0, var_t = 0.0;
+      for (std::int64_t k = 0; k < hw; ++k) {
+        var_p += (p[k] - mu_p) * (p[k] - mu_p);
+        var_t += (t[k] - mu_t) * (t[k] - mu_t);
+      }
+      var_p /= static_cast<double>(hw);
+      var_t /= static_cast<double>(hw);
+      const double sigma_p = std::sqrt(var_p + 1e-5);
+      const double sigma_t = std::sqrt(var_t + 1e-5);
+      const double d_mu = mu_p - mu_t;
+      const double d_sigma = sigma_p - sigma_t;
+      loss += d_mu * d_mu + d_sigma * d_sigma;
+
+      float* g = grad_pred.data() + i * pred.dim(1) + ch * hw;
+      const float mu_coeff =
+          weight * inv_batch * 2.0f * static_cast<float>(d_mu) /
+          static_cast<float>(hw);
+      const float sigma_coeff = weight * inv_batch * 2.0f *
+                                static_cast<float>(d_sigma) /
+                                static_cast<float>(hw * sigma_p);
+      for (std::int64_t k = 0; k < hw; ++k) {
+        g[k] += mu_coeff + sigma_coeff * static_cast<float>(p[k] - mu_p);
+      }
+    }
+  }
+  return weight * static_cast<float>(loss) * inv_batch;
+}
+
+// Shared decoder training loop. `make_input` maps an image batch to the
+// decoder's input matrix (style vectors or full feature maps).
+float TrainDecoder(nn::Sequential& decoder, const data::Dataset& public_data,
+                   const data::ImageShape& shape, const AttackConfig& config,
+                   const std::function<tensor::Tensor(const tensor::Tensor&)>&
+                       make_input) {
+  if (public_data.empty()) {
+    throw std::invalid_argument("TrainDecoder: empty public dataset");
+  }
+  nn::Adam optimizer(decoder.Params(), decoder.Grads(), {.lr = config.lr});
+  tensor::Pcg32 rng(config.seed, /*stream=*/0x617474ULL);
+  float last_loss = 0.0f;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (const data::Batch& batch :
+         data::MakeEpochBatches(public_data, config.batch_size, rng)) {
+      const tensor::Tensor input = make_input(batch.images);
+      decoder.ZeroGrad();
+      nn::Sequential::Trace trace;
+      const tensor::Tensor pred =
+          decoder.Forward(input, &trace, /*training=*/true, &rng);
+      nn::MseResult mse = nn::MeanSquaredError(pred, batch.images);
+      float total = mse.loss;
+      if (config.loss == AttackLoss::kPerceptual) {
+        total += ChannelMomentLoss(pred, batch.images, shape,
+                                   config.perceptual_weight, mse.grad_pred);
+      }
+      decoder.Backward(mse.grad_pred, trace);
+      optimizer.Step();
+      epoch_loss += total;
+      ++batches;
+    }
+    last_loss = static_cast<float>(epoch_loss / std::max(batches, 1));
+  }
+  return last_loss;
+}
+
+}  // namespace
+
+StyleInversionAttack::StyleInversionAttack(const style::FrozenEncoder& encoder,
+                                           const data::ImageShape& shape,
+                                           AttackConfig config)
+    : encoder_(encoder),
+      shape_(shape),
+      config_(config),
+      decoder_(MakeDecoder(2 * encoder.config().feature_channels, config.hidden,
+                           shape.FlatDim(), config.seed)) {}
+
+float StyleInversionAttack::Train(const data::Dataset& public_data) {
+  if (!(public_data.shape() == shape_)) {
+    throw std::invalid_argument("StyleInversionAttack: shape mismatch");
+  }
+  const auto make_input = [this](const tensor::Tensor& images) {
+    std::vector<tensor::Tensor> rows;
+    rows.reserve(static_cast<std::size_t>(images.dim(0)));
+    for (std::int64_t i = 0; i < images.dim(0); ++i) {
+      const tensor::Tensor image = images.Row(i).Reshape(
+          {shape_.channels, shape_.height, shape_.width});
+      rows.push_back(encoder_.EncodeStyle(image).Flat());
+    }
+    return tensor::Tensor::Stack(rows);
+  };
+  return TrainDecoder(decoder_, public_data, shape_, config_, make_input);
+}
+
+tensor::Tensor StyleInversionAttack::Reconstruct(
+    const style::StyleVector& style) const {
+  const tensor::Tensor input = tensor::Tensor::Stack({style.Flat()});
+  return decoder_.Infer(input).Row(0);
+}
+
+tensor::Tensor StyleInversionAttack::ReconstructBatch(
+    const tensor::Tensor& styles) const {
+  return decoder_.Infer(styles);
+}
+
+tensor::Tensor BaselineReconstruction(const style::FrozenEncoder& encoder,
+                                      const data::Dataset& public_data,
+                                      const data::Dataset& victim_data,
+                                      const AttackConfig& config) {
+  const data::ImageShape shape = public_data.shape();
+  const std::int64_t fh = shape.height / encoder.config().pool;
+  const std::int64_t fw = shape.width / encoder.config().pool;
+  const std::int64_t in_dim = encoder.config().feature_channels * fh * fw;
+  nn::Sequential decoder =
+      MakeDecoder(in_dim, config.hidden, shape.FlatDim(), config.seed ^ 0xb5);
+
+  const auto make_input = [&](const tensor::Tensor& images) {
+    std::vector<tensor::Tensor> rows;
+    rows.reserve(static_cast<std::size_t>(images.dim(0)));
+    for (std::int64_t i = 0; i < images.dim(0); ++i) {
+      const tensor::Tensor image =
+          images.Row(i).Reshape({shape.channels, shape.height, shape.width});
+      rows.push_back(encoder.Encode(image).Flatten());
+    }
+    return tensor::Tensor::Stack(rows);
+  };
+  TrainDecoder(decoder, public_data, shape, config, make_input);
+  return decoder.Infer(make_input(victim_data.images()));
+}
+
+}  // namespace pardon::privacy

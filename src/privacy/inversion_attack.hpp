@@ -1,0 +1,75 @@
+// Style-inversion reconstruction attack (Security Analysis, Fig. 6a and
+// Table 9).
+//
+// Threat model: an adversary (the server or a third party) holds the style
+// vectors clients uploaded and a public image corpus (the paper trains a
+// FastGAN on Tiny-ImageNet; we train an MLP decoder on synthetic public
+// domains — DESIGN.md substitution). The decoder learns style -> image on
+// (style(x), x) pairs from the public corpus and is then applied to victim
+// styles. Because a style is 2D numbers summarizing an entire dataset, the
+// attack has almost nothing to invert — the experiment quantifies exactly
+// how bad its reconstructions are (high Fréchet distance, collapsed IS).
+//
+// The "Baseline-GAN" comparator — an attacker with direct access to real
+// images — is simulated by a decoder trained to reconstruct images from
+// their FULL encoder feature maps (a near-lossless input), giving the
+// low-FID reference row of Table 9.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/sequential.hpp"
+#include "style/encoder.hpp"
+
+namespace pardon::privacy {
+
+enum class AttackLoss {
+  kMse,         // pixel-space MSE ("Style2Image - MSE")
+  kPerceptual,  // pixel MSE + channel-moment matching ("- LPIPS" analogue)
+};
+
+struct AttackConfig {
+  AttackLoss loss = AttackLoss::kMse;
+  int epochs = 30;
+  int batch_size = 32;
+  float lr = 3e-3f;
+  std::int64_t hidden = 128;
+  std::uint64_t seed = 131;
+  // Weight of the channel-moment term for kPerceptual.
+  float perceptual_weight = 1.0f;
+};
+
+class StyleInversionAttack {
+ public:
+  StyleInversionAttack(const style::FrozenEncoder& encoder,
+                       const data::ImageShape& shape, AttackConfig config);
+
+  // Trains the decoder on the attacker's public data; returns the final
+  // training loss.
+  float Train(const data::Dataset& public_data);
+
+  // Reconstructs an image (flattened [C*H*W]) from one style vector.
+  tensor::Tensor Reconstruct(const style::StyleVector& style) const;
+  // Batch form: [N, 2D] styles -> [N, C*H*W] images.
+  tensor::Tensor ReconstructBatch(const tensor::Tensor& styles) const;
+
+  const data::ImageShape& shape() const { return shape_; }
+
+ private:
+  const style::FrozenEncoder& encoder_;
+  data::ImageShape shape_;
+  AttackConfig config_;
+  nn::Sequential decoder_;
+};
+
+// The strong comparator: decoder from full feature maps (near-lossless
+// input). Returns reconstructions of `data`'s images after training on
+// `public_data`; both must share shape.
+tensor::Tensor BaselineReconstruction(const style::FrozenEncoder& encoder,
+                                      const data::Dataset& public_data,
+                                      const data::Dataset& victim_data,
+                                      const AttackConfig& config);
+
+}  // namespace pardon::privacy

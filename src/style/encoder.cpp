@@ -1,0 +1,122 @@
+#include "style/encoder.hpp"
+
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::style {
+
+FrozenEncoder::FrozenEncoder(const Config& config) : config_(config) {
+  if (config.in_channels <= 0 || config.feature_channels <= 0 ||
+      config.pool <= 0) {
+    throw std::invalid_argument("FrozenEncoder: non-positive config values");
+  }
+  tensor::Pcg32 rng(config.seed, /*stream=*/0x656e63ULL);
+  // A random Gaussian matrix is full-rank with probability 1; add a scaled
+  // identity block to keep the pseudo-inverse well conditioned.
+  mixing_ = Tensor::Gaussian({config.feature_channels, config.in_channels},
+                             0.0f, 0.5f, rng);
+  const std::int64_t diag =
+      std::min(config.feature_channels, config.in_channels);
+  for (std::int64_t i = 0; i < diag; ++i) mixing_.At(i, i) += 1.0f;
+  mixing_pinv_ = tensor::PseudoInverse(mixing_);
+}
+
+Tensor FrozenEncoder::Encode(const Tensor& image) const {
+  if (image.rank() != 3 || image.dim(0) != config_.in_channels) {
+    throw std::invalid_argument("FrozenEncoder::Encode: bad image shape " +
+                                image.ShapeString());
+  }
+  const std::int64_t c = image.dim(0);
+  const std::int64_t h = image.dim(1);
+  const std::int64_t w = image.dim(2);
+  if (h % config_.pool != 0 || w % config_.pool != 0) {
+    throw std::invalid_argument(
+        "FrozenEncoder::Encode: spatial dims not divisible by pool");
+  }
+  const std::int64_t fh = h / config_.pool;
+  const std::int64_t fw = w / config_.pool;
+
+  // Spatial average pooling into [C, fh, fw].
+  Tensor pooled({c, fh, fw});
+  const float inv_pool =
+      1.0f / static_cast<float>(config_.pool * config_.pool);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t i = 0; i < fh; ++i) {
+      for (std::int64_t j = 0; j < fw; ++j) {
+        float acc = 0.0f;
+        for (std::int64_t di = 0; di < config_.pool; ++di) {
+          for (std::int64_t dj = 0; dj < config_.pool; ++dj) {
+            acc += image[ch * h * w + (i * config_.pool + di) * w +
+                         (j * config_.pool + dj)];
+          }
+        }
+        pooled[ch * fh * fw + i * fw + j] = acc * inv_pool;
+      }
+    }
+  }
+
+  // Channel mixing at every pixel: features[:, i, j] = W * pooled[:, i, j].
+  // Reorganize as matmul over the pixel axis: [fh*fw, C] x [C, D] -> [fh*fw, D].
+  const std::int64_t pixels = fh * fw;
+  Tensor pixels_by_channel({pixels, c});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      pixels_by_channel.At(p, ch) = pooled[ch * pixels + p];
+    }
+  }
+  const Tensor mixed = tensor::MatMulTransB(pixels_by_channel, mixing_);
+  Tensor features({config_.feature_channels, fh, fw});
+  for (std::int64_t d = 0; d < config_.feature_channels; ++d) {
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      features[d * pixels + p] = mixed.At(p, d);
+    }
+  }
+  return features;
+}
+
+Tensor FrozenEncoder::Decode(const Tensor& features) const {
+  if (features.rank() != 3 || features.dim(0) != config_.feature_channels) {
+    throw std::invalid_argument("FrozenEncoder::Decode: bad feature shape " +
+                                features.ShapeString());
+  }
+  const std::int64_t d = features.dim(0);
+  const std::int64_t fh = features.dim(1);
+  const std::int64_t fw = features.dim(2);
+  const std::int64_t pixels = fh * fw;
+
+  Tensor pixels_by_feature({pixels, d});
+  for (std::int64_t k = 0; k < d; ++k) {
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      pixels_by_feature.At(p, k) = features[k * pixels + p];
+    }
+  }
+  const Tensor unmixed = tensor::MatMulTransB(pixels_by_feature, mixing_pinv_);
+
+  const std::int64_t h = fh * config_.pool;
+  const std::int64_t w = fw * config_.pool;
+  Tensor image({config_.in_channels, h, w});
+  // Nearest-neighbor unpooling: replicate each pooled pixel over its block.
+  for (std::int64_t ch = 0; ch < config_.in_channels; ++ch) {
+    for (std::int64_t i = 0; i < fh; ++i) {
+      for (std::int64_t j = 0; j < fw; ++j) {
+        const float value = unmixed.At(i * fw + j, ch);
+        for (std::int64_t di = 0; di < config_.pool; ++di) {
+          for (std::int64_t dj = 0; dj < config_.pool; ++dj) {
+            image[ch * h * w + (i * config_.pool + di) * w +
+                  (j * config_.pool + dj)] = value;
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+StyleVector FrozenEncoder::EncodeStyle(const Tensor& image) const {
+  return ComputeStyle(Encode(image));
+}
+
+}  // namespace pardon::style

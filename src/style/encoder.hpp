@@ -1,0 +1,52 @@
+// Frozen encoder/decoder pair standing in for AdaIN's pre-trained VGG
+// (see DESIGN.md substitutions).
+//
+// The paper only requires Phi to be (a) frozen, (b) identical on every
+// client, and (c) style-bearing: the channel statistics of Phi(x) must carry
+// the domain's style. A fixed random channel-mixing map W [D,C] (applied at
+// every pixel, optionally after spatial average-pool smoothing) satisfies all
+// three, and its Moore-Penrose pseudo-inverse gives an exact decoder Psi so
+// the AdaIN pipeline image -> Phi -> AdaIN -> Psi -> image is well defined.
+// Both are deterministic functions of the seed, so all simulated parties
+// construct bit-identical encoders without communication — exactly the role
+// the public pre-trained VGG plays in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "style/style_stats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pardon::style {
+
+class FrozenEncoder {
+ public:
+  struct Config {
+    std::int64_t in_channels = 0;
+    std::int64_t feature_channels = 0;
+    // Average-pool factor applied spatially before mixing (1 = none). Height
+    // and width must be divisible by it.
+    std::int64_t pool = 1;
+    std::uint64_t seed = 7;
+  };
+
+  explicit FrozenEncoder(const Config& config);
+
+  // [C,H,W] image -> [D, H/pool, W/pool] feature map.
+  Tensor Encode(const Tensor& image) const;
+  // Approximate inverse: [D,h,w] features -> [C, h*pool, w*pool] image
+  // (exact up to the pooling's information loss).
+  Tensor Decode(const Tensor& features) const;
+
+  // Style of an encoded image — the per-sample quantity FISC clusters.
+  StyleVector EncodeStyle(const Tensor& image) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  Tensor mixing_;         // [D, C]
+  Tensor mixing_pinv_;    // [C, D]
+};
+
+}  // namespace pardon::style

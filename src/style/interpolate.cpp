@@ -1,0 +1,47 @@
+#include "style/interpolate.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace pardon::style {
+
+InterpolationResult ExtractInterpolationStyle(
+    std::span<const StyleVector> client_styles,
+    const InterpolationOptions& options) {
+  if (client_styles.empty()) {
+    throw std::invalid_argument("ExtractInterpolationStyle: no client styles");
+  }
+  const Tensor stacked = StackStyles(client_styles);
+
+  InterpolationResult result;
+  if (!options.cluster || stacked.dim(0) == 1) {
+    result.cluster_styles = stacked;
+    result.num_style_clusters = static_cast<int>(stacked.dim(0));
+  } else {
+    const clustering::FinchResult finch =
+        clustering::Finch(stacked, options.metric);
+    const clustering::Partition& coarsest = finch.CoarsestNonTrivial();
+    // Cluster centers ARE the within-cluster averages of client styles.
+    result.cluster_styles = coarsest.centers;
+    result.num_style_clusters = coarsest.num_clusters;
+  }
+
+  Tensor center;
+  if (options.center == CenterMethod::kMedian) {
+    center = tensor::ColMedian(result.cluster_styles);
+  } else {
+    center = tensor::ColMean(result.cluster_styles);
+  }
+  result.global_style = StyleVector::FromFlat(center);
+  // Sigma entries are medians/means of positive values, hence positive, but
+  // guard against degenerate numerical input all the same.
+  for (std::int64_t i = 0; i < result.global_style.sigma.size(); ++i) {
+    if (result.global_style.sigma[i] < 1e-6f) {
+      result.global_style.sigma[i] = 1e-6f;
+    }
+  }
+  return result;
+}
+
+}  // namespace pardon::style

@@ -1,0 +1,38 @@
+// Interpolation-style extraction (server side of Step 2, Eq. 3):
+// FINCH-cluster the client styles, average within clusters, then take the
+// element-wise MEDIAN across cluster styles. The median is the paper's
+// deliberate choice — it keeps a single dominant domain from skewing the
+// global style and lets small-cardinality domains participate.
+#pragma once
+
+#include <span>
+
+#include "clustering/finch.hpp"
+#include "style/style_stats.hpp"
+
+namespace pardon::style {
+
+enum class CenterMethod { kMedian, kMean };
+
+struct InterpolationOptions {
+  // When false, skips the clustering and reduces over raw client styles
+  // (ablation FISC-v2 in Table 11).
+  bool cluster = true;
+  CenterMethod center = CenterMethod::kMedian;
+  clustering::Metric metric = clustering::Metric::kCosine;
+};
+
+struct InterpolationResult {
+  StyleVector global_style;
+  // Number of style clusters FINCH found (1 when clustering is disabled).
+  int num_style_clusters = 1;
+  // Per-cluster averaged styles (rows of [L, 2C]).
+  Tensor cluster_styles;
+};
+
+// Computes the global interpolation style S_g from client styles.
+InterpolationResult ExtractInterpolationStyle(
+    std::span<const StyleVector> client_styles,
+    const InterpolationOptions& options = {});
+
+}  // namespace pardon::style

@@ -1,0 +1,22 @@
+#include "style/perturb.hpp"
+
+#include <algorithm>
+
+namespace pardon::style {
+
+StyleVector PerturbStyle(const StyleVector& style, const PerturbOptions& options,
+                         tensor::Pcg32& rng) {
+  if (options.coefficient <= 0.0f || options.scale <= 0.0f) return style;
+  StyleVector out = style;
+  const float strength = options.coefficient * options.scale;
+  for (std::int64_t i = 0; i < out.mu.size(); ++i) {
+    out.mu[i] += strength * rng.NextGaussian();
+  }
+  for (std::int64_t i = 0; i < out.sigma.size(); ++i) {
+    out.sigma[i] =
+        std::max(out.sigma[i] + strength * rng.NextGaussian(), 1e-4f);
+  }
+  return out;
+}
+
+}  // namespace pardon::style

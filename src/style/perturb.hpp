@@ -1,0 +1,22 @@
+// Gaussian style perturbation (Table 10): before uploading, a client may add
+// calibrated noise to its style vector. `scale` (s) is the noise standard
+// deviation and `coefficient` (p) the perturbation strength, following the
+// paper's FedPCL/DBE-style setup: style' = style + p * N(0, s^2).
+// Sigma entries are clamped to stay positive so the perturbed style remains a
+// valid AdaIN target.
+#pragma once
+
+#include "style/style_stats.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::style {
+
+struct PerturbOptions {
+  float coefficient = 0.0f;  // p in (0, 1); 0 disables
+  float scale = 0.0f;        // s, noise stddev
+};
+
+StyleVector PerturbStyle(const StyleVector& style, const PerturbOptions& options,
+                         tensor::Pcg32& rng);
+
+}  // namespace pardon::style

@@ -1,0 +1,111 @@
+#include "style/style_stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace pardon::style {
+
+Tensor StyleVector::Flat() const {
+  const std::int64_t c = channels();
+  Tensor flat({2 * c});
+  for (std::int64_t i = 0; i < c; ++i) {
+    flat[i] = mu[i];
+    flat[c + i] = sigma[i];
+  }
+  return flat;
+}
+
+StyleVector StyleVector::FromFlat(const Tensor& flat) {
+  if (flat.size() % 2 != 0) {
+    throw std::invalid_argument("StyleVector::FromFlat: odd length");
+  }
+  const std::int64_t c = flat.size() / 2;
+  StyleVector style;
+  style.mu = Tensor({c});
+  style.sigma = Tensor({c});
+  for (std::int64_t i = 0; i < c; ++i) {
+    style.mu[i] = flat[i];
+    style.sigma[i] = flat[c + i];
+  }
+  return style;
+}
+
+StyleVector ComputeStyle(const Tensor& feature_map, float epsilon) {
+  StyleVector style;
+  style.mu = tensor::ChannelMean(feature_map);
+  style.sigma = tensor::ChannelStd(feature_map, epsilon);
+  return style;
+}
+
+StyleVector PooledStyle(std::span<const Tensor> feature_maps, float epsilon) {
+  if (feature_maps.empty()) {
+    throw std::invalid_argument("PooledStyle: empty input");
+  }
+  const Tensor& first = feature_maps.front();
+  if (first.rank() != 3) {
+    throw std::invalid_argument("PooledStyle: expected [C,H,W] maps");
+  }
+  const std::int64_t c = first.dim(0);
+  const std::int64_t hw = first.dim(1) * first.dim(2);
+  std::vector<double> sum(static_cast<std::size_t>(c), 0.0);
+  std::vector<double> sum_sq(static_cast<std::size_t>(c), 0.0);
+  for (const Tensor& map : feature_maps) {
+    if (map.shape() != first.shape()) {
+      throw std::invalid_argument("PooledStyle: inconsistent map shapes");
+    }
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = map.data() + ch * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        sum[static_cast<std::size_t>(ch)] += plane[i];
+        sum_sq[static_cast<std::size_t>(ch)] += double(plane[i]) * plane[i];
+      }
+    }
+  }
+  const double count = static_cast<double>(hw) * feature_maps.size();
+  StyleVector style;
+  style.mu = Tensor({c});
+  style.sigma = Tensor({c});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const double mean = sum[static_cast<std::size_t>(ch)] / count;
+    const double var =
+        std::max(sum_sq[static_cast<std::size_t>(ch)] / count - mean * mean, 0.0);
+    style.mu[ch] = static_cast<float>(mean);
+    style.sigma[ch] = static_cast<float>(std::sqrt(var + epsilon));
+  }
+  return style;
+}
+
+StyleVector AverageStyles(std::span<const StyleVector> styles) {
+  if (styles.empty()) {
+    throw std::invalid_argument("AverageStyles: empty input");
+  }
+  const std::int64_t c = styles.front().channels();
+  StyleVector avg;
+  avg.mu = Tensor({c});
+  avg.sigma = Tensor({c});
+  for (const StyleVector& s : styles) {
+    if (s.channels() != c) {
+      throw std::invalid_argument("AverageStyles: channel mismatch");
+    }
+    avg.mu += s.mu;
+    avg.sigma += s.sigma;
+  }
+  const float inv = 1.0f / static_cast<float>(styles.size());
+  avg.mu *= inv;
+  avg.sigma *= inv;
+  return avg;
+}
+
+Tensor StackStyles(std::span<const StyleVector> styles) {
+  if (styles.empty()) {
+    throw std::invalid_argument("StackStyles: empty input");
+  }
+  std::vector<Tensor> rows;
+  rows.reserve(styles.size());
+  for (const StyleVector& s : styles) rows.push_back(s.Flat());
+  return Tensor::Stack(rows);
+}
+
+}  // namespace pardon::style

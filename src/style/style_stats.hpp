@@ -1,0 +1,43 @@
+// Style vectors: the channel-wise (mu, sigma) statistics of a feature map
+// (Eq. 2 of the paper). A style is the ONLY artifact a FISC client ever
+// uploads; everything privacy-related hinges on how little it reveals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::style {
+
+using tensor::Tensor;
+
+struct StyleVector {
+  Tensor mu;     // [C]
+  Tensor sigma;  // [C], strictly positive
+
+  std::int64_t channels() const { return mu.size(); }
+
+  // Flattens to [2C] = (mu || sigma) — the wire format sent to the server.
+  Tensor Flat() const;
+  static StyleVector FromFlat(const Tensor& flat);
+};
+
+// Style of a single [C,H,W] feature map.
+StyleVector ComputeStyle(const Tensor& feature_map, float epsilon = 1e-5f);
+
+// Pixel-pooled style of a set of equally-shaped [C,H,W] feature maps: the
+// channel-wise mean/std over ALL pixels of ALL maps (what Eq. 2 computes for
+// a cluster Phi_j, not the average of per-map styles).
+StyleVector PooledStyle(std::span<const Tensor> feature_maps,
+                        float epsilon = 1e-5f);
+
+// Element-wise average of style vectors (used for the client style
+// S_{C_k} = 1/L sum_j S(Phi_j)).
+StyleVector AverageStyles(std::span<const StyleVector> styles);
+
+// Stacks styles into an [N, 2C] matrix (rows are Flat() vectors) — the input
+// to server-side FINCH clustering (Eq. 3).
+Tensor StackStyles(std::span<const StyleVector> styles);
+
+}  // namespace pardon::style

@@ -1,0 +1,76 @@
+#include "tensor/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pardon::tensor {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'T', 'N', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("tensor io: truncated stream");
+  return value;
+}
+}  // namespace
+
+void WriteTensor(std::ostream& out, const Tensor& t) {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<std::uint32_t>(t.rank()));
+  for (const std::int64_t d : t.shape()) WritePod(out, d);
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("tensor io: write failed");
+}
+
+Tensor ReadTensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("tensor io: bad magic");
+  }
+  const auto version = ReadPod<std::uint32_t>(in);
+  if (version != kVersion) throw std::runtime_error("tensor io: bad version");
+  const auto rank = ReadPod<std::uint32_t>(in);
+  if (rank > 8) throw std::runtime_error("tensor io: implausible rank");
+  std::vector<std::int64_t> shape(rank);
+  for (auto& d : shape) d = ReadPod<std::int64_t>(in);
+  Tensor t(std::move(shape));
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("tensor io: truncated data");
+  return t;
+}
+
+void SaveTensors(const std::string& path, const std::vector<Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("tensor io: cannot open " + path);
+  WritePod(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const Tensor& t : tensors) WriteTensor(out, t);
+}
+
+std::vector<Tensor> LoadTensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("tensor io: cannot open " + path);
+  const auto count = ReadPod<std::uint32_t>(in);
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) tensors.push_back(ReadTensor(in));
+  return tensors;
+}
+
+}  // namespace pardon::tensor

@@ -1,0 +1,23 @@
+// Binary tensor (de)serialization — used for model checkpoints and for the
+// examples to persist trained global models.
+//
+// Format: magic "PTNS" | u32 version | u32 rank | i64 dims... | f32 data...
+// Little-endian layout is assumed (true of every supported target).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::tensor {
+
+void WriteTensor(std::ostream& out, const Tensor& t);
+Tensor ReadTensor(std::istream& in);
+
+// Writes a named bundle of tensors (checkpoint).
+void SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
+std::vector<Tensor> LoadTensors(const std::string& path);
+
+}  // namespace pardon::tensor

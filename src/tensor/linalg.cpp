@@ -1,0 +1,156 @@
+#include "tensor/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace pardon::tensor {
+
+Tensor Inverse2D(const Tensor& m) {
+  if (m.rank() != 2 || m.dim(0) != m.dim(1)) {
+    throw std::invalid_argument("Inverse2D: expected square matrix");
+  }
+  const std::int64_t n = m.dim(0);
+  // Augmented [A | I] in double precision for stability.
+  std::vector<double> a(static_cast<std::size_t>(n * 2 * n), 0.0);
+  const auto at = [&](std::int64_t r, std::int64_t c) -> double& {
+    return a[static_cast<std::size_t>(r * 2 * n + c)];
+  };
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < n; ++c) at(r, c) = m.At(r, c);
+    at(r, n + r) = 1.0;
+  }
+  for (std::int64_t col = 0; col < n; ++col) {
+    std::int64_t pivot = col;
+    for (std::int64_t r = col + 1; r < n; ++r) {
+      if (std::fabs(at(r, col)) > std::fabs(at(pivot, col))) pivot = r;
+    }
+    if (std::fabs(at(pivot, col)) < 1e-12) {
+      throw std::runtime_error("Inverse2D: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::int64_t c = 0; c < 2 * n; ++c) std::swap(at(pivot, c), at(col, c));
+    }
+    const double inv_pivot = 1.0 / at(col, col);
+    for (std::int64_t c = 0; c < 2 * n; ++c) at(col, c) *= inv_pivot;
+    for (std::int64_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = at(r, col);
+      if (factor == 0.0) continue;
+      for (std::int64_t c = 0; c < 2 * n; ++c) at(r, c) -= factor * at(col, c);
+    }
+  }
+  Tensor out({n, n});
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < n; ++c) {
+      out.At(r, c) = static_cast<float>(at(r, n + c));
+    }
+  }
+  return out;
+}
+
+Tensor PseudoInverse(const Tensor& m) {
+  if (m.rank() != 2) throw std::invalid_argument("PseudoInverse: rank-2 only");
+  if (m.dim(0) <= m.dim(1)) {
+    // A^+ = A^T (A A^T)^-1.
+    const Tensor gram = MatMulTransB(m, m);  // [N,N]
+    return MatMulTransA(m, Inverse2D(gram));
+  }
+  // A^+ = (A^T A)^-1 A^T.
+  const Tensor gram = MatMulTransA(m, m);  // [M,M]
+  return MatMulTransB(Inverse2D(gram), m);
+}
+
+EigenResult JacobiEigenSymmetric(const Tensor& m, int max_sweeps,
+                                 double tolerance) {
+  if (m.rank() != 2 || m.dim(0) != m.dim(1)) {
+    throw std::invalid_argument("JacobiEigenSymmetric: expected square matrix");
+  }
+  const std::int64_t n = m.dim(0);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  std::vector<double> v(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t r = 0; r < n; ++r) {
+    v[static_cast<std::size_t>(r * n + r)] = 1.0;
+    for (std::int64_t c = 0; c < n; ++c) {
+      a[static_cast<std::size_t>(r * n + c)] = 0.5 * (m.At(r, c) + m.At(c, r));
+    }
+  }
+  const auto A = [&](std::int64_t r, std::int64_t c) -> double& {
+    return a[static_cast<std::size_t>(r * n + c)];
+  };
+  const auto V = [&](std::int64_t r, std::int64_t c) -> double& {
+    return v[static_cast<std::size_t>(r * n + c)];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      for (std::int64_t c = r + 1; c < n; ++c) off += A(r, c) * A(r, c);
+    }
+    if (off < tolerance) break;
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        const double apq = A(p, q);
+        if (std::fabs(apq) < 1e-18) continue;
+        const double theta = (A(q, q) - A(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double cos = 1.0 / std::sqrt(t * t + 1.0);
+        const double sin = t * cos;
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double akp = A(k, p), akq = A(k, q);
+          A(k, p) = cos * akp - sin * akq;
+          A(k, q) = sin * akp + cos * akq;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double apk = A(p, k), aqk = A(q, k);
+          A(p, k) = cos * apk - sin * aqk;
+          A(q, k) = sin * apk + cos * aqk;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double vkp = V(k, p), vkq = V(k, q);
+          V(k, p) = cos * vkp - sin * vkq;
+          V(k, q) = sin * vkp + cos * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t lhs, std::int64_t rhs) {
+    return A(lhs, lhs) > A(rhs, rhs);
+  });
+
+  EigenResult result;
+  result.eigenvalues = Tensor({n});
+  result.eigenvectors = Tensor({n, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t src = order[static_cast<std::size_t>(i)];
+    result.eigenvalues[i] = static_cast<float>(A(src, src));
+    for (std::int64_t r = 0; r < n; ++r) {
+      result.eigenvectors.At(r, i) = static_cast<float>(V(r, src));
+    }
+  }
+  return result;
+}
+
+Tensor SqrtSymmetricPsd(const Tensor& m) {
+  const EigenResult eig = JacobiEigenSymmetric(m);
+  const std::int64_t n = m.dim(0);
+  // sqrt(M) = Q diag(sqrt(lambda)) Q^T.
+  Tensor scaled = eig.eigenvectors;  // columns scaled by sqrt(eigenvalue)
+  for (std::int64_t c = 0; c < n; ++c) {
+    const float lambda = std::max(eig.eigenvalues[c], 0.0f);
+    const float root = std::sqrt(lambda);
+    for (std::int64_t r = 0; r < n; ++r) scaled.At(r, c) *= root;
+  }
+  return MatMulTransB(scaled, eig.eigenvectors);
+}
+
+}  // namespace pardon::tensor

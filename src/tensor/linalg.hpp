@@ -1,0 +1,35 @@
+// Dense linear algebra for small matrices: Gauss-Jordan inverse, Jacobi
+// eigendecomposition of symmetric matrices, and the PSD matrix square root.
+//
+// Consumers: the style decoder (pseudo-inverse of the frozen encoder's
+// channel-mixing matrix) and the Fréchet distance (FID analogue), which needs
+// sqrtm of covariance products. Matrices here are tens of rows, so O(n^3)
+// methods are appropriate.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::tensor {
+
+// Inverse of a square matrix via Gauss-Jordan with partial pivoting.
+// Throws std::runtime_error on (numerical) singularity.
+Tensor Inverse2D(const Tensor& m);
+
+// Moore-Penrose pseudo-inverse of an [N,M] matrix with full row or column
+// rank: A^+ = A^T (A A^T)^-1 when N <= M, (A^T A)^-1 A^T otherwise.
+Tensor PseudoInverse(const Tensor& m);
+
+struct EigenResult {
+  Tensor eigenvalues;   // [N], descending
+  Tensor eigenvectors;  // [N,N], column i pairs with eigenvalue i
+};
+
+// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+EigenResult JacobiEigenSymmetric(const Tensor& m, int max_sweeps = 64,
+                                 double tolerance = 1e-12);
+
+// Symmetric PSD matrix square root via eigendecomposition; negative
+// eigenvalues (numerical noise) are clamped to zero.
+Tensor SqrtSymmetricPsd(const Tensor& m);
+
+}  // namespace pardon::tensor

@@ -1,0 +1,448 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pardon::tensor {
+
+namespace {
+void CheckSameVolume(const Tensor& a, const Tensor& b, const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": volume mismatch " +
+                                a.ShapeString() + " vs " + b.ShapeString());
+  }
+}
+
+void CheckRank2(const Tensor& m, const char* what) {
+  if (m.rank() != 2) {
+    throw std::invalid_argument(std::string(what) + ": expected rank-2, got " +
+                                m.ShapeString());
+  }
+}
+
+template <typename Fn>
+Tensor UnaryOp(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const float* in = a.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) dst[i] = fn(in[i]);
+  return out;
+}
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameVolume(a, b, "Add");
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameVolume(a, b, "Sub");
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameVolume(a, b, "Mul");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float v) { return v + s; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float v) { return std::exp(v); });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float v) { return std::log(std::max(v, 1e-12f)); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float v) { return std::sqrt(std::max(v, 0.0f)); });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return UnaryOp(a, [lo, hi](float v) { return std::clamp(v, lo, hi); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float v) { return std::fabs(v); });
+}
+
+Tensor AddRowVector(const Tensor& m, const Tensor& v) {
+  CheckRank2(m, "AddRowVector");
+  if (v.size() != m.dim(1)) {
+    throw std::invalid_argument("AddRowVector: vector length mismatch");
+  }
+  Tensor out = m;
+  const std::int64_t rows = m.dim(0);
+  const std::int64_t cols = m.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] += v[c];
+  }
+  return out;
+}
+
+Tensor MulRowVector(const Tensor& m, const Tensor& v) {
+  CheckRank2(m, "MulRowVector");
+  if (v.size() != m.dim(1)) {
+    throw std::invalid_argument("MulRowVector: vector length mismatch");
+  }
+  Tensor out = m;
+  const std::int64_t rows = m.dim(0);
+  const std::int64_t cols = m.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= v[c];
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMul lhs");
+  CheckRank2(b, "MatMul rhs");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("MatMul: inner dimension mismatch " +
+                                a.ShapeString() + " x " + b.ShapeString());
+  }
+  Tensor out({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * m;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulTransA lhs");
+  CheckRank2(b, "MatMulTransA rhs");
+  const std::int64_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("MatMulTransA: dimension mismatch");
+  }
+  Tensor out({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * n;
+    const float* brow = pb + p * m;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulTransB lhs");
+  CheckRank2(b, "MatMulTransB rhs");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("MatMulTransB: dimension mismatch");
+  }
+  Tensor out({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * m;
+    for (std::int64_t j = 0; j < m; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  CheckRank2(a, "Transpose2D");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  Tensor out({m, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) out.At(j, i) = a.At(i, j);
+  }
+  return out;
+}
+
+float Sum(const Tensor& a) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float Mean(const Tensor& a) {
+  if (a.size() == 0) return 0.0f;
+  return Sum(a) / static_cast<float>(a.size());
+}
+
+float MaxValue(const Tensor& a) {
+  if (a.size() == 0) throw std::invalid_argument("MaxValue: empty tensor");
+  float best = a[0];
+  for (std::int64_t i = 1; i < a.size(); ++i) best = std::max(best, a[i]);
+  return best;
+}
+
+Tensor ColSum(const Tensor& m) {
+  CheckRank2(m, "ColSum");
+  Tensor out({m.dim(1)});
+  for (std::int64_t r = 0; r < m.dim(0); ++r) {
+    const float* row = m.data() + r * m.dim(1);
+    for (std::int64_t c = 0; c < m.dim(1); ++c) out[c] += row[c];
+  }
+  return out;
+}
+
+Tensor RowSum(const Tensor& m) {
+  CheckRank2(m, "RowSum");
+  Tensor out({m.dim(0)});
+  for (std::int64_t r = 0; r < m.dim(0); ++r) {
+    const float* row = m.data() + r * m.dim(1);
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < m.dim(1); ++c) acc += row[c];
+    out[r] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor ColMean(const Tensor& m) {
+  CheckRank2(m, "ColMean");
+  Tensor out = ColSum(m);
+  if (m.dim(0) > 0) out *= 1.0f / static_cast<float>(m.dim(0));
+  return out;
+}
+
+Tensor ColMedian(const Tensor& m) {
+  CheckRank2(m, "ColMedian");
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  if (rows == 0) throw std::invalid_argument("ColMedian: no rows");
+  Tensor out({cols});
+  std::vector<float> column(static_cast<std::size_t>(rows));
+  for (std::int64_t c = 0; c < cols; ++c) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      column[static_cast<std::size_t>(r)] = m.At(r, c);
+    }
+    const std::size_t mid = column.size() / 2;
+    std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid),
+                     column.end());
+    float median = column[mid];
+    if (column.size() % 2 == 0) {
+      const float lower = *std::max_element(
+          column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid));
+      median = 0.5f * (median + lower);
+    }
+    out[c] = median;
+  }
+  return out;
+}
+
+Tensor Covariance(const Tensor& m) {
+  CheckRank2(m, "Covariance");
+  const std::int64_t n = m.dim(0), d = m.dim(1);
+  if (n == 0) throw std::invalid_argument("Covariance: no rows");
+  const Tensor mean = ColMean(m);
+  Tensor centered = m;
+  for (std::int64_t r = 0; r < n; ++r) {
+    float* row = centered.data() + r * d;
+    for (std::int64_t c = 0; c < d; ++c) row[c] -= mean[c];
+  }
+  Tensor cov = MatMulTransA(centered, centered);
+  cov *= 1.0f / static_cast<float>(n);
+  return cov;
+}
+
+std::vector<int> ArgMaxRows(const Tensor& m) {
+  CheckRank2(m, "ArgMaxRows");
+  std::vector<int> out(static_cast<std::size_t>(m.dim(0)));
+  for (std::int64_t r = 0; r < m.dim(0); ++r) {
+    const float* row = m.data() + r * m.dim(1);
+    int best = 0;
+    for (std::int64_t c = 1; c < m.dim(1); ++c) {
+      if (row[c] > row[best]) best = static_cast<int>(c);
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  CheckRank2(logits, "SoftmaxRows");
+  Tensor out = logits;
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * cols;
+    float max_v = row[0];
+    for (std::int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, row[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      denom += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / std::max(denom, 1e-12));
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+float Dot(const Tensor& a, const Tensor& b) {
+  CheckSameVolume(a, b, "Dot");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) acc += double(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+float L2Norm(const Tensor& a) { return std::sqrt(std::max(Dot(a, a), 0.0f)); }
+
+float SquaredL2Distance(const Tensor& a, const Tensor& b) {
+  CheckSameVolume(a, b, "SquaredL2Distance");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double d = double(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+float CosineSimilarity(const Tensor& a, const Tensor& b) {
+  const float na = L2Norm(a), nb = L2Norm(b);
+  if (na < 1e-12f || nb < 1e-12f) return 0.0f;
+  return Dot(a, b) / (na * nb);
+}
+
+Tensor PairwiseCosine(const Tensor& m) {
+  CheckRank2(m, "PairwiseCosine");
+  const std::int64_t n = m.dim(0), d = m.dim(1);
+  std::vector<float> norms(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = m.data() + i * d;
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) acc += double(row[c]) * row[c];
+    norms[static_cast<std::size_t>(i)] =
+        static_cast<float>(std::sqrt(std::max(acc, 1e-24)));
+  }
+  Tensor out({n, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* ri = m.data() + i * d;
+    for (std::int64_t j = i; j < n; ++j) {
+      const float* rj = m.data() + j * d;
+      double acc = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) acc += double(ri[c]) * rj[c];
+      const float sim = static_cast<float>(
+          acc / (double(norms[static_cast<std::size_t>(i)]) *
+                 norms[static_cast<std::size_t>(j)]));
+      out.At(i, j) = sim;
+      out.At(j, i) = sim;
+    }
+  }
+  return out;
+}
+
+Tensor PairwiseSquaredL2(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "PairwiseSquaredL2 lhs");
+  CheckRank2(b, "PairwiseSquaredL2 rhs");
+  if (a.dim(1) != b.dim(1)) {
+    throw std::invalid_argument("PairwiseSquaredL2: feature dim mismatch");
+  }
+  const std::int64_t n = a.dim(0), m = b.dim(0), d = a.dim(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* ra = a.data() + i * d;
+    for (std::int64_t j = 0; j < m; ++j) {
+      const float* rb = b.data() + j * d;
+      double acc = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        const double diff = double(ra[c]) - rb[c];
+        acc += diff * diff;
+      }
+      out.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor ChannelMean(const Tensor& feature_map) {
+  if (feature_map.rank() != 3) {
+    throw std::invalid_argument("ChannelMean: expected [C,H,W], got " +
+                                feature_map.ShapeString());
+  }
+  const std::int64_t c = feature_map.dim(0);
+  const std::int64_t hw = feature_map.dim(1) * feature_map.dim(2);
+  Tensor out({c});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = feature_map.data() + ch * hw;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+    out[ch] = static_cast<float>(acc / static_cast<double>(hw));
+  }
+  return out;
+}
+
+Tensor ChannelStd(const Tensor& feature_map, float epsilon) {
+  if (feature_map.rank() != 3) {
+    throw std::invalid_argument("ChannelStd: expected [C,H,W], got " +
+                                feature_map.ShapeString());
+  }
+  const Tensor mean = ChannelMean(feature_map);
+  const std::int64_t c = feature_map.dim(0);
+  const std::int64_t hw = feature_map.dim(1) * feature_map.dim(2);
+  Tensor out({c});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = feature_map.data() + ch * hw;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < hw; ++i) {
+      const double d = double(plane[i]) - mean[ch];
+      acc += d * d;
+    }
+    out[ch] = static_cast<float>(
+        std::sqrt(acc / static_cast<double>(hw) + epsilon));
+  }
+  return out;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CheckSameVolume(a, b, "MaxAbsDiff");
+  float best = 0.0f;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+bool AllFinite(const Tensor& a) {
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace pardon::tensor

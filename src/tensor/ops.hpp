@@ -1,0 +1,84 @@
+// Free-function math kernels over Tensor.
+//
+// All binary elementwise ops require identical volumes except the *RowVector
+// variants, which broadcast a [D] vector across the rows of an [N,D] matrix
+// (the only broadcast the library needs). Matmul is plain O(n^3) with the
+// inner loop arranged for cache-friendly row-major access; model sizes in
+// this project are small enough that this is never the bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::tensor {
+
+// -- elementwise -------------------------------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);          // clamps input to >= 1e-12
+Tensor Sqrt(const Tensor& a);         // clamps input to >= 0
+Tensor Clamp(const Tensor& a, float lo, float hi);
+Tensor Abs(const Tensor& a);
+
+// Broadcasts [D] vector `v` over rows of [N,D] matrix `m`.
+Tensor AddRowVector(const Tensor& m, const Tensor& v);
+Tensor MulRowVector(const Tensor& m, const Tensor& v);
+
+// -- linear algebra -----------------------------------------------------------
+// [N,K] x [K,M] -> [N,M].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// a^T b: [K,N]^T x [K,M] -> [N,M].
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+// a b^T: [N,K] x [M,K]^T -> [N,M].
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+Tensor Transpose2D(const Tensor& a);
+
+// -- reductions ----------------------------------------------------------------
+float Sum(const Tensor& a);
+float Mean(const Tensor& a);
+float MaxValue(const Tensor& a);
+// Column sums of [N,D] -> [D].
+Tensor ColSum(const Tensor& m);
+// Per-row sums of [N,D] -> [N].
+Tensor RowSum(const Tensor& m);
+// Column means of [N,D] -> [D].
+Tensor ColMean(const Tensor& m);
+// Element-wise median over axis 0 of [N,D] -> [D].
+Tensor ColMedian(const Tensor& m);
+// Unbiased-off (population) covariance of [N,D] rows -> [D,D].
+Tensor Covariance(const Tensor& m);
+
+// Row-wise argmax of an [N,D] matrix -> N ints.
+std::vector<int> ArgMaxRows(const Tensor& m);
+// Row-wise numerically-stable softmax of [N,D].
+Tensor SoftmaxRows(const Tensor& logits);
+
+// -- vector geometry -------------------------------------------------------------
+float Dot(const Tensor& a, const Tensor& b);
+float L2Norm(const Tensor& a);
+float SquaredL2Distance(const Tensor& a, const Tensor& b);
+// Cosine similarity in [-1, 1]; zero vectors give 0.
+float CosineSimilarity(const Tensor& a, const Tensor& b);
+// Pairwise cosine similarity of the rows of [N,D] -> [N,N].
+Tensor PairwiseCosine(const Tensor& m);
+// Squared L2 distances between rows of a [N,D] and rows of b [M,D] -> [N,M].
+Tensor PairwiseSquaredL2(const Tensor& a, const Tensor& b);
+
+// -- channel statistics (style) ---------------------------------------------------
+// For a [C,H,W] feature map, per-channel mean -> [C].
+Tensor ChannelMean(const Tensor& feature_map);
+// Per-channel standard deviation (population, epsilon-stabilized) -> [C].
+Tensor ChannelStd(const Tensor& feature_map, float epsilon = 1e-5f);
+
+// -- comparisons ------------------------------------------------------------------
+// Max absolute elementwise difference; tensors must have equal volume.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+bool AllFinite(const Tensor& a);
+
+}  // namespace pardon::tensor

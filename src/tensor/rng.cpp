@@ -1,0 +1,82 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pardon::tensor {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0u), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+std::uint32_t Pcg32::NextU32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31u));
+}
+
+std::uint32_t Pcg32::NextBounded(std::uint32_t bound) {
+  if (bound == 0) return 0;
+  const std::uint32_t threshold = (~bound + 1u) % bound;
+  for (;;) {
+    const std::uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+float Pcg32::NextFloat() {
+  return static_cast<float>(NextU32() >> 8) * 0x1.0p-24f;
+}
+
+double Pcg32::NextDouble() {
+  const std::uint64_t hi = NextU32();
+  const std::uint64_t lo = NextU32();
+  return static_cast<double>((hi << 21) ^ lo) * 0x1.0p-53;
+}
+
+float Pcg32::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  float u1 = NextFloat();
+  const float u2 = NextFloat();
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float radius = std::sqrt(-2.0f * std::log(u1));
+  const float theta = 2.0f * std::numbers::pi_v<float> * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+float Pcg32::NextUniform(float lo, float hi) {
+  return lo + (hi - lo) * NextFloat();
+}
+
+std::vector<int> Pcg32::Permutation(int n) {
+  std::vector<int> indices(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) indices[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const int j = static_cast<int>(NextBounded(static_cast<std::uint32_t>(i + 1)));
+    std::swap(indices[static_cast<std::size_t>(i)],
+              indices[static_cast<std::size_t>(j)]);
+  }
+  return indices;
+}
+
+Pcg32 Pcg32::Fork(std::uint64_t salt) {
+  // Mix the salt with fresh draws so forked streams are decorrelated
+  // regardless of how many numbers the parent has produced.
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>(NextU32()) << 32) ^ NextU32() ^ salt;
+  const std::uint64_t stream = salt * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL;
+  return Pcg32(seed, stream);
+}
+
+}  // namespace pardon::tensor

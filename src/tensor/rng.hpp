@@ -1,0 +1,45 @@
+// Deterministic PCG32 random number generator.
+//
+// Every stochastic component in the library (data synthesis, dropout, client
+// sampling, noise mechanisms) draws from an explicitly-seeded Pcg32 so whole
+// FL runs are reproducible bit-for-bit across platforms; std::mt19937 is
+// avoided because libstdc++/libc++ distributions differ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pardon::tensor {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  // Uniform 32-bit integer.
+  std::uint32_t NextU32();
+  // Uniform integer in [0, bound) without modulo bias.
+  std::uint32_t NextBounded(std::uint32_t bound);
+  // Uniform float in [0, 1).
+  float NextFloat();
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Standard normal via Box-Muller (caches the second deviate).
+  float NextGaussian();
+  // Uniform float in [lo, hi).
+  float NextUniform(float lo, float hi);
+
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<int> Permutation(int n);
+
+  // Derives an independent child generator (stable across call order).
+  Pcg32 Fork(std::uint64_t salt);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  float cached_gaussian_ = 0.0f;
+};
+
+}  // namespace pardon::tensor

@@ -1,0 +1,197 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace pardon::tensor {
+
+namespace {
+void CheckSameVolume(std::int64_t have, std::int64_t want, const char* what) {
+  if (have != want) {
+    throw std::invalid_argument(std::string(what) + ": element count mismatch (" +
+                                std::to_string(have) + " vs " +
+                                std::to_string(want) + ")");
+  }
+}
+}  // namespace
+
+std::int64_t Tensor::Volume(const std::vector<std::int64_t>& shape) {
+  std::int64_t volume = 1;
+  for (const std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    volume *= d;
+  }
+  return volume;
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(Volume(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> shape)
+    : Tensor(std::vector<std::int64_t>(shape)) {}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  CheckSameVolume(static_cast<std::int64_t>(data_.size()), Volume(shape_),
+                  "Tensor(shape, values)");
+}
+
+Tensor Tensor::Zeros(std::vector<std::int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<std::int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<std::int64_t> shape, float lo, float hi,
+                       Pcg32& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.NextUniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::Gaussian(std::vector<std::int64_t> shape, float mean,
+                        float stddev, Pcg32& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = mean + stddev * rng.NextGaussian();
+  return t;
+}
+
+Tensor Tensor::Arange(std::int64_t n) {
+  Tensor t({n});
+  for (std::int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::Reshape(std::vector<std::int64_t> shape) const {
+  std::int64_t inferred_axis = -1;
+  std::int64_t known = 1;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      if (inferred_axis >= 0) {
+        throw std::invalid_argument("Reshape: more than one -1 dimension");
+      }
+      inferred_axis = static_cast<std::int64_t>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (inferred_axis >= 0) {
+    if (known == 0 || size() % known != 0) {
+      throw std::invalid_argument("Reshape: cannot infer -1 dimension");
+    }
+    shape[static_cast<std::size_t>(inferred_axis)] = size() / known;
+  }
+  CheckSameVolume(size(), Volume(shape), "Reshape");
+  return Tensor(std::move(shape), data_);
+}
+
+Tensor Tensor::Flatten() const { return Reshape({size()}); }
+
+Tensor Tensor::Row(std::int64_t row) const {
+  if (rank() == 0) throw std::invalid_argument("Row: rank-0 tensor");
+  if (row < 0 || row >= shape_[0]) {
+    throw std::out_of_range("Row: index " + std::to_string(row) +
+                            " out of range for " + ShapeString());
+  }
+  std::vector<std::int64_t> row_shape(shape_.begin() + 1, shape_.end());
+  const std::int64_t stride = Volume(row_shape);
+  std::vector<float> values(
+      data_.begin() + static_cast<std::ptrdiff_t>(row * stride),
+      data_.begin() + static_cast<std::ptrdiff_t>((row + 1) * stride));
+  return Tensor(std::move(row_shape), std::move(values));
+}
+
+Tensor Tensor::Stack(const std::vector<Tensor>& rows) {
+  if (rows.empty()) throw std::invalid_argument("Stack: empty input");
+  const auto& base_shape = rows.front().shape();
+  std::vector<std::int64_t> shape;
+  shape.push_back(static_cast<std::int64_t>(rows.size()));
+  shape.insert(shape.end(), base_shape.begin(), base_shape.end());
+  Tensor out(std::move(shape));
+  const std::int64_t stride = rows.front().size();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].shape() != base_shape) {
+      throw std::invalid_argument("Stack: inconsistent row shapes");
+    }
+    std::copy(rows[i].data_.begin(), rows[i].data_.end(),
+              out.data_.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::int64_t>(i) * stride));
+  }
+  return out;
+}
+
+Tensor Tensor::Gather(std::span<const int> indices) const {
+  if (rank() == 0) throw std::invalid_argument("Gather: rank-0 tensor");
+  std::vector<std::int64_t> row_shape(shape_.begin() + 1, shape_.end());
+  const std::int64_t stride = Volume(row_shape);
+  std::vector<std::int64_t> shape = shape_;
+  shape[0] = static_cast<std::int64_t>(indices.size());
+  Tensor out(std::move(shape));
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t row = indices[i];
+    if (row < 0 || row >= shape_[0]) {
+      throw std::out_of_range("Gather: index out of range");
+    }
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(row * stride),
+              data_.begin() + static_cast<std::ptrdiff_t>((row + 1) * stride),
+              out.data_.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::int64_t>(i) * stride));
+  }
+  return out;
+}
+
+void Tensor::SetRow(std::int64_t row, const Tensor& row_value) {
+  if (rank() == 0) throw std::invalid_argument("SetRow: rank-0 tensor");
+  const std::int64_t stride = size() / shape_[0];
+  if (row_value.size() != stride) {
+    throw std::invalid_argument("SetRow: row size mismatch");
+  }
+  if (row < 0 || row >= shape_[0]) throw std::out_of_range("SetRow: bad row");
+  std::copy(row_value.data_.begin(), row_value.data_.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(row * stride));
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  CheckSameVolume(other.size(), size(), "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  CheckSameVolume(other.size(), size(), "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out << ", ";
+    out << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace pardon::tensor

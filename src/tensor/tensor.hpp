@@ -1,0 +1,100 @@
+// Dense row-major float tensor.
+//
+// This is the numeric substrate for the whole library: images are [C,H,W]
+// tensors, batches are [N,D] or [N,C,H,W], model parameters are [In,Out]
+// matrices. Tensors are always contiguous; views are not supported — slices
+// copy. That keeps the aliasing story trivial, which matters because client
+// training runs on a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pardon::tensor {
+
+class Pcg32;
+
+class Tensor {
+ public:
+  // Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape);
+  // Takes ownership of `values`; their count must equal the shape's volume.
+  Tensor(std::vector<std::int64_t> shape, std::vector<float> values);
+
+  // -- factories -----------------------------------------------------------
+  static Tensor Zeros(std::vector<std::int64_t> shape);
+  static Tensor Ones(std::vector<std::int64_t> shape);
+  static Tensor Full(std::vector<std::int64_t> shape, float value);
+  static Tensor Uniform(std::vector<std::int64_t> shape, float lo, float hi,
+                        Pcg32& rng);
+  static Tensor Gaussian(std::vector<std::int64_t> shape, float mean,
+                         float stddev, Pcg32& rng);
+  // 1-D tensor [0, 1, ..., n-1].
+  static Tensor Arange(std::int64_t n);
+
+  // -- shape ---------------------------------------------------------------
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t axis) const { return shape_.at(axis); }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  // Returns a copy with a new shape of equal volume. A single -1 entry is
+  // inferred from the remaining dimensions.
+  Tensor Reshape(std::vector<std::int64_t> shape) const;
+  // Flattens to rank 1.
+  Tensor Flatten() const;
+
+  // -- element access ------------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> values() { return data_; }
+  std::span<const float> values() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+  // 2-D accessors (checked rank in debug builds only).
+  float& At(std::int64_t row, std::int64_t col) {
+    return data_[static_cast<std::size_t>(row * shape_[1] + col)];
+  }
+  float At(std::int64_t row, std::int64_t col) const {
+    return data_[static_cast<std::size_t>(row * shape_[1] + col)];
+  }
+
+  // -- row slicing (copying) -------------------------------------------------
+  // For a rank>=1 tensor, returns the `row`-th slice along axis 0 with rank
+  // reduced by one.
+  Tensor Row(std::int64_t row) const;
+  // Stacks rank-(r) tensors of identical shape into a rank-(r+1) tensor.
+  static Tensor Stack(const std::vector<Tensor>& rows);
+  // Selects rows by index along axis 0.
+  Tensor Gather(std::span<const int> indices) const;
+  // Writes `row_value` (shape = this->Row(0).shape()) into slot `row`.
+  void SetRow(std::int64_t row, const Tensor& row_value);
+
+  // -- in-place arithmetic ---------------------------------------------------
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+  void Fill(float value);
+
+  // Human-readable shape such as "[32, 7]".
+  std::string ShapeString() const;
+
+  // Total element count implied by a shape vector.
+  static std::int64_t Volume(const std::vector<std::int64_t>& shape);
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace pardon::tensor

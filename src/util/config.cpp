@@ -1,0 +1,110 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pardon::util {
+
+namespace {
+std::string Trim(const std::string& s) {
+  const std::size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const std::size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+}  // namespace
+
+Config Config::Parse(const std::string& text) {
+  Config config;
+  std::istringstream stream(text);
+  std::string line;
+  std::string section;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == ';') continue;
+    if (trimmed.front() == '[') {
+      if (trimmed.back() != ']' || trimmed.size() < 3) {
+        throw std::runtime_error("config: malformed section at line " +
+                                 std::to_string(line_number));
+      }
+      section = Trim(trimmed.substr(1, trimmed.size() - 2));
+      continue;
+    }
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config: expected key=value at line " +
+                               std::to_string(line_number));
+    }
+    const std::string key = Trim(trimmed.substr(0, eq));
+    const std::string value = Trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("config: empty key at line " +
+                               std::to_string(line_number));
+    }
+    config.values_[section.empty() ? key : section + "." + key] = value;
+  }
+  return config;
+}
+
+Config Config::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+bool Config::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int Config::GetInt(const std::string& key, int def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+std::vector<int> Config::GetIntList(const std::string& key,
+                                    std::vector<int> def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::vector<int> values;
+  std::istringstream stream(it->second);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    const std::string trimmed = Trim(token);
+    if (!trimmed.empty()) values.push_back(std::atoi(trimmed.c_str()));
+  }
+  return values;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace pardon::util

@@ -1,0 +1,44 @@
+// Minimal INI-style configuration files for the experiment-runner tool.
+//
+// Format:
+//   # comment
+//   [section]
+//   key = value
+// Keys before any section header live in the "" (global) section. Values are
+// stored as strings; typed getters parse on access. Lookup keys are
+// "section.key" ("key" for the global section).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pardon::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses INI text; throws std::runtime_error with a line number on
+  // malformed input.
+  static Config Parse(const std::string& text);
+  static Config Load(const std::string& path);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int GetInt(const std::string& key, int def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+  // Comma-separated list of integers ("0, 1, 3").
+  std::vector<int> GetIntList(const std::string& key,
+                              std::vector<int> def = {}) const;
+
+  void Set(const std::string& key, const std::string& value);
+  // All keys, sorted (for diagnostics).
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pardon::util

@@ -1,0 +1,49 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace pardon::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(arg)] = "1";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int Flags::GetInt(const std::string& key, int def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool Flags::GetBool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second != "0" && it->second != "false";
+}
+
+}  // namespace pardon::util

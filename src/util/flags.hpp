@@ -1,0 +1,25 @@
+// Minimal --key=value command-line flag parser for the examples and benches.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace pardon::util {
+
+class Flags {
+ public:
+  // Parses argv of the form --key=value or --key value or bare --key (="1").
+  // Unrecognized positional arguments are ignored.
+  Flags(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int GetInt(const std::string& key, int def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pardon::util

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The library never logs by default (Level::kWarn threshold); benches and
+// examples raise the level to kInfo for progress reporting. Logging is
+// thread-safe: a single mutex serializes writes to stderr.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace pardon::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogLine(LogLevel level, const std::string& message);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogLine(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace pardon::util
+
+#define PARDON_LOG(level)                                      \
+  if (static_cast<int>(::pardon::util::LogLevel::level) <      \
+      static_cast<int>(::pardon::util::GetLogLevel())) {       \
+  } else                                                       \
+    ::pardon::util::internal::LogStream(::pardon::util::LogLevel::level)
+
+#define PARDON_LOG_INFO PARDON_LOG(kInfo)
+#define PARDON_LOG_WARN PARDON_LOG(kWarn)
+#define PARDON_LOG_DEBUG PARDON_LOG(kDebug)
+#define PARDON_LOG_ERROR PARDON_LOG(kError)

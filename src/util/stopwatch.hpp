@@ -1,0 +1,24 @@
+// Steady-clock stopwatch used by the FL cost accounting (Table 8 / Fig. 4).
+#pragma once
+
+#include <chrono>
+
+namespace pardon::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pardon::util

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pardon::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Pct(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f%%", fraction * 100.0);
+  return buffer;
+}
+
+std::string Table::Num(double value, int precision) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+
+  emit_row(header_);
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace pardon::util

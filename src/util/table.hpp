@@ -1,0 +1,32 @@
+// Markdown-style table printer used by the bench harness so every bench can
+// emit the same rows the paper's tables report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pardon::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; it is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats a double as a percentage with two decimals ("73.63%").
+  static std::string Pct(double fraction);
+  // Formats a double with fixed precision.
+  static std::string Num(double value, int precision = 2);
+
+  // Renders the table as GitHub-flavoured markdown.
+  std::string ToString() const;
+  // Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pardon::util

@@ -1,0 +1,48 @@
+// Fixed-size thread pool used to train sampled clients in parallel.
+//
+// The FL orchestrator dispatches one task per selected client each round;
+// tasks must be independent (clients never share mutable state). ParallelFor
+// blocks until every index has been processed, so round barriers in the
+// orchestrator stay simple.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pardon::util {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers; 0 means hardware concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t NumThreads() const { return workers_.size(); }
+
+  // Enqueues a task; the returned future propagates exceptions.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [0, count) across the pool and waits for completion.
+  // Rethrows the first exception any task raised.
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace pardon::util

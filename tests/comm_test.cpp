@@ -1,0 +1,91 @@
+// Communication layer tests: wire-codec round trips and profile arithmetic.
+#include <gtest/gtest.h>
+
+#include "fl/comm.hpp"
+#include "tensor/ops.hpp"
+
+namespace pardon::fl {
+namespace {
+
+TEST(WireCodec, ClientUpdateRoundTrip) {
+  ClientUpdate update;
+  update.params = {1.5f, -2.0f, 3.25f};
+  update.num_samples = 42;
+  update.loss_before = 1.25;
+  update.loss_after = 0.75;
+  update.prototypes = tensor::Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+  update.prototype_class = {0, 4};
+
+  const std::vector<std::uint8_t> bytes = EncodeClientUpdate(update);
+  const ClientUpdate decoded = DecodeClientUpdate(bytes);
+  EXPECT_EQ(decoded.params, update.params);
+  EXPECT_EQ(decoded.num_samples, 42);
+  EXPECT_DOUBLE_EQ(decoded.loss_before, 1.25);
+  EXPECT_DOUBLE_EQ(decoded.loss_after, 0.75);
+  EXPECT_EQ(decoded.prototype_class, update.prototype_class);
+  EXPECT_EQ(tensor::MaxAbsDiff(decoded.prototypes, update.prototypes), 0.0f);
+}
+
+TEST(WireCodec, EmptyPrototypesRoundTrip) {
+  ClientUpdate update;
+  update.params = {0.0f};
+  update.num_samples = 1;
+  const ClientUpdate decoded = DecodeClientUpdate(EncodeClientUpdate(update));
+  EXPECT_EQ(decoded.prototypes.size(), 0);
+  EXPECT_TRUE(decoded.prototype_class.empty());
+}
+
+TEST(WireCodec, StyleRoundTrip) {
+  style::StyleVector style;
+  style.mu = tensor::Tensor({3}, {1, 2, 3});
+  style.sigma = tensor::Tensor({3}, {4, 5, 6});
+  const style::StyleVector decoded = DecodeStyle(EncodeStyle(style));
+  EXPECT_EQ(tensor::MaxAbsDiff(decoded.Flat(), style.Flat()), 0.0f);
+}
+
+TEST(WireCodec, DecodeRejectsTruncated) {
+  ClientUpdate update;
+  update.params = {1.0f, 2.0f};
+  std::vector<std::uint8_t> bytes = EncodeClientUpdate(update);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(DecodeClientUpdate(bytes), std::runtime_error);
+}
+
+TEST(CommProfiles, StructuralClaimsHold) {
+  const CommModel model{
+      .model_params = 50000,
+      .total_clients = 100,
+      .participants_per_round = 20,
+      .style_channels = 12,
+      .num_classes = 7,
+      .embed_dim = 48,
+      .avg_prototypes_per_client = 5.0,
+  };
+  const std::vector<CommProfile> profiles = BuildCommProfiles(model);
+  ASSERT_EQ(profiles.size(), 6u);
+
+  std::map<std::string, const CommProfile*> by_name;
+  for (const CommProfile& p : profiles) by_name[p.method] = &p;
+
+  // Per-round cost: FedSR == FedGMA == base model exchange; FPL and
+  // FedDG-GA add per-round payloads.
+  EXPECT_EQ(by_name["FedSR"]->PerRoundBytes(), by_name["FedGMA"]->PerRoundBytes());
+  EXPECT_GT(by_name["FPL"]->PerRoundBytes(), by_name["FedSR"]->PerRoundBytes());
+  EXPECT_GT(by_name["FedDG-GA"]->PerRoundBytes(),
+            by_name["FedSR"]->PerRoundBytes());
+  // One-time: only the style methods pay; CCST's O(N^2) bank dwarfs FISC's
+  // O(N) broadcast.
+  EXPECT_EQ(by_name["FedSR"]->OneTimeBytes(), 0);
+  EXPECT_GT(by_name["FISC"]->OneTimeBytes(), 0);
+  EXPECT_GT(by_name["CCST"]->OneTimeBytes(),
+            10 * by_name["FISC"]->OneTimeBytes());
+  // FISC adds no per-round overhead over the base exchange.
+  EXPECT_EQ(by_name["FISC"]->PerRoundBytes(), by_name["FedSR"]->PerRoundBytes());
+  // Total accounting is consistent.
+  EXPECT_EQ(by_name["FISC"]->TotalBytes(10),
+            by_name["FISC"]->OneTimeBytes() +
+                10 * by_name["FISC"]->PerRoundBytes());
+}
+
+}  // namespace
+}  // namespace pardon::fl

@@ -1,0 +1,269 @@
+// Tests for the convolutional layers, the CNN front-end of the shared
+// classifier, pairwise-masking secure aggregation, and the macro-F1 metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "fl/secure_aggregation.hpp"
+#include "metrics/evaluation.hpp"
+#include "nn/conv.hpp"
+#include "nn/losses.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/ops.hpp"
+
+namespace pardon {
+namespace {
+
+using tensor::Pcg32;
+using tensor::Tensor;
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Pcg32 rng(1);
+  nn::Conv2d conv(1, 1, 4, 4, rng);
+  // Set the kernel to the identity (center tap 1) and zero bias.
+  nn::Layer& layer = conv;
+  Tensor* weight = layer.Params()[0];
+  Tensor* bias = layer.Params()[1];
+  weight->Fill(0.0f);
+  (*weight)[4] = 1.0f;  // center of the 3x3 kernel
+  bias->Fill(0.0f);
+
+  const Tensor x = Tensor::Gaussian({2, 16}, 0, 1, rng);
+  std::unique_ptr<nn::Layer::Context> ctx;
+  const Tensor y = layer.Forward(x, ctx, true, &rng);
+  EXPECT_LT(tensor::MaxAbsDiff(y, x), 1e-6f);
+}
+
+TEST(Conv2d, MatchesHandComputedSum) {
+  Pcg32 rng(2);
+  nn::Conv2d conv(1, 1, 3, 3, rng);
+  nn::Layer& layer = conv;
+  layer.Params()[0]->Fill(1.0f);  // box kernel
+  layer.Params()[1]->Fill(0.0f);
+  Tensor x({1, 9});
+  for (int i = 0; i < 9; ++i) x[i] = 1.0f;
+  std::unique_ptr<nn::Layer::Context> ctx;
+  const Tensor y = layer.Forward(x, ctx, true, &rng);
+  // Center pixel sees all 9 ones; corners see 4.
+  EXPECT_FLOAT_EQ(y[4], 9.0f);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  EXPECT_FLOAT_EQ(y[2], 4.0f);
+}
+
+TEST(Conv2d, GradientMatchesNumeric) {
+  Pcg32 rng(3);
+  nn::Conv2d conv(2, 3, 4, 4, rng);
+  nn::Layer& layer = conv;
+  const Tensor x = Tensor::Gaussian({2, 32}, 0, 1, rng);
+  std::unique_ptr<nn::Layer::Context> ctx;
+  const Tensor y = layer.Forward(x, ctx, true, &rng);
+  const Tensor weights = Tensor::Gaussian(y.shape(), 0, 1, rng);
+  layer.ZeroGrad();
+  const Tensor analytic = layer.Backward(weights, *ctx);
+  const float epsilon = 1e-3f;
+  for (std::int64_t i = 0; i < x.size(); i += 3) {
+    Tensor xp = x, xm = x;
+    xp[i] += epsilon;
+    xm[i] -= epsilon;
+    std::unique_ptr<nn::Layer::Context> scratch;
+    const float fp = tensor::Dot(layer.Forward(xp, scratch, true, &rng), weights);
+    const float fm = tensor::Dot(layer.Forward(xm, scratch, true, &rng), weights);
+    EXPECT_NEAR((fp - fm) / (2 * epsilon), analytic[i], 2e-2f);
+  }
+  // Weight gradient check on a few coordinates.
+  Tensor* w = layer.Params()[0];
+  Tensor* gw = layer.Grads()[0];
+  for (std::int64_t i = 0; i < w->size(); i += 11) {
+    const float original = (*w)[i];
+    (*w)[i] = original + epsilon;
+    std::unique_ptr<nn::Layer::Context> scratch;
+    const float fp = tensor::Dot(layer.Forward(x, scratch, true, &rng), weights);
+    (*w)[i] = original - epsilon;
+    const float fm = tensor::Dot(layer.Forward(x, scratch, true, &rng), weights);
+    (*w)[i] = original;
+    EXPECT_NEAR((fp - fm) / (2 * epsilon), (*gw)[i], 2e-2f);
+  }
+}
+
+TEST(MaxPool2d, SelectsMaxAndRoutesGradient) {
+  nn::MaxPool2d pool(1, 4, 4);
+  Tensor x({1, 16});
+  for (int i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  std::unique_ptr<nn::Layer::Context> ctx;
+  Pcg32 rng(4);
+  const Tensor y = pool.Forward(x, ctx, true, &rng);
+  // 2x2 blocks of a row-major 4x4 ramp: maxima are 5, 7, 13, 15.
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 7.0f);
+  EXPECT_FLOAT_EQ(y[2], 13.0f);
+  EXPECT_FLOAT_EQ(y[3], 15.0f);
+
+  const Tensor grad = pool.Backward(Tensor({1, 4}, {1, 2, 3, 4}), *ctx);
+  EXPECT_FLOAT_EQ(grad[5], 1.0f);
+  EXPECT_FLOAT_EQ(grad[7], 2.0f);
+  EXPECT_FLOAT_EQ(grad[13], 3.0f);
+  EXPECT_FLOAT_EQ(grad[15], 4.0f);
+  EXPECT_FLOAT_EQ(grad[0], 0.0f);
+}
+
+TEST(MaxPool2d, RejectsOddDims) {
+  EXPECT_THROW(nn::MaxPool2d(1, 3, 4), std::invalid_argument);
+}
+
+TEST(CnnClassifier, TrainsOnToyProblem) {
+  // 2 classes distinguished by which image half carries energy — a spatial
+  // pattern a conv front-end should learn easily.
+  nn::MlpClassifier model(nn::MlpClassifier::Config{
+      .input_dim = 2 * 8 * 8,
+      .conv_channels = {4},
+      .conv_height = 8,
+      .conv_width = 8,
+      .hidden = {16},
+      .embed_dim = 8,
+      .num_classes = 2,
+      .seed = 5,
+  });
+  Pcg32 rng(6);
+  const std::int64_t n = 64;
+  Tensor x({n, 2 * 8 * 8});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % 2);
+    labels[static_cast<std::size_t>(i)] = c;
+    for (std::int64_t p = 0; p < 128; ++p) {
+      const bool top_half = (p % 64) < 32;
+      x.At(i, p) = rng.NextGaussian() * 0.3f +
+                   ((c == 0) == top_half ? 2.0f : 0.0f);
+    }
+  }
+  nn::Adam optimizer(model.Params(), model.Grads(), {.lr = 3e-3f});
+  for (int step = 0; step < 40; ++step) {
+    model.ZeroGrad();
+    nn::Sequential::Trace ft, ht;
+    const Tensor z = model.Embed(x, &ft, true, &rng);
+    const Tensor logits = model.Logits(z, &ht, true, &rng);
+    const nn::CrossEntropyResult ce = nn::SoftmaxCrossEntropy(logits, labels);
+    model.BackwardFeatures(model.BackwardHead(ce.grad_logits, ht), ft);
+    optimizer.Step();
+  }
+  const std::vector<int> preds = tensor::ArgMaxRows(model.InferLogits(x));
+  int correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    correct += preds[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(correct, 55);
+}
+
+TEST(CnnClassifier, FlatParamsRoundTripWithConv) {
+  const nn::MlpClassifier::Config config{
+      .input_dim = 2 * 8 * 8,
+      .conv_channels = {4},
+      .conv_height = 8,
+      .conv_width = 8,
+      .hidden = {8},
+      .embed_dim = 4,
+      .num_classes = 3,
+      .seed = 7,
+  };
+  nn::MlpClassifier model(config);
+  nn::MlpClassifier::Config other = config;
+  other.seed = 99;
+  nn::MlpClassifier restored(other);
+  restored.SetFlatParams(model.FlatParams());
+  Pcg32 rng(8);
+  const Tensor x = Tensor::Gaussian({3, 128}, 0, 1, rng);
+  EXPECT_LT(tensor::MaxAbsDiff(model.InferLogits(x), restored.InferLogits(x)),
+            1e-6f);
+}
+
+TEST(CnnClassifier, RejectsBadConvConfig) {
+  nn::MlpClassifier::Config config{
+      .input_dim = 100,  // not divisible by 8*8
+      .conv_channels = {4},
+      .conv_height = 8,
+      .conv_width = 8,
+      .hidden = {8},
+      .embed_dim = 4,
+      .num_classes = 2,
+  };
+  EXPECT_THROW(nn::MlpClassifier{config}, std::invalid_argument);
+}
+
+TEST(SecureAggregation, SumEqualsPlainSum) {
+  const std::vector<int> participants = {3, 7, 11, 20};
+  const fl::SecureAggregation agg(participants, 0xfeedULL, 64);
+  Pcg32 rng(9);
+  std::vector<std::vector<float>> updates, masked;
+  std::vector<double> expected(64, 0.0);
+  for (const int id : participants) {
+    std::vector<float> update(64);
+    for (float& v : update) v = rng.NextGaussian();
+    for (std::size_t i = 0; i < 64; ++i) expected[i] += update[i];
+    masked.push_back(agg.Mask(id, update));
+    updates.push_back(std::move(update));
+  }
+  const std::vector<float> sum = agg.Aggregate(masked);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(sum[i], expected[i], 1e-2f);
+  }
+}
+
+TEST(SecureAggregation, IndividualUpdatesAreHidden) {
+  const std::vector<int> participants = {0, 1, 2};
+  const fl::SecureAggregation agg(participants, 0xabcULL, 128);
+  const std::vector<float> update(128, 0.5f);
+  const std::vector<float> masked = agg.Mask(0, update);
+  // The mask amplitude dwarfs the signal: the masked update must differ
+  // enormously from the true update.
+  double diff = 0.0;
+  for (std::size_t i = 0; i < 128; ++i) {
+    diff += std::fabs(masked[i] - update[i]);
+  }
+  EXPECT_GT(diff / 128.0, 10.0);
+}
+
+TEST(SecureAggregation, RejectsBadUsage) {
+  EXPECT_THROW(fl::SecureAggregation({1}, 1, 4), std::invalid_argument);
+  EXPECT_THROW(fl::SecureAggregation({1, 1}, 1, 4), std::invalid_argument);
+  const fl::SecureAggregation agg({1, 2}, 1, 4);
+  EXPECT_THROW(agg.Mask(5, std::vector<float>(4)), std::invalid_argument);
+  EXPECT_THROW(agg.Mask(1, std::vector<float>(3)), std::invalid_argument);
+}
+
+TEST(MacroF1, PerfectAndDegenerate) {
+  data::Dataset dataset({.channels = 1, .height = 1, .width = 3}, 3, 1);
+  Pcg32 rng(10);
+  for (int i = 0; i < 90; ++i) {
+    const int label = i % 3;
+    Tensor image({3});
+    image[label] = 5.0f;
+    dataset.Add(image, label, 0);
+  }
+  // A classifier that reads the argmax directly: identity-ish linear model.
+  nn::MlpClassifier model(nn::MlpClassifier::Config{
+      .input_dim = 3,
+      .hidden = {8},
+      .embed_dim = 4,
+      .num_classes = 3,
+      .seed = 11,
+  });
+  nn::Adam optimizer(model.Params(), model.Grads(), {.lr = 1e-2f});
+  std::vector<int> labels(dataset.labels().begin(), dataset.labels().end());
+  for (int step = 0; step < 50; ++step) {
+    model.ZeroGrad();
+    nn::Sequential::Trace ft, ht;
+    const Tensor z = model.Embed(dataset.images(), &ft, true, &rng);
+    const nn::CrossEntropyResult ce =
+        nn::SoftmaxCrossEntropy(model.Logits(z, &ht, true, &rng), labels);
+    model.BackwardFeatures(model.BackwardHead(ce.grad_logits, ht), ft);
+    optimizer.Step();
+  }
+  EXPECT_GT(metrics::MacroF1(model, dataset), 0.95);
+  // Macro-F1 tracks accuracy on balanced data.
+  EXPECT_NEAR(metrics::MacroF1(model, dataset),
+              metrics::Accuracy(model, dataset), 0.05);
+}
+
+}  // namespace
+}  // namespace pardon

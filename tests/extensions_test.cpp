@@ -1,0 +1,277 @@
+// Tests for the extension modules: t-SNE, DP accounting, the SupCon loss,
+// and the FedProx baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/fedprox.hpp"
+#include "clustering/quality.hpp"
+#include "core/fisc.hpp"
+#include "data/domain_generator.hpp"
+#include "data/partition.hpp"
+#include "data/presets.hpp"
+#include "fl/simulator.hpp"
+#include "metrics/tsne.hpp"
+#include "nn/losses.hpp"
+#include "privacy/dp_accounting.hpp"
+#include "tensor/ops.hpp"
+
+namespace pardon {
+namespace {
+
+using tensor::Pcg32;
+using tensor::Tensor;
+
+// ---- t-SNE -----------------------------------------------------------------
+
+TEST(Tsne, SeparatesWellSeparatedClusters) {
+  Pcg32 rng(1);
+  const int per = 25;
+  Tensor points({3 * per, 10});
+  std::vector<int> labels(static_cast<std::size_t>(3 * per));
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per; ++i) {
+      const int row = c * per + i;
+      labels[static_cast<std::size_t>(row)] = c;
+      for (int d = 0; d < 10; ++d) {
+        points.At(row, d) = (d == c ? 8.0f : 0.0f) + 0.3f * rng.NextGaussian();
+      }
+    }
+  }
+  const Tensor embedded = metrics::Tsne(points, {.perplexity = 10.0,
+                                                 .iterations = 250});
+  EXPECT_EQ(embedded.dim(0), 3 * per);
+  EXPECT_EQ(embedded.dim(1), 2);
+  EXPECT_TRUE(tensor::AllFinite(embedded));
+  // The 2-D embedding must preserve the cluster structure.
+  EXPECT_GT(clustering::Silhouette(embedded, labels), 0.5);
+}
+
+TEST(Tsne, DeterministicGivenSeed) {
+  Pcg32 rng(2);
+  const Tensor points = Tensor::Gaussian({30, 5}, 0, 1, rng);
+  const Tensor a = metrics::Tsne(points, {.iterations = 50, .seed = 9});
+  const Tensor b = metrics::Tsne(points, {.iterations = 50, .seed = 9});
+  EXPECT_EQ(tensor::MaxAbsDiff(a, b), 0.0f);
+}
+
+TEST(Tsne, RejectsBadInputs) {
+  Pcg32 rng(3);
+  EXPECT_THROW(metrics::Tsne(Tensor::Gaussian({3, 4}, 0, 1, rng)),
+               std::invalid_argument);
+  const Tensor points = Tensor::Gaussian({10, 4}, 0, 1, rng);
+  EXPECT_THROW(metrics::Tsne(points, {.perplexity = 10.0}),
+               std::invalid_argument);
+}
+
+// ---- DP accounting -----------------------------------------------------------
+
+TEST(DpAccounting, DeltaDecreasesWithSigma) {
+  const double d1 = privacy::GaussianMechanismDelta(0.5, 1.0, 1.0);
+  const double d2 = privacy::GaussianMechanismDelta(2.0, 1.0, 1.0);
+  EXPECT_GT(d1, d2);
+  EXPECT_GT(d1, 0.0);
+}
+
+TEST(DpAccounting, EpsilonMatchesDeltaInverse) {
+  const double sigma = 1.3, sensitivity = 1.0, delta = 1e-5;
+  const double epsilon =
+      privacy::GaussianMechanismEpsilon(sigma, sensitivity, delta);
+  EXPECT_GT(epsilon, 0.0);
+  EXPECT_NEAR(privacy::GaussianMechanismDelta(sigma, sensitivity, epsilon),
+              delta, 1e-7);
+}
+
+TEST(DpAccounting, TighterThanClassicalBound) {
+  // The classical bound sigma = sqrt(2 ln(1.25/delta)) / epsilon is known to
+  // be loose; the analytic mechanism must certify an epsilon no worse than
+  // the classical one for the same sigma.
+  const double delta = 1e-5, classical_epsilon = 1.0, sensitivity = 1.0;
+  const double classical_sigma =
+      std::sqrt(2.0 * std::log(1.25 / delta)) / classical_epsilon;
+  const double analytic_epsilon = privacy::GaussianMechanismEpsilon(
+      classical_sigma, sensitivity, delta);
+  EXPECT_LE(analytic_epsilon, classical_epsilon + 1e-6);
+}
+
+TEST(DpAccounting, CalibrationRoundTrip) {
+  const double epsilon = 2.0, delta = 1e-6, sensitivity = 0.5;
+  const double sigma =
+      privacy::CalibrateGaussianSigma(epsilon, sensitivity, delta);
+  EXPECT_GT(sigma, 0.0);
+  EXPECT_NEAR(privacy::GaussianMechanismEpsilon(sigma, sensitivity, delta),
+              epsilon, 1e-3);
+}
+
+TEST(DpAccounting, MoreNoiseMeansSmallerEpsilon) {
+  const double e1 = privacy::GaussianMechanismEpsilon(0.5, 1.0, 1e-5);
+  const double e2 = privacy::GaussianMechanismEpsilon(2.0, 1.0, 1e-5);
+  EXPECT_GT(e1, e2);
+}
+
+// ---- SupCon loss ----------------------------------------------------------------
+
+TEST(SupCon, LowLossWhenSameClassSimilar) {
+  // Anchors aligned with same-class positives and orthogonal to others.
+  const Tensor anchors({2, 2}, {1, 0, 0, 1});
+  const Tensor positives({2, 2}, {1, 0, 0, 1});
+  const std::vector<int> labels = {0, 1};
+  const nn::SupConResult aligned =
+      nn::SupervisedContrastiveLoss(anchors, positives, labels, 0.2f);
+  const Tensor swapped({2, 2}, {0, 1, 1, 0});
+  const nn::SupConResult misaligned =
+      nn::SupervisedContrastiveLoss(anchors, swapped, labels, 0.2f);
+  EXPECT_LT(aligned.loss, misaligned.loss);
+}
+
+TEST(SupCon, GradientMatchesNumeric) {
+  Pcg32 rng(5);
+  const Tensor anchors = Tensor::Gaussian({4, 3}, 0, 1, rng);
+  const Tensor positives = Tensor::Gaussian({4, 3}, 0, 1, rng);
+  const std::vector<int> labels = {0, 1, 0, 2};
+  const float tau = 0.5f;
+  const nn::SupConResult result =
+      nn::SupervisedContrastiveLoss(anchors, positives, labels, tau);
+  const float epsilon = 1e-3f;
+  for (std::int64_t i = 0; i < anchors.size(); ++i) {
+    Tensor ap = anchors, am = anchors;
+    ap[i] += epsilon;
+    am[i] -= epsilon;
+    const float numeric =
+        (nn::SupervisedContrastiveLoss(ap, positives, labels, tau).loss -
+         nn::SupervisedContrastiveLoss(am, positives, labels, tau).loss) /
+        (2 * epsilon);
+    EXPECT_NEAR(numeric, result.grad_anchors[i], 3e-3f);
+  }
+  for (std::int64_t i = 0; i < positives.size(); ++i) {
+    Tensor pp = positives, pm = positives;
+    pp[i] += epsilon;
+    pm[i] -= epsilon;
+    const float numeric =
+        (nn::SupervisedContrastiveLoss(anchors, pp, labels, tau).loss -
+         nn::SupervisedContrastiveLoss(anchors, pm, labels, tau).loss) /
+        (2 * epsilon);
+    EXPECT_NEAR(numeric, result.grad_positives[i], 3e-3f);
+  }
+}
+
+TEST(SupCon, RejectsBadTemperature) {
+  const Tensor anchors({2, 2});
+  const std::vector<int> labels = {0, 1};
+  EXPECT_THROW(
+      nn::SupervisedContrastiveLoss(anchors, anchors, labels, 0.0f),
+      std::invalid_argument);
+}
+
+TEST(FiscSupConVariant, TrainsEndToEnd) {
+  data::GeneratorConfig config = data::MakePacsLike(111).generator;
+  config.shape = {.channels = 4, .height = 8, .width = 8};
+  const data::DomainGenerator generator(config);
+  Pcg32 rng(6);
+  data::Dataset train(config.shape, config.num_classes, config.num_domains);
+  train.Append(generator.GenerateDomain(0, 60, rng));
+  const std::vector<data::Dataset> clients = data::PartitionHeterogeneous(
+      train, {.num_clients = 3, .lambda = 0.5, .seed = 7});
+
+  core::FiscOptions options;
+  options.contrast = core::ContrastKind::kSupCon;
+  core::Fisc fisc(options);
+  const fl::FlConfig fl_config{.total_clients = 3,
+                               .participants_per_round = 2,
+                               .rounds = 2,
+                               .batch_size = 16,
+                               .optimizer = {.lr = 3e-3f},
+                               .eval_every = 0,
+                               .seed = 8};
+  fisc.Setup({.client_data = &clients, .config = fl_config});
+  nn::MlpClassifier model(nn::MlpClassifier::Config{
+      .input_dim = config.shape.FlatDim(),
+      .hidden = {16},
+      .embed_dim = 8,
+      .num_classes = config.num_classes,
+      .seed = 9,
+  });
+  Pcg32 train_rng(10);
+  const fl::ClientUpdate update =
+      fisc.TrainClient(0, clients[0], model, 1, train_rng);
+  EXPECT_NE(update.params, model.FlatParams());
+}
+
+// ---- FedProx --------------------------------------------------------------------
+
+TEST(FedProx, ProximalTermLimitsDrift) {
+  data::GeneratorConfig config = data::MakePacsLike(222).generator;
+  config.shape = {.channels = 4, .height = 8, .width = 8};
+  const data::DomainGenerator generator(config);
+  Pcg32 rng(11);
+  const data::Dataset dataset = generator.GenerateDomain(0, 80, rng);
+
+  nn::MlpClassifier model(nn::MlpClassifier::Config{
+      .input_dim = config.shape.FlatDim(),
+      .hidden = {16},
+      .embed_dim = 8,
+      .num_classes = config.num_classes,
+      .seed = 12,
+  });
+  const fl::FlConfig fl_config{.total_clients = 1,
+                               .participants_per_round = 1,
+                               .rounds = 1,
+                               .local_epochs = 6,
+                               .batch_size = 16,
+                               .optimizer = {.lr = 3e-3f},
+                               .seed = 13};
+
+  const auto drift_of = [&](float mu) {
+    baselines::FedProx prox({.mu = mu});
+    const std::vector<data::Dataset> clients = {dataset};
+    prox.Setup({.client_data = &clients, .config = fl_config});
+    Pcg32 train_rng(14);
+    const fl::ClientUpdate update =
+        prox.TrainClient(0, dataset, model, 1, train_rng);
+    const std::vector<float> start = model.FlatParams();
+    double drift = 0.0;
+    for (std::size_t i = 0; i < start.size(); ++i) {
+      const double d = double(update.params[i]) - start[i];
+      drift += d * d;
+    }
+    return drift;
+  };
+  // Stronger proximal pull -> strictly less drift from the global model.
+  EXPECT_LT(drift_of(10.0f), drift_of(0.0f));
+}
+
+TEST(FedProx, RunsThroughSimulator) {
+  data::GeneratorConfig config = data::MakePacsLike(333).generator;
+  config.shape = {.channels = 4, .height = 8, .width = 8};
+  const data::DomainGenerator generator(config);
+  Pcg32 rng(15);
+  data::Dataset train(config.shape, config.num_classes, config.num_domains);
+  train.Append(generator.GenerateDomain(0, 60, rng));
+  train.Append(generator.GenerateDomain(1, 60, rng));
+  std::vector<data::Dataset> clients = data::PartitionHeterogeneous(
+      train, {.num_clients = 4, .lambda = 0.5, .seed = 16});
+  const data::Dataset eval = generator.GenerateDomain(2, 40, rng);
+
+  const nn::MlpClassifier model(nn::MlpClassifier::Config{
+      .input_dim = config.shape.FlatDim(),
+      .hidden = {16},
+      .embed_dim = 8,
+      .num_classes = config.num_classes,
+      .seed = 17,
+  });
+  const fl::Simulator simulator(
+      std::move(clients), {.total_clients = 4,
+                           .participants_per_round = 2,
+                           .rounds = 3,
+                           .batch_size = 16,
+                           .optimizer = {.lr = 3e-3f},
+                           .eval_every = 0,
+                           .seed = 18});
+  baselines::FedProx prox;
+  const fl::SimulationResult result =
+      simulator.Run(prox, model, {{"eval", &eval}});
+  EXPECT_GE(result.final_accuracy[0], 0.0);
+}
+
+}  // namespace
+}  // namespace pardon

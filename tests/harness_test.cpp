@@ -1,0 +1,81 @@
+// Tests for the bench experiment harness (bench/experiment.{hpp,cpp}) —
+// the machinery every table/figure bench and the run_experiment tool share.
+#include <gtest/gtest.h>
+
+#include "experiment.hpp"
+
+namespace pardon::bench {
+namespace {
+
+Scenario SmallScenario() {
+  return Scenario{
+      .preset = data::MakePacsLike(),
+      .train_domains = {0, 1},
+      .val_domains = {2},
+      .test_domains = {3},
+      .samples_per_train_domain = 200,
+      .samples_per_eval_domain = 100,
+      .total_clients = 6,
+      .participants = 3,
+      .rounds = 3,
+      .lambda = 0.2,
+      .eval_every = 0,
+      .seed = 9,
+  };
+}
+
+TEST(PaperMethods, SixMethodsInTableOrder) {
+  const std::vector<MethodSpec> methods = PaperMethods();
+  ASSERT_EQ(methods.size(), 6u);
+  EXPECT_EQ(methods[0].name, "FedSR");
+  EXPECT_EQ(methods[1].name, "FedGMA");
+  EXPECT_EQ(methods[2].name, "FPL");
+  EXPECT_EQ(methods[3].name, "FedDG-GA");
+  EXPECT_EQ(methods[4].name, "CCST");
+  EXPECT_EQ(methods[5].name, "Ours");
+  for (const MethodSpec& spec : methods) {
+    EXPECT_NE(spec.make(), nullptr);
+  }
+}
+
+TEST(ScenarioData, BuildsConsistentWorld) {
+  const ScenarioData data(SmallScenario());
+  EXPECT_EQ(static_cast<int>(data.simulator().client_data().size()), 6);
+  std::int64_t total = 0;
+  for (const data::Dataset& client : data.simulator().client_data()) {
+    total += client.size();
+  }
+  EXPECT_EQ(total, data.split().train.size());
+  EXPECT_FALSE(data.split().val.empty());
+  EXPECT_FALSE(data.split().test.empty());
+}
+
+TEST(ScenarioData, RunProducesPerDomainBreakdown) {
+  const ScenarioData data(SmallScenario());
+  baselines::FedAvg fedavg;
+  const ScenarioRun run = data.Run(fedavg, nullptr);
+  EXPECT_GE(run.val_accuracy, 0.0);
+  EXPECT_LE(run.val_accuracy, 1.0);
+  EXPECT_EQ(run.test_per_domain.size(), 1u);
+  EXPECT_TRUE(run.test_per_domain.count(3));
+}
+
+TEST(RunMethodsAveraged, DeterministicAndPaired) {
+  const Scenario scenario = SmallScenario();
+  const std::vector<MethodSpec> methods = {PaperMethods()[1]};  // FedGMA
+  util::ThreadPool pool(2);
+  const MethodAverages a = RunMethodsAveraged(scenario, methods, 2, &pool);
+  const MethodAverages b = RunMethodsAveraged(scenario, methods, 2, &pool);
+  EXPECT_DOUBLE_EQ(a.test.at("FedGMA"), b.test.at("FedGMA"));
+  EXPECT_DOUBLE_EQ(a.val.at("FedGMA"), b.val.at("FedGMA"));
+}
+
+TEST(DomainLetter, UsesPresetNames) {
+  const data::ScenarioPreset preset = data::MakePacsLike();
+  EXPECT_EQ(DomainLetter(preset, 0), "P");
+  EXPECT_EQ(DomainLetter(preset, 3), "S");
+  EXPECT_EQ(DomainLetter(preset, 99), "99");
+}
+
+}  // namespace
+}  // namespace pardon::bench

@@ -1,0 +1,192 @@
+// End-to-end integration tests across the whole stack: preset -> split ->
+// partition -> FL simulation -> evaluation, exercising the same pipeline the
+// benches use, at miniature scale.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/ccst.hpp"
+#include "baselines/fedavg.hpp"
+#include "core/fisc.hpp"
+#include "data/partition.hpp"
+#include "data/presets.hpp"
+#include "data/splits.hpp"
+#include "fl/simulator.hpp"
+#include "metrics/evaluation.hpp"
+#include "nn/checkpoint.hpp"
+
+namespace pardon {
+namespace {
+
+struct Pipeline {
+  explicit Pipeline(double lambda = 0.1, std::uint64_t seed = 3) {
+    const data::ScenarioPreset preset = data::MakePacsLike();
+    const data::DomainGenerator generator(preset.generator);
+    split = data::BuildSplit(generator, {.train_domains = {0, 1},
+                                         .val_domains = {2},
+                                         .test_domains = {3},
+                                         .samples_per_train_domain = 500,
+                                         .samples_per_eval_domain = 200,
+                                         .seed = seed});
+    clients = data::PartitionHeterogeneous(
+        split.train, {.num_clients = 10, .lambda = lambda, .seed = seed + 1});
+    model_config = nn::MlpClassifier::Config{
+        .input_dim = preset.generator.shape.FlatDim(),
+        .hidden = {64},
+        .embed_dim = 32,
+        .num_classes = preset.generator.num_classes,
+        .seed = seed + 2,
+    };
+    config = fl::FlConfig{.total_clients = 10,
+                          .participants_per_round = 5,
+                          .rounds = 15,
+                          .batch_size = 32,
+                          .optimizer = {.lr = 3e-3f},
+                          .eval_every = 5,
+                          .seed = seed + 3};
+  }
+  data::FederatedSplit split;
+  std::vector<data::Dataset> clients;
+  nn::MlpClassifier::Config model_config;
+  fl::FlConfig config;
+};
+
+TEST(Integration, FullPipelineLearnsAboveChance) {
+  const Pipeline pipeline;
+  const nn::MlpClassifier model(pipeline.model_config);
+  const fl::Simulator simulator(pipeline.clients, pipeline.config);
+  const std::vector<fl::EvalSet> evals = {
+      {"val", &pipeline.split.val},
+      {"test", &pipeline.split.test},
+      {"in_domain", &pipeline.split.in_domain_test},
+  };
+  util::ThreadPool pool;
+  core::Fisc fisc;
+  const fl::SimulationResult result = simulator.Run(fisc, model, evals, &pool);
+  // Chance = 1/7.
+  EXPECT_GT(result.final_accuracy[0], 0.4);
+  EXPECT_GT(result.final_accuracy[1], 0.4);
+  // In-domain accuracy should exceed unseen-domain accuracy.
+  EXPECT_GE(result.final_accuracy[2] + 0.05, result.final_accuracy[1]);
+  // Cost accounting populated.
+  EXPECT_GT(result.costs.one_time_seconds, 0.0);
+  EXPECT_GT(result.costs.local_train_seconds, 0.0);
+}
+
+TEST(Integration, RunsAreReproducibleBitForBit) {
+  const Pipeline pipeline;
+  const nn::MlpClassifier model(pipeline.model_config);
+  const fl::Simulator simulator(pipeline.clients, pipeline.config);
+  const std::vector<fl::EvalSet> evals = {{"test", &pipeline.split.test}};
+  util::ThreadPool pool;
+
+  core::Fisc fisc_a, fisc_b;
+  const fl::SimulationResult a = simulator.Run(fisc_a, model, evals, &pool);
+  const fl::SimulationResult b = simulator.Run(fisc_b, model, evals, &pool);
+  EXPECT_EQ(a.final_model.FlatParams(), b.final_model.FlatParams());
+}
+
+TEST(Integration, LambdaEndpointsProduceValidPartitions) {
+  for (const double lambda : {0.0, 1.0}) {
+    const Pipeline pipeline(lambda);
+    std::int64_t total = 0;
+    for (const data::Dataset& client : pipeline.clients) {
+      total += client.size();
+    }
+    EXPECT_EQ(total, pipeline.split.train.size());
+    if (lambda == 0.0) {
+      // Every client holds a single domain.
+      for (const data::Dataset& client : pipeline.clients) {
+        if (client.empty()) continue;
+        const auto histogram = client.DomainHistogram();
+        int domains_present = 0;
+        for (const auto count : histogram) domains_present += count > 0;
+        EXPECT_EQ(domains_present, 1);
+      }
+    }
+  }
+}
+
+TEST(Integration, TrainedGlobalModelSurvivesCheckpoint) {
+  const Pipeline pipeline;
+  const nn::MlpClassifier model(pipeline.model_config);
+  fl::Simulator simulator(pipeline.clients, pipeline.config);
+  const std::vector<fl::EvalSet> evals = {{"test", &pipeline.split.test}};
+  baselines::FedAvg fedavg;
+  util::ThreadPool pool;
+  const fl::SimulationResult result =
+      simulator.Run(fedavg, model, evals, &pool);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pardon_integration_ckpt.bin")
+          .string();
+  nn::SaveCheckpoint(path, result.final_model);
+  nn::MlpClassifier restored(pipeline.model_config);
+  nn::LoadCheckpoint(path, restored);
+  EXPECT_DOUBLE_EQ(metrics::Accuracy(restored, pipeline.split.test),
+                   result.final_accuracy[0]);
+  std::remove(path.c_str());
+}
+
+TEST(Integration, FiscRunsUnderEverySamplingStrategy) {
+  const Pipeline pipeline;
+  const nn::MlpClassifier model(pipeline.model_config);
+  util::ThreadPool pool;
+  for (const fl::SamplingStrategy strategy :
+       {fl::SamplingStrategy::kUniform, fl::SamplingStrategy::kRoundRobin,
+        fl::SamplingStrategy::kWeightedBySize}) {
+    fl::FlConfig config = pipeline.config;
+    config.rounds = 4;
+    config.sampling = strategy;
+    config.eval_every = 0;
+    const fl::Simulator simulator(pipeline.clients, config);
+    core::Fisc fisc;
+    const fl::SimulationResult result = simulator.Run(
+        fisc, model, {{"test", &pipeline.split.test}}, &pool);
+    EXPECT_GT(result.final_accuracy[0], 1.0 / 7.0 / 2.0);
+  }
+}
+
+TEST(Integration, DropoutPlusSamplingComposes) {
+  const Pipeline pipeline;
+  const nn::MlpClassifier model(pipeline.model_config);
+  fl::FlConfig config = pipeline.config;
+  config.rounds = 5;
+  config.sampling = fl::SamplingStrategy::kRoundRobin;
+  config.client_dropout = 0.3;
+  config.eval_every = 0;
+  const fl::Simulator simulator(pipeline.clients, config);
+  core::Fisc fisc_a, fisc_b;
+  util::ThreadPool pool;
+  const fl::SimulationResult a = simulator.Run(
+      fisc_a, model, {{"test", &pipeline.split.test}}, &pool);
+  const fl::SimulationResult b = simulator.Run(
+      fisc_b, model, {{"test", &pipeline.split.test}}, &pool);
+  EXPECT_EQ(a.final_model.FlatParams(), b.final_model.FlatParams());
+}
+
+TEST(Integration, StyleMethodsShareOneTimeCostStructure) {
+  const Pipeline pipeline;
+  const nn::MlpClassifier model(pipeline.model_config);
+  fl::Simulator simulator(pipeline.clients, pipeline.config);
+  const std::vector<fl::EvalSet> evals = {{"test", &pipeline.split.test}};
+  util::ThreadPool pool;
+
+  baselines::FedAvg fedavg;
+  core::Fisc fisc;
+  baselines::Ccst ccst;
+  const double fedavg_one_time =
+      simulator.Run(fedavg, model, evals, &pool).costs.one_time_seconds;
+  const double fisc_one_time =
+      simulator.Run(fisc, model, evals, &pool).costs.one_time_seconds;
+  const double ccst_one_time =
+      simulator.Run(ccst, model, evals, &pool).costs.one_time_seconds;
+  // Table 8's structural claim: style methods pay a one-time cost that plain
+  // FedAvg does not.
+  EXPECT_GT(fisc_one_time, 10 * fedavg_one_time);
+  EXPECT_GT(ccst_one_time, 10 * fedavg_one_time);
+}
+
+}  // namespace
+}  // namespace pardon

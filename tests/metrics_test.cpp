@@ -1,0 +1,144 @@
+// Metrics tests: accuracy/per-domain/confusion/loss evaluation and the
+// convergence recorder.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/dataset.hpp"
+#include "metrics/evaluation.hpp"
+#include "nn/losses.hpp"
+#include "metrics/recorder.hpp"
+#include "tensor/ops.hpp"
+
+namespace pardon::metrics {
+namespace {
+
+using tensor::Pcg32;
+using tensor::Tensor;
+
+// A dataset whose label equals the argmax input coordinate — an MLP-free
+// sanity world where we can reason about expected outcomes.
+data::Dataset MakeSeparable(int n, int classes, Pcg32& rng, int domain_mod = 2) {
+  data::Dataset dataset(
+      {.channels = 1, .height = 1, .width = static_cast<std::int64_t>(classes)},
+      classes, domain_mod);
+  for (int i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.NextBounded(static_cast<std::uint32_t>(classes)));
+    Tensor image({static_cast<std::int64_t>(classes)});
+    for (int c = 0; c < classes; ++c) image[c] = 0.1f * rng.NextGaussian();
+    image[label] += 5.0f;
+    dataset.Add(image, label, i % domain_mod);
+  }
+  return dataset;
+}
+
+nn::MlpClassifier TrainedModel(const data::Dataset& data, Pcg32& rng) {
+  nn::MlpClassifier model(nn::MlpClassifier::Config{
+      .input_dim = data.shape().FlatDim(),
+      .hidden = {16},
+      .embed_dim = 8,
+      .num_classes = data.num_classes(),
+      .seed = 17,
+  });
+  nn::Adam optimizer(model.Params(), model.Grads(), {.lr = 1e-2f});
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    model.ZeroGrad();
+    nn::Sequential::Trace ft, ht;
+    const Tensor z = model.Embed(data.images(), &ft, true, &rng);
+    const Tensor logits = model.Logits(z, &ht, true, &rng);
+    std::vector<int> labels(data.labels().begin(), data.labels().end());
+    const nn::CrossEntropyResult ce = nn::SoftmaxCrossEntropy(logits, labels);
+    model.BackwardFeatures(model.BackwardHead(ce.grad_logits, ht), ft);
+    optimizer.Step();
+  }
+  return model;
+}
+
+TEST(Accuracy, HighOnSeparableDataZeroOnEmpty) {
+  Pcg32 rng(1);
+  const data::Dataset data = MakeSeparable(200, 4, rng);
+  const nn::MlpClassifier model = TrainedModel(data, rng);
+  EXPECT_GT(Accuracy(model, data), 0.9);
+  const data::Dataset empty(data.shape(), 4, 2);
+  EXPECT_EQ(Accuracy(model, empty), 0.0);
+}
+
+TEST(Accuracy, ChunkingMatchesSinglePass) {
+  Pcg32 rng(2);
+  const data::Dataset data = MakeSeparable(150, 3, rng);
+  const nn::MlpClassifier model = TrainedModel(data, rng);
+  EXPECT_DOUBLE_EQ(Accuracy(model, data, 512), Accuracy(model, data, 7));
+}
+
+TEST(PerDomainAccuracy, SplitsByDomain) {
+  Pcg32 rng(3);
+  const data::Dataset data = MakeSeparable(200, 3, rng, /*domain_mod=*/2);
+  const nn::MlpClassifier model = TrainedModel(data, rng);
+  const std::map<int, double> per_domain = PerDomainAccuracy(model, data);
+  ASSERT_EQ(per_domain.size(), 2u);
+  for (const auto& [domain, acc] : per_domain) EXPECT_GT(acc, 0.8);
+}
+
+TEST(ConfusionMatrix, RowsAreNormalizedAndDiagonalDominant) {
+  Pcg32 rng(4);
+  const data::Dataset data = MakeSeparable(300, 4, rng);
+  const nn::MlpClassifier model = TrainedModel(data, rng);
+  const Tensor confusion = ConfusionMatrix(model, data);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    float row_sum = 0.0f;
+    for (std::int64_t c = 0; c < 4; ++c) row_sum += confusion.At(r, c);
+    EXPECT_NEAR(row_sum, 1.0f, 1e-5f);
+    EXPECT_GT(confusion.At(r, r), 0.6f);
+  }
+}
+
+TEST(MeanLoss, LowerAfterTraining) {
+  Pcg32 rng(5);
+  const data::Dataset data = MakeSeparable(150, 3, rng);
+  nn::MlpClassifier untrained(nn::MlpClassifier::Config{
+      .input_dim = data.shape().FlatDim(),
+      .hidden = {16},
+      .embed_dim = 8,
+      .num_classes = 3,
+      .seed = 18,
+  });
+  const nn::MlpClassifier trained = TrainedModel(data, rng);
+  EXPECT_LT(MeanLoss(trained, data), MeanLoss(untrained, data));
+}
+
+TEST(Recorder, SeriesRoundsValuesAndCsv) {
+  Recorder recorder;
+  recorder.Record("acc", 10, 0.5);
+  recorder.Record("acc", 5, 0.3);
+  recorder.Record("loss", 5, 2.0);
+  EXPECT_EQ(recorder.Rounds("acc"), (std::vector<int>{5, 10}));
+  EXPECT_EQ(recorder.Values("acc"), (std::vector<double>{0.3, 0.5}));
+  EXPECT_DOUBLE_EQ(recorder.Last("acc"), 0.5);
+  EXPECT_TRUE(recorder.Has("loss"));
+  EXPECT_FALSE(recorder.Has("unknown"));
+  EXPECT_THROW(recorder.Last("unknown"), std::out_of_range);
+  EXPECT_EQ(recorder.SeriesNames(), (std::vector<std::string>{"acc", "loss"}));
+
+  const std::string csv = recorder.ToCsv();
+  EXPECT_NE(csv.find("acc,5,0.3"), std::string::npos);
+  EXPECT_NE(csv.find("loss,5,2"), std::string::npos);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pardon_recorder_test.csv")
+          .string();
+  recorder.SaveCsv(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+}
+
+TEST(Recorder, OverwritesSameRound) {
+  Recorder recorder;
+  recorder.Record("x", 1, 1.0);
+  recorder.Record("x", 1, 2.0);
+  EXPECT_DOUBLE_EQ(recorder.Last("x"), 2.0);
+  EXPECT_EQ(recorder.Rounds("x").size(), 1u);
+}
+
+}  // namespace
+}  // namespace pardon::metrics

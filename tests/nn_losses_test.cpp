@@ -1,0 +1,268 @@
+// Loss tests: values against hand computations and gradients against
+// central differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/losses.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::nn {
+namespace {
+
+using tensor::Pcg32;
+using tensor::Tensor;
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  const Tensor logits({2, 4});
+  const std::vector<int> labels = {0, 3};
+  const CrossEntropyResult result = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_NEAR(result.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits({1, 3});
+  logits.At(0, 1) = 50.0f;
+  const std::vector<int> labels = {1};
+  EXPECT_LT(SoftmaxCrossEntropy(logits, labels).loss, 1e-4f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumeric) {
+  Pcg32 rng(1);
+  const Tensor logits = Tensor::Gaussian({3, 5}, 0, 2, rng);
+  const std::vector<int> labels = {4, 0, 2};
+  const CrossEntropyResult result = SoftmaxCrossEntropy(logits, labels);
+  const float epsilon = 1e-3f;
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += epsilon;
+    lm[i] -= epsilon;
+    const float numeric = (SoftmaxCrossEntropy(lp, labels).loss -
+                           SoftmaxCrossEntropy(lm, labels).loss) /
+                          (2 * epsilon);
+    EXPECT_NEAR(numeric, result.grad_logits[i], 1e-3f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  Pcg32 rng(2);
+  const Tensor logits = Tensor::Gaussian({4, 6}, 0, 1, rng);
+  const std::vector<int> labels = {0, 1, 2, 3};
+  const Tensor grad = SoftmaxCrossEntropy(logits, labels).grad_logits;
+  const Tensor row_sums = tensor::RowSum(grad);
+  for (std::int64_t r = 0; r < 4; ++r) EXPECT_NEAR(row_sums[r], 0.0f, 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, LabelSmoothingValueAndGradient) {
+  Pcg32 rng(11);
+  const Tensor logits = Tensor::Gaussian({2, 4}, 0, 1.5, rng);
+  const std::vector<int> labels = {1, 3};
+  const float smoothing = 0.2f;
+  const CrossEntropyResult result =
+      SoftmaxCrossEntropy(logits, labels, smoothing);
+  // Smoothed loss >= plain loss when the model is right, and the gradient
+  // matches central differences.
+  const float epsilon = 1e-3f;
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += epsilon;
+    lm[i] -= epsilon;
+    const float numeric =
+        (SoftmaxCrossEntropy(lp, labels, smoothing).loss -
+         SoftmaxCrossEntropy(lm, labels, smoothing).loss) /
+        (2 * epsilon);
+    EXPECT_NEAR(numeric, result.grad_logits[i], 1e-3f);
+  }
+  // Gradient rows still sum to zero (targets are a distribution).
+  const Tensor row_sums = tensor::RowSum(result.grad_logits);
+  for (std::int64_t r = 0; r < 2; ++r) EXPECT_NEAR(row_sums[r], 0.0f, 1e-5f);
+  EXPECT_THROW(SoftmaxCrossEntropy(logits, labels, 1.0f),
+               std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  const Tensor logits({1, 3});
+  const std::vector<int> labels = {3};
+  EXPECT_THROW(SoftmaxCrossEntropy(logits, labels), std::out_of_range);
+}
+
+TEST(TripletLoss, InactiveWhenNegativeFar) {
+  // Anchor == its positive; the negative (row 1) is far away:
+  // hinge = 0 - 200 + 0.3 < 0 -> no loss, zero gradients.
+  const Tensor anchors({2, 2}, {0, 0, 10, 10});
+  const Tensor positives({2, 2}, {0, 0, 10, 10});
+  const std::vector<int> negatives = {1, 0};
+  const TripletResult result = TripletLoss(anchors, positives, negatives, 0.3f);
+  EXPECT_EQ(result.active_triplets, 0);
+  EXPECT_EQ(result.loss, 0.0f);
+  EXPECT_EQ(tensor::Sum(result.grad_anchors), 0.0f);
+}
+
+TEST(TripletLoss, RejectsOutOfRangeNegative) {
+  const Tensor anchors({1, 2});
+  const Tensor positives({1, 2});
+  const std::vector<int> negatives = {5};
+  EXPECT_THROW(TripletLoss(anchors, positives, negatives, 0.3f),
+               std::out_of_range);
+}
+
+TEST(TripletLoss, HingeActiveAndValueCorrect) {
+  // a = (0,0), p = (1,0), n = (2,0): |a-p|^2 = 1, |a-n|^2 = 4.
+  // hinge = 1 - 4 + margin. margin 4 -> loss = 1.
+  const Tensor anchors({2, 2}, {0, 0, 2, 0});
+  const Tensor positives({2, 2}, {1, 0, 2, 0});
+  const std::vector<int> negatives = {1, -1};
+  const TripletResult result = TripletLoss(anchors, positives, negatives, 4.0f);
+  EXPECT_EQ(result.active_triplets, 1);
+  EXPECT_NEAR(result.loss, 0.5f, 1e-5f);  // 1.0 / batch(2)
+}
+
+TEST(TripletLoss, GradientMatchesNumeric) {
+  Pcg32 rng(3);
+  const Tensor anchors = Tensor::Gaussian({4, 3}, 0, 1, rng);
+  const Tensor positives = Tensor::Gaussian({4, 3}, 0, 1, rng);
+  const std::vector<int> negatives = {2, 3, 0, 1};
+  const float margin = 2.0f;  // keep hinges active
+  const TripletResult result = TripletLoss(anchors, positives, negatives, margin);
+  const float epsilon = 1e-3f;
+  for (std::int64_t i = 0; i < anchors.size(); ++i) {
+    Tensor ap = anchors, am = anchors;
+    ap[i] += epsilon;
+    am[i] -= epsilon;
+    const float numeric = (TripletLoss(ap, positives, negatives, margin).loss -
+                           TripletLoss(am, positives, negatives, margin).loss) /
+                          (2 * epsilon);
+    EXPECT_NEAR(numeric, result.grad_anchors[i], 2e-3f);
+  }
+  for (std::int64_t i = 0; i < positives.size(); ++i) {
+    Tensor pp = positives, pm = positives;
+    pp[i] += epsilon;
+    pm[i] -= epsilon;
+    const float numeric = (TripletLoss(anchors, pp, negatives, margin).loss -
+                           TripletLoss(anchors, pm, negatives, margin).loss) /
+                          (2 * epsilon);
+    EXPECT_NEAR(numeric, result.grad_positives[i], 2e-3f);
+  }
+}
+
+TEST(SampleNegativeIndices, OnlyDifferentClassOrMinusOne) {
+  Pcg32 rng(4);
+  const std::vector<int> labels = {0, 0, 1, 2, 1};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<int> negatives = SampleNegativeIndices(labels, rng);
+    ASSERT_EQ(negatives.size(), labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      ASSERT_GE(negatives[i], 0);
+      EXPECT_NE(labels[static_cast<std::size_t>(negatives[i])], labels[i]);
+    }
+  }
+}
+
+TEST(SampleNegativeIndices, AllSameClassGivesMinusOne) {
+  Pcg32 rng(5);
+  const std::vector<int> labels = {1, 1, 1};
+  for (const int n : SampleNegativeIndices(labels, rng)) EXPECT_EQ(n, -1);
+}
+
+TEST(HardestNegativeIndices, PicksClosestDifferentClass) {
+  const Tensor anchors({3, 1}, {0, 5, 10});
+  const Tensor positives({3, 1}, {1, 6, 9});
+  const std::vector<int> labels = {0, 1, 0};
+  const std::vector<int> negatives =
+      HardestNegativeIndices(anchors, positives, labels);
+  EXPECT_EQ(negatives[0], 1);  // only different-class row
+  // For anchor 1 (class 1), candidates rows 0 (value 1) and 2 (value 9):
+  // distance to 5: 16 vs 16 -> first found (row 0).
+  EXPECT_EQ(negatives[1], 0);
+  EXPECT_EQ(negatives[2], 1);
+}
+
+TEST(EmbeddingL2Reg, ValueAndGradient) {
+  const Tensor anchors({2, 2}, {1, 0, 0, 1});
+  const Tensor positives({2, 2}, {2, 0, 0, 0});
+  const EmbeddingRegResult result = EmbeddingL2Reg(anchors, positives);
+  // sum sq = (1+1) + 4 = 6; normalized by batch*dim = 4 -> 1.5.
+  EXPECT_NEAR(result.loss, 1.5f, 1e-5f);
+  EXPECT_NEAR(result.grad_anchors[0], 2.0f * 1.0f / 4.0f, 1e-5f);
+  EXPECT_NEAR(result.grad_positives[0], 2.0f * 2.0f / 4.0f, 1e-5f);
+}
+
+TEST(L2NormalizeRows, UnitNormsAndGradientMatchesNumeric) {
+  Pcg32 rng(6);
+  const Tensor m = Tensor::Gaussian({3, 4}, 0, 2, rng);
+  const RowNormalizeResult fwd = L2NormalizeRows(m);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(tensor::L2Norm(fwd.normalized.Row(r)), 1.0f, 1e-4f);
+  }
+  const Tensor weights = Tensor::Gaussian({3, 4}, 0, 1, rng);
+  const Tensor analytic = L2NormalizeRowsBackward(weights, fwd);
+  const float epsilon = 1e-3f;
+  for (std::int64_t i = 0; i < m.size(); ++i) {
+    Tensor mp = m, mm = m;
+    mp[i] += epsilon;
+    mm[i] -= epsilon;
+    const float fp = tensor::Dot(L2NormalizeRows(mp).normalized, weights);
+    const float fm = tensor::Dot(L2NormalizeRows(mm).normalized, weights);
+    EXPECT_NEAR((fp - fm) / (2 * epsilon), analytic[i], 2e-3f);
+  }
+}
+
+TEST(MeanSquaredError, ValueAndGradient) {
+  const Tensor pred({1, 2}, {1, 3});
+  const Tensor target({1, 2}, {0, 0});
+  const MseResult result = MeanSquaredError(pred, target);
+  EXPECT_NEAR(result.loss, (1 + 9) / 2.0f, 1e-5f);
+  EXPECT_NEAR(result.grad_pred[0], 2.0f * 1 / 2, 1e-5f);
+  EXPECT_NEAR(result.grad_pred[1], 2.0f * 3 / 2, 1e-5f);
+}
+
+TEST(PrototypeContrastiveLoss, PullsTowardOwnPrototype) {
+  // Embedding at origin; own-class prototype at (1,0), other at (0.5,0).
+  const Tensor embeddings({1, 2});
+  const std::vector<int> labels = {0};
+  const Tensor prototypes({2, 2}, {1, 0, 0.5, 0});
+  const std::vector<int> proto_class = {0, 1};
+  const PrototypeContrastResult result = PrototypeContrastiveLoss(
+      embeddings, labels, prototypes, proto_class, 1.0f);
+  // own d = 1, other d = 0.25, hinge = 1 - 0.25 + 1 = 1.75 active.
+  EXPECT_NEAR(result.loss, 1.75f, 1e-5f);
+  // grad = 2 (pn - po) = 2 (0.5 - 1, 0) = (-1, 0).
+  EXPECT_NEAR(result.grad_embeddings[0], -1.0f, 1e-5f);
+}
+
+TEST(PrototypeContrastiveLoss, EmptyPrototypesNoOp) {
+  const Tensor embeddings({2, 3});
+  const std::vector<int> labels = {0, 1};
+  const PrototypeContrastResult result = PrototypeContrastiveLoss(
+      embeddings, labels, Tensor(), {}, 1.0f);
+  EXPECT_EQ(result.loss, 0.0f);
+  EXPECT_EQ(tensor::Sum(result.grad_embeddings), 0.0f);
+}
+
+TEST(PrototypeContrastiveLoss, GradientMatchesNumeric) {
+  Pcg32 rng(7);
+  const Tensor embeddings = Tensor::Gaussian({3, 4}, 0, 1, rng);
+  const std::vector<int> labels = {0, 1, 0};
+  const Tensor prototypes = Tensor::Gaussian({4, 4}, 0, 1, rng);
+  const std::vector<int> proto_class = {0, 0, 1, 1};
+  const float margin = 3.0f;
+  const PrototypeContrastResult result = PrototypeContrastiveLoss(
+      embeddings, labels, prototypes, proto_class, margin);
+  const float epsilon = 1e-3f;
+  for (std::int64_t i = 0; i < embeddings.size(); ++i) {
+    Tensor ep = embeddings, em = embeddings;
+    ep[i] += epsilon;
+    em[i] -= epsilon;
+    const float numeric =
+        (PrototypeContrastiveLoss(ep, labels, prototypes, proto_class, margin)
+             .loss -
+         PrototypeContrastiveLoss(em, labels, prototypes, proto_class, margin)
+             .loss) /
+        (2 * epsilon);
+    EXPECT_NEAR(numeric, result.grad_embeddings[i], 2e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace pardon::nn

@@ -1,0 +1,178 @@
+// MlpClassifier tests: parameter plumbing for FL, cloning, checkpoints, and
+// end-to-end learning on a toy problem.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/checkpoint.hpp"
+#include "nn/losses.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/ops.hpp"
+
+namespace pardon::nn {
+namespace {
+
+using tensor::Pcg32;
+using tensor::Tensor;
+
+MlpClassifier::Config SmallConfig() {
+  return MlpClassifier::Config{
+      .input_dim = 8,
+      .hidden = {16},
+      .embed_dim = 4,
+      .num_classes = 3,
+      .seed = 5,
+  };
+}
+
+TEST(MlpClassifier, ShapesAreConsistent) {
+  MlpClassifier model(SmallConfig());
+  Pcg32 rng(1);
+  const Tensor x = Tensor::Gaussian({10, 8}, 0, 1, rng);
+  const Tensor z = model.InferEmbeddings(x);
+  EXPECT_EQ(z.dim(0), 10);
+  EXPECT_EQ(z.dim(1), 4);
+  const Tensor logits = model.InferLogits(x);
+  EXPECT_EQ(logits.dim(1), 3);
+}
+
+TEST(MlpClassifier, FlatParamsRoundTrip) {
+  MlpClassifier model(SmallConfig());
+  const std::vector<float> flat = model.FlatParams();
+  EXPECT_EQ(static_cast<std::int64_t>(flat.size()), model.NumParams());
+
+  MlpClassifier::Config other_config = SmallConfig();
+  other_config.seed = 99;
+  MlpClassifier other(other_config);
+  other.SetFlatParams(flat);
+  Pcg32 rng(2);
+  const Tensor x = Tensor::Gaussian({4, 8}, 0, 1, rng);
+  EXPECT_LT(tensor::MaxAbsDiff(model.InferLogits(x), other.InferLogits(x)),
+            1e-6f);
+}
+
+TEST(MlpClassifier, FlatParamsIncludeBatchNormBuffers) {
+  MlpClassifier with_bn(SmallConfig());
+  MlpClassifier::Config no_bn_config = SmallConfig();
+  no_bn_config.batch_norm = false;
+  MlpClassifier without_bn(no_bn_config);
+  EXPECT_GT(with_bn.NumParams(), without_bn.NumParams());
+  // 16-wide BN: gamma+beta (params) and 2 running buffers = 64 extra floats.
+  EXPECT_EQ(with_bn.NumParams() - without_bn.NumParams(), 4 * 16);
+}
+
+TEST(MlpClassifier, BatchNormRunningStatsAverageThroughFlatParams) {
+  // The FL path: two client models with different running statistics are
+  // averaged by averaging their flat vectors; the result's buffers must be
+  // the element-wise means.
+  MlpClassifier a(SmallConfig());
+  MlpClassifier b = a.Clone();
+  Pcg32 rng(41);
+  // Drive each model's BN stats with differently-shifted data.
+  for (int step = 0; step < 50; ++step) {
+    nn::Sequential::Trace trace;
+    a.Embed(Tensor::Gaussian({16, 8}, 2.0f, 1.0f, rng), &trace, true, &rng);
+    b.Embed(Tensor::Gaussian({16, 8}, -2.0f, 1.0f, rng), &trace, true, &rng);
+  }
+  const std::vector<float> fa = a.FlatParams();
+  const std::vector<float> fb = b.FlatParams();
+  std::vector<float> mean(fa.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) mean[i] = 0.5f * (fa[i] + fb[i]);
+  MlpClassifier merged(SmallConfig());
+  merged.SetFlatParams(mean);
+  const Tensor& merged_mean = *merged.Buffers()[0];
+  const Tensor& a_mean = *a.Buffers()[0];
+  const Tensor& b_mean = *b.Buffers()[0];
+  for (std::int64_t i = 0; i < merged_mean.size(); ++i) {
+    EXPECT_NEAR(merged_mean[i], 0.5f * (a_mean[i] + b_mean[i]), 1e-5f);
+  }
+  // And the drives genuinely differed.
+  EXPECT_GT(tensor::MaxAbsDiff(a_mean, b_mean), 0.5f);
+}
+
+TEST(MlpClassifier, SetFlatParamsRejectsWrongLength) {
+  MlpClassifier model(SmallConfig());
+  std::vector<float> flat = model.FlatParams();
+  flat.pop_back();
+  EXPECT_THROW(model.SetFlatParams(flat), std::invalid_argument);
+  flat.push_back(0.0f);
+  flat.push_back(0.0f);
+  EXPECT_THROW(model.SetFlatParams(flat), std::invalid_argument);
+}
+
+TEST(MlpClassifier, CloneIsIndependent) {
+  MlpClassifier model(SmallConfig());
+  MlpClassifier clone = model.Clone();
+  (*clone.Params()[0])[0] += 10.0f;
+  EXPECT_NE((*clone.Params()[0])[0], (*model.Params()[0])[0]);
+}
+
+TEST(MlpClassifier, TrainingReducesLossOnToyProblem) {
+  MlpClassifier model(SmallConfig());
+  Pcg32 rng(7);
+  // Three linearly separable blobs.
+  const std::int64_t n = 96;
+  Tensor x({n, 8});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % 3);
+    labels[static_cast<std::size_t>(i)] = c;
+    for (std::int64_t d = 0; d < 8; ++d) {
+      x.At(i, d) = rng.NextGaussian() + (d == c ? 4.0f : 0.0f);
+    }
+  }
+  Adam optimizer(model.Params(), model.Grads(), {.lr = 5e-3f});
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    model.ZeroGrad();
+    Sequential::Trace ft, ht;
+    const Tensor z = model.Embed(x, &ft, true, &rng);
+    const Tensor logits = model.Logits(z, &ht, true, &rng);
+    const CrossEntropyResult ce = SoftmaxCrossEntropy(logits, labels);
+    if (step == 0) first_loss = ce.loss;
+    last_loss = ce.loss;
+    model.BackwardFeatures(model.BackwardHead(ce.grad_logits, ht), ft);
+    optimizer.Step();
+  }
+  EXPECT_LT(last_loss, 0.5f * first_loss);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pardon_ckpt_test.bin").string();
+  MlpClassifier model(SmallConfig());
+  SaveCheckpoint(path, model);
+
+  MlpClassifier::Config config = SmallConfig();
+  config.seed = 1234;
+  MlpClassifier restored(config);
+  LoadCheckpoint(path, restored);
+  Pcg32 rng(8);
+  const Tensor x = Tensor::Gaussian({3, 8}, 0, 1, rng);
+  EXPECT_LT(tensor::MaxAbsDiff(model.InferLogits(x), restored.InferLogits(x)),
+            1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pardon_ckpt_mismatch.bin")
+          .string();
+  MlpClassifier model(SmallConfig());
+  SaveCheckpoint(path, model);
+  MlpClassifier::Config config = SmallConfig();
+  config.hidden = {32};
+  MlpClassifier bigger(config);
+  EXPECT_THROW(LoadCheckpoint(path, bigger), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(MlpClassifier, RejectsBadConfig) {
+  MlpClassifier::Config config = SmallConfig();
+  config.input_dim = 0;
+  EXPECT_THROW(MlpClassifier{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pardon::nn

@@ -1,0 +1,95 @@
+// Optimizer tests: exact single-step math and convergence behaviour.
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Sgd, PlainStepIsLrTimesGrad) {
+  Tensor param({2}, {1.0f, 2.0f});
+  Tensor grad({2}, {0.5f, -1.0f});
+  Sgd sgd({&param}, {&grad}, {.lr = 0.1f});
+  sgd.Step();
+  EXPECT_FLOAT_EQ(param[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(param[1], 2.0f + 0.1f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Tensor param({1}, {0.0f});
+  Tensor grad({1}, {1.0f});
+  Sgd sgd({&param}, {&grad}, {.lr = 1.0f, .momentum = 0.5f});
+  sgd.Step();  // v = 1, param = -1
+  EXPECT_FLOAT_EQ(param[0], -1.0f);
+  sgd.Step();  // v = 1.5, param = -2.5
+  EXPECT_FLOAT_EQ(param[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayShrinksParams) {
+  Tensor param({1}, {10.0f});
+  Tensor grad({1}, {0.0f});
+  Sgd sgd({&param}, {&grad}, {.lr = 0.1f, .weight_decay = 0.5f});
+  sgd.Step();
+  EXPECT_FLOAT_EQ(param[0], 10.0f - 0.1f * 0.5f * 10.0f);
+}
+
+TEST(Adam, FirstStepMovesByLr) {
+  Tensor param({1}, {0.0f});
+  Tensor grad({1}, {3.0f});
+  Adam adam({&param}, {&grad}, {.lr = 0.1f, .epsilon = 1e-8f});
+  adam.Step();
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  EXPECT_NEAR(param[0], -0.1f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2.
+  Tensor param({1}, {10.0f});
+  Tensor grad({1});
+  Adam adam({&param}, {&grad}, {.lr = 0.1f});
+  for (int i = 0; i < 500; ++i) {
+    grad[0] = 2.0f * (param[0] - 3.0f);
+    adam.Step();
+  }
+  EXPECT_NEAR(param[0], 3.0f, 0.05f);
+}
+
+TEST(Optimizer, ZeroGradClearsBuffers) {
+  Tensor param({2});
+  Tensor grad({2}, {1.0f, 2.0f});
+  Sgd sgd({&param}, {&grad}, {});
+  sgd.ZeroGrad();
+  EXPECT_EQ(grad[0], 0.0f);
+  EXPECT_EQ(grad[1], 0.0f);
+}
+
+TEST(Optimizer, RejectsMismatchedShapes) {
+  Tensor param({2});
+  Tensor grad({3});
+  EXPECT_THROW(Sgd({&param}, {&grad}, {}), std::invalid_argument);
+  Tensor grad2({2});
+  EXPECT_THROW(Sgd({&param}, {&grad2, &grad2}, {}), std::invalid_argument);
+}
+
+TEST(MakeOptimizer, DispatchesOnKind) {
+  Tensor param({1}, {0.0f});
+  Tensor grad({1}, {1.0f});
+  const auto sgd = MakeOptimizer(
+      {&param}, {&grad},
+      {.kind = OptimizerOptions::Kind::kSgdMomentum, .lr = 1.0f, .momentum = 0.0f});
+  sgd->Step();
+  EXPECT_FLOAT_EQ(param[0], -1.0f);
+
+  param[0] = 0.0f;
+  const auto adam = MakeOptimizer(
+      {&param}, {&grad}, {.kind = OptimizerOptions::Kind::kAdam, .lr = 0.5f});
+  adam->Step();
+  EXPECT_NEAR(param[0], -0.5f, 0.05f);
+}
+
+}  // namespace
+}  // namespace pardon::nn

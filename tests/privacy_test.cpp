@@ -1,0 +1,192 @@
+// Privacy module tests: Fréchet distance properties, the Inception-Score
+// analogue, and the style-inversion attack's end-to-end behaviour (the
+// security claim: style-only reconstructions are far from the real data,
+// while a full-feature attacker gets close).
+#include <gtest/gtest.h>
+
+#include "data/domain_generator.hpp"
+#include "data/presets.hpp"
+#include "privacy/domain_inference.hpp"
+#include "privacy/frechet.hpp"
+#include "privacy/inception_score.hpp"
+#include "privacy/inversion_attack.hpp"
+#include "style/perturb.hpp"
+#include "tensor/ops.hpp"
+
+namespace pardon::privacy {
+namespace {
+
+using tensor::Pcg32;
+using tensor::Tensor;
+
+TEST(FrechetDistance, NearZeroForIdenticalDistributions) {
+  Pcg32 rng(1);
+  const Tensor a = Tensor::Gaussian({400, 6}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({400, 6}, 0, 1, rng);
+  EXPECT_LT(FrechetDistance(a, b), 0.2);
+}
+
+TEST(FrechetDistance, GrowsWithMeanShift) {
+  Pcg32 rng(2);
+  const Tensor a = Tensor::Gaussian({300, 4}, 0, 1, rng);
+  const Tensor small = Tensor::Gaussian({300, 4}, 1, 1, rng);
+  const Tensor large = Tensor::Gaussian({300, 4}, 4, 1, rng);
+  const double d_small = FrechetDistance(a, small);
+  const double d_large = FrechetDistance(a, large);
+  EXPECT_GT(d_small, 1.0);
+  EXPECT_GT(d_large, d_small * 3);
+  // Mean term alone: |delta mu|^2 = 4 * 16 = 64.
+  EXPECT_NEAR(d_large, 64.0, 10.0);
+}
+
+TEST(FrechetDistance, DetectsCovarianceDifference) {
+  Pcg32 rng(3);
+  const Tensor narrow = Tensor::Gaussian({400, 3}, 0, 0.5f, rng);
+  const Tensor wide = Tensor::Gaussian({400, 3}, 0, 2.0f, rng);
+  EXPECT_GT(FrechetDistance(narrow, wide), 2.0);
+}
+
+TEST(FrechetDistance, SymmetricAndRejectsTinySets) {
+  Pcg32 rng(4);
+  const Tensor a = Tensor::Gaussian({50, 3}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({60, 3}, 1, 1, rng);
+  EXPECT_NEAR(FrechetDistance(a, b), FrechetDistance(b, a), 1e-3);
+  EXPECT_THROW(FrechetDistance(Tensor({1, 3}), b), std::invalid_argument);
+}
+
+data::GeneratorConfig AttackGenConfig(std::uint64_t seed) {
+  data::GeneratorConfig config = data::MakePacsLike(seed).generator;
+  config.shape = {.channels = 4, .height = 8, .width = 8};
+  return config;
+}
+
+TEST(InceptionScore, ConfidentDiverseBeatsUniform) {
+  const data::DomainGenerator generator(AttackGenConfig(606));
+  Pcg32 rng(5);
+  data::Dataset data(AttackGenConfig(606).shape, 7, 4);
+  for (int d = 0; d < 2; ++d) data.Append(generator.GenerateDomain(d, 150, rng));
+  const nn::MlpClassifier scorer = TrainScorer(data, /*epochs=*/8, 99);
+
+  const double real_is = InceptionScore(scorer, data.images());
+  // Pure noise images: predictions collapse toward the marginal.
+  const Tensor noise =
+      Tensor::Gaussian({200, AttackGenConfig(606).shape.FlatDim()}, 0, 1, rng);
+  const double noise_is = InceptionScore(scorer, noise);
+  EXPECT_GT(real_is, noise_is);
+  EXPECT_GT(real_is, 1.5);
+}
+
+TEST(StyleInversionAttack, StyleReconstructionsMuchWorseThanBaseline) {
+  const data::GeneratorConfig victim_config = AttackGenConfig(707);
+  const data::DomainGenerator victim_gen(victim_config);
+  Pcg32 rng(6);
+  const data::Dataset victim = victim_gen.GenerateDomain(0, 150, rng);
+
+  // Attacker's public corpus: different world.
+  data::GeneratorConfig public_config = victim_config;
+  public_config.seed = 909;
+  public_config.num_domains = 8;
+  public_config.domain_style_scale.clear();
+  const data::DomainGenerator public_gen(public_config);
+  data::Dataset public_data(public_config.shape, public_config.num_classes,
+                            public_config.num_domains);
+  for (int d = 0; d < 8; ++d) {
+    public_data.Append(public_gen.GenerateDomain(d, 40, rng));
+  }
+
+  const style::FrozenEncoder encoder(
+      {.in_channels = 4, .feature_channels = 8, .pool = 2, .seed = 7});
+  const AttackConfig config{.epochs = 40, .hidden = 192, .seed = 11};
+  StyleInversionAttack attack(encoder, victim_config.shape, config);
+  const float loss = attack.Train(public_data);
+  EXPECT_GT(loss, 0.0f);
+
+  // Reconstruct victim images from their per-image styles.
+  std::vector<Tensor> style_rows;
+  for (std::int64_t i = 0; i < victim.size(); ++i) {
+    style_rows.push_back(encoder.EncodeStyle(victim.Image(i)).Flat());
+  }
+  const Tensor reconstructions =
+      attack.ReconstructBatch(Tensor::Stack(style_rows));
+  ASSERT_EQ(reconstructions.shape(), victim.images().shape());
+
+  // Paper protocol: the baseline attacker trains directly on the victim's
+  // real images (the ideal, impractical comparator).
+  const Tensor baseline =
+      BaselineReconstruction(encoder, victim, victim, config);
+  const Tensor real_features = FidFeatures(victim, encoder);
+  const double fd_style = FrechetDistance(
+      real_features,
+      FidFeaturesOfImages(reconstructions, victim_config.shape, encoder));
+  const double fd_baseline = FrechetDistance(
+      real_features, FidFeaturesOfImages(baseline, victim_config.shape, encoder));
+  // The paper's Table 9 shape: style-only reconstructions are far worse than
+  // the full-information baseline.
+  EXPECT_GT(fd_style, 1.3 * fd_baseline);
+}
+
+TEST(DomainInferenceProbe, IdentifiesDomainsAndNoiseDegradesIt) {
+  const data::GeneratorConfig config = AttackGenConfig(909);
+  const data::DomainGenerator generator(config);
+  Pcg32 rng(8);
+  // Adversary's reference data per domain.
+  std::vector<data::Dataset> references;
+  for (int d = 0; d < config.num_domains; ++d) {
+    references.push_back(generator.GenerateDomain(d, 60, rng));
+  }
+  const style::FrozenEncoder encoder(
+      {.in_channels = 4, .feature_channels = 8, .pool = 2, .seed = 7});
+  const DomainInferenceProbe probe(references, encoder);
+
+  // Victim clients: 5 per domain, styles from fresh samples.
+  std::vector<style::StyleVector> styles;
+  std::vector<int> truth;
+  for (int d = 0; d < config.num_domains; ++d) {
+    for (int c = 0; c < 5; ++c) {
+      const data::Dataset victim = generator.GenerateDomain(d, 25, rng);
+      std::vector<tensor::Tensor> features;
+      for (std::int64_t i = 0; i < victim.size(); ++i) {
+        features.push_back(encoder.Encode(victim.Image(i)));
+      }
+      styles.push_back(style::PooledStyle(features));
+      truth.push_back(d);
+    }
+  }
+  const double clean_accuracy = probe.Accuracy(styles, truth);
+  // Styles DO identify the domain (the leakage the probe measures)...
+  EXPECT_GT(clean_accuracy, 0.8);
+
+  // ...and heavy Gaussian perturbation erodes it toward chance.
+  std::vector<style::StyleVector> noisy;
+  tensor::Pcg32 noise_rng(9, 0x6eULL);
+  for (const style::StyleVector& s : styles) {
+    noisy.push_back(style::PerturbStyle(
+        s, {.coefficient = 1.0f, .scale = 10.0f}, noise_rng));
+  }
+  EXPECT_LT(probe.Accuracy(noisy, truth), clean_accuracy);
+}
+
+TEST(DomainInferenceProbe, RejectsBadInput) {
+  const style::FrozenEncoder encoder(
+      {.in_channels = 4, .feature_channels = 8, .pool = 2, .seed = 7});
+  EXPECT_THROW(DomainInferenceProbe({}, encoder), std::invalid_argument);
+}
+
+TEST(StyleInversionAttack, PerceptualLossVariantTrains) {
+  const data::GeneratorConfig config = AttackGenConfig(808);
+  const data::DomainGenerator generator(config);
+  Pcg32 rng(7);
+  const data::Dataset data = generator.GenerateDomain(0, 60, rng);
+  const style::FrozenEncoder encoder(
+      {.in_channels = 4, .feature_channels = 8, .pool = 2, .seed = 7});
+  StyleInversionAttack attack(
+      encoder, config.shape,
+      {.loss = AttackLoss::kPerceptual, .epochs = 5, .seed = 12});
+  EXPECT_GT(attack.Train(data), 0.0f);
+  const Tensor recon = attack.Reconstruct(encoder.EncodeStyle(data.Image(0)));
+  EXPECT_EQ(recon.size(), config.shape.FlatDim());
+  EXPECT_TRUE(tensor::AllFinite(recon));
+}
+
+}  // namespace
+}  // namespace pardon::privacy

@@ -1,0 +1,163 @@
+// Tests for the LR schedules, the new activation layers, and the
+// domain-fairness metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "metrics/evaluation.hpp"
+#include "nn/layers.hpp"
+#include "nn/losses.hpp"
+#include "nn/lr_schedule.hpp"
+#include "tensor/ops.hpp"
+
+namespace pardon {
+namespace {
+
+using tensor::Pcg32;
+using tensor::Tensor;
+
+// Central-difference input-gradient check shared by the activation tests.
+float CheckGradient(nn::Layer& layer, const Tensor& x, Pcg32& rng) {
+  std::unique_ptr<nn::Layer::Context> ctx;
+  const Tensor y = layer.Forward(x, ctx, true, &rng);
+  const Tensor weights = Tensor::Gaussian(y.shape(), 0, 1, rng);
+  layer.ZeroGrad();
+  const Tensor analytic = layer.Backward(weights, *ctx);
+  float max_diff = 0.0f;
+  const float epsilon = 1e-3f;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += epsilon;
+    xm[i] -= epsilon;
+    std::unique_ptr<nn::Layer::Context> scratch;
+    const float fp = tensor::Dot(layer.Forward(xp, scratch, true, &rng), weights);
+    const float fm = tensor::Dot(layer.Forward(xm, scratch, true, &rng), weights);
+    max_diff = std::max(max_diff,
+                        std::fabs((fp - fm) / (2 * epsilon) - analytic[i]));
+  }
+  return max_diff;
+}
+
+TEST(Activations, SigmoidValuesAndGradient) {
+  nn::Sigmoid layer;
+  Pcg32 rng(1);
+  std::unique_ptr<nn::Layer::Context> ctx;
+  const Tensor y = layer.Forward(Tensor({1, 3}, {0, 100, -100}), ctx, true, &rng);
+  EXPECT_NEAR(y[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6f);
+  const Tensor x = Tensor::Gaussian({3, 4}, 0, 1, rng);
+  EXPECT_LT(CheckGradient(layer, x, rng), 1e-2f);
+}
+
+TEST(Activations, GeluValuesAndGradient) {
+  nn::Gelu layer;
+  Pcg32 rng(2);
+  std::unique_ptr<nn::Layer::Context> ctx;
+  const Tensor y = layer.Forward(Tensor({1, 3}, {0, 10, -10}), ctx, true, &rng);
+  EXPECT_NEAR(y[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(y[1], 10.0f, 1e-3f);
+  EXPECT_NEAR(y[2], 0.0f, 1e-3f);
+  const Tensor x = Tensor::Gaussian({3, 4}, 0, 1, rng);
+  EXPECT_LT(CheckGradient(layer, x, rng), 1e-2f);
+}
+
+TEST(Activations, SoftplusValuesAndGradient) {
+  nn::Softplus layer;
+  Pcg32 rng(3);
+  std::unique_ptr<nn::Layer::Context> ctx;
+  const Tensor y = layer.Forward(Tensor({1, 2}, {0, 50}), ctx, true, &rng);
+  EXPECT_NEAR(y[0], std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(y[1], 50.0f, 1e-4f);
+  const Tensor x = Tensor::Gaussian({3, 4}, 0, 2, rng);
+  EXPECT_LT(CheckGradient(layer, x, rng), 1e-2f);
+}
+
+TEST(LrSchedule, ConstantIsOne) {
+  const nn::LrSchedule schedule{.kind = nn::LrScheduleKind::kConstant,
+                                .total_rounds = 50};
+  EXPECT_FLOAT_EQ(schedule.Multiplier(1), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(50), 1.0f);
+}
+
+TEST(LrSchedule, LinearDecayEndpoints) {
+  const nn::LrSchedule schedule{.kind = nn::LrScheduleKind::kLinearDecay,
+                                .total_rounds = 11,
+                                .end_factor = 0.1f};
+  EXPECT_FLOAT_EQ(schedule.Multiplier(1), 1.0f);
+  EXPECT_NEAR(schedule.Multiplier(6), 0.55f, 1e-5f);
+  EXPECT_NEAR(schedule.Multiplier(11), 0.1f, 1e-5f);
+  // Clamped past the horizon.
+  EXPECT_NEAR(schedule.Multiplier(100), 0.1f, 1e-5f);
+}
+
+TEST(LrSchedule, CosineDecayMonotoneWithinHorizon) {
+  const nn::LrSchedule schedule{.kind = nn::LrScheduleKind::kCosineDecay,
+                                .total_rounds = 20,
+                                .end_factor = 0.0f};
+  float previous = 1.01f;
+  for (int round = 1; round <= 20; ++round) {
+    const float m = schedule.Multiplier(round);
+    EXPECT_LT(m, previous);
+    previous = m;
+  }
+  EXPECT_NEAR(schedule.Multiplier(1), 1.0f, 1e-5f);
+  EXPECT_NEAR(schedule.Multiplier(20), 0.0f, 1e-5f);
+}
+
+TEST(LrSchedule, StepDecayHalvesEveryPeriod) {
+  const nn::LrSchedule schedule{.kind = nn::LrScheduleKind::kStepDecay,
+                                .total_rounds = 100,
+                                .step_rounds = 10,
+                                .gamma = 0.5f};
+  EXPECT_FLOAT_EQ(schedule.Multiplier(1), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(10), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(11), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(21), 0.25f);
+}
+
+TEST(DomainFairness, SummarizesPerDomainSpread) {
+  // Build a dataset where the model will be perfect on domain 0 and at
+  // chance on domain 1: domain 0 images are separable, domain 1 pure noise.
+  data::Dataset dataset({.channels = 1, .height = 1, .width = 3}, 3, 2);
+  Pcg32 rng(4);
+  for (int i = 0; i < 150; ++i) {
+    const int label = i % 3;
+    Tensor image({3});
+    for (int c = 0; c < 3; ++c) image[c] = 0.1f * rng.NextGaussian();
+    if (i < 75) {
+      image[label] += 5.0f;  // domain 0: separable
+      dataset.Add(image, label, 0);
+    } else {
+      dataset.Add(image, label, 1);  // domain 1: noise
+    }
+  }
+  nn::MlpClassifier model(nn::MlpClassifier::Config{
+      .input_dim = 3,
+      .hidden = {8},
+      .embed_dim = 4,
+      .num_classes = 3,
+      .seed = 5,
+  });
+  nn::Adam optimizer(model.Params(), model.Grads(), {.lr = 1e-2f});
+  std::vector<int> labels(dataset.labels().begin(), dataset.labels().end());
+  for (int step = 0; step < 60; ++step) {
+    model.ZeroGrad();
+    nn::Sequential::Trace ft, ht;
+    const Tensor z = model.Embed(dataset.images(), &ft, true, &rng);
+    const nn::CrossEntropyResult ce =
+        nn::SoftmaxCrossEntropy(model.Logits(z, &ht, true, &rng), labels);
+    model.BackwardFeatures(model.BackwardHead(ce.grad_logits, ht), ft);
+    optimizer.Step();
+  }
+  const metrics::DomainFairness fairness =
+      metrics::DomainFairnessOf(model, dataset);
+  EXPECT_GT(fairness.best, 0.9);
+  EXPECT_LT(fairness.worst, 0.7);
+  EXPECT_GT(fairness.stddev, 0.1);
+  EXPECT_GE(fairness.best, fairness.worst);
+}
+
+}  // namespace
+}  // namespace pardon

@@ -1,0 +1,370 @@
+// Unit tests for the tensor substrate: shapes, ops, reductions, linalg, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "tensor/io.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pardon::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitializedWithShape) {
+  const Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructFromValuesChecksVolume) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapeInfersSingleDimension) {
+  const Tensor t({2, 6});
+  const Tensor r = t.Reshape({3, -1});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.dim(1), 4);
+  EXPECT_THROW(t.Reshape({5, -1}), std::invalid_argument);
+  EXPECT_THROW(t.Reshape({-1, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, RowAndStackRoundTrip) {
+  const Tensor t({3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor row1 = t.Row(1);
+  EXPECT_EQ(row1.rank(), 1u);
+  EXPECT_EQ(row1[0], 3.0f);
+  EXPECT_EQ(row1[1], 4.0f);
+  const Tensor restacked = Tensor::Stack({t.Row(0), t.Row(1), t.Row(2)});
+  EXPECT_EQ(MaxAbsDiff(t, restacked), 0.0f);
+}
+
+TEST(Tensor, GatherSelectsRows) {
+  const Tensor t({3, 2}, {1, 2, 3, 4, 5, 6});
+  const std::vector<int> idx = {2, 0};
+  const Tensor g = t.Gather(idx);
+  EXPECT_EQ(g.dim(0), 2);
+  EXPECT_EQ(g.At(0, 0), 5.0f);
+  EXPECT_EQ(g.At(1, 1), 2.0f);
+}
+
+TEST(Tensor, SetRowWritesInPlace) {
+  Tensor t({2, 2});
+  t.SetRow(1, Tensor({2}, {7, 8}));
+  EXPECT_EQ(t.At(1, 0), 7.0f);
+  EXPECT_EQ(t.At(1, 1), 8.0f);
+}
+
+TEST(Ops, MatMulMatchesHandComputed) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(Ops, MatMulTransVariantsAgreeWithExplicitTranspose) {
+  Pcg32 rng(3);
+  const Tensor a = Tensor::Gaussian({4, 3}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({4, 5}, 0, 1, rng);
+  const Tensor expected = MatMul(Transpose2D(a), b);
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(a, b), expected), 1e-5f);
+
+  const Tensor c = Tensor::Gaussian({6, 3}, 0, 1, rng);
+  const Tensor d = Tensor::Gaussian({2, 3}, 0, 1, rng);
+  const Tensor expected2 = MatMul(c, Transpose2D(d));
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(c, d), expected2), 1e-5f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrderPreserved) {
+  const Tensor logits({2, 3}, {1, 2, 3, -1, 5, 0});
+  const Tensor p = SoftmaxRows(logits);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (std::int64_t c = 0; c < 3; ++c) sum += p.At(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(p.At(0, 2), p.At(0, 1));
+  EXPECT_GT(p.At(1, 1), p.At(1, 0));
+}
+
+TEST(Ops, SoftmaxRowsStableForLargeLogits) {
+  const Tensor logits({1, 2}, {1000.0f, 999.0f});
+  const Tensor p = SoftmaxRows(logits);
+  EXPECT_TRUE(AllFinite(p));
+  EXPECT_GT(p.At(0, 0), p.At(0, 1));
+}
+
+TEST(Ops, ColMedianOddAndEven) {
+  const Tensor odd({3, 2}, {1, 10, 5, 20, 3, 30});
+  const Tensor med_odd = ColMedian(odd);
+  EXPECT_EQ(med_odd[0], 3.0f);
+  EXPECT_EQ(med_odd[1], 20.0f);
+
+  const Tensor even({4, 1}, {1, 2, 3, 100});
+  EXPECT_EQ(ColMedian(even)[0], 2.5f);
+}
+
+TEST(Ops, ColMedianRobustToOutlier) {
+  const Tensor with_outlier({5, 1}, {1, 1, 1, 1, 1000});
+  EXPECT_EQ(ColMedian(with_outlier)[0], 1.0f);
+}
+
+TEST(Ops, ChannelMeanStd) {
+  // 2 channels of 2x2: channel 0 constant 3, channel 1 = {0, 0, 2, 2}.
+  const Tensor fm({2, 2, 2}, {3, 3, 3, 3, 0, 0, 2, 2});
+  const Tensor mu = ChannelMean(fm);
+  EXPECT_NEAR(mu[0], 3.0f, 1e-6f);
+  EXPECT_NEAR(mu[1], 1.0f, 1e-6f);
+  const Tensor sd = ChannelStd(fm, 0.0f);
+  EXPECT_NEAR(sd[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(sd[1], 1.0f, 1e-5f);
+}
+
+TEST(Ops, CovarianceOfPerfectlyCorrelated) {
+  // y = 2x -> cov = [[var, 2var], [2var, 4var]].
+  const Tensor m({4, 2}, {0, 0, 1, 2, 2, 4, 3, 6});
+  const Tensor cov = Covariance(m);
+  EXPECT_NEAR(cov.At(0, 1), 2.0f * cov.At(0, 0), 1e-4f);
+  EXPECT_NEAR(cov.At(1, 1), 4.0f * cov.At(0, 0), 1e-4f);
+}
+
+TEST(Ops, CosineSimilarityBounds) {
+  const Tensor a({3}, {1, 0, 0});
+  const Tensor b({3}, {0, 1, 0});
+  const Tensor c({3}, {2, 0, 0});
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0f, 1e-6f);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0f, 1e-6f);
+  const Tensor zero({3});
+  EXPECT_EQ(CosineSimilarity(a, zero), 0.0f);
+}
+
+TEST(Ops, PairwiseSquaredL2MatchesScalar) {
+  Pcg32 rng(5);
+  const Tensor a = Tensor::Gaussian({3, 4}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({2, 4}, 0, 1, rng);
+  const Tensor d = PairwiseSquaredL2(a, b);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(d.At(i, j), SquaredL2Distance(a.Row(i), b.Row(j)), 1e-4f);
+    }
+  }
+}
+
+TEST(Ops, RowVectorBroadcasts) {
+  const Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor v({3}, {10, 20, 30});
+  const Tensor added = AddRowVector(m, v);
+  EXPECT_FLOAT_EQ(added.At(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(added.At(1, 2), 36.0f);
+  const Tensor scaled = MulRowVector(m, v);
+  EXPECT_FLOAT_EQ(scaled.At(0, 1), 40.0f);
+  EXPECT_FLOAT_EQ(scaled.At(1, 0), 40.0f);
+  const Tensor wrong({2}, {1, 2});
+  EXPECT_THROW(AddRowVector(m, wrong), std::invalid_argument);
+}
+
+TEST(Ops, ElementwiseUnaryFunctions) {
+  const Tensor t({4}, {-2.0f, 0.0f, 1.0f, 4.0f});
+  const Tensor abs = Abs(t);
+  EXPECT_FLOAT_EQ(abs[0], 2.0f);
+  const Tensor clamped = Clamp(t, -1.0f, 2.0f);
+  EXPECT_FLOAT_EQ(clamped[0], -1.0f);
+  EXPECT_FLOAT_EQ(clamped[3], 2.0f);
+  const Tensor roots = Sqrt(t);  // negatives clamp to 0
+  EXPECT_FLOAT_EQ(roots[0], 0.0f);
+  EXPECT_FLOAT_EQ(roots[3], 2.0f);
+  const Tensor logs = Log(Exp(t));
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_NEAR(logs[i], t[i], 1e-5f);
+}
+
+TEST(Ops, RowSumAndScalarReductions) {
+  const Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor rows = RowSum(m);
+  EXPECT_FLOAT_EQ(rows[0], 6.0f);
+  EXPECT_FLOAT_EQ(rows[1], 15.0f);
+  EXPECT_FLOAT_EQ(Sum(m), 21.0f);
+  EXPECT_FLOAT_EQ(Mean(m), 3.5f);
+  EXPECT_FLOAT_EQ(MaxValue(m), 6.0f);
+  EXPECT_THROW(MaxValue(Tensor({0})), std::invalid_argument);
+}
+
+TEST(Tensor, FactoriesProduceExpectedValues) {
+  const Tensor full = Tensor::Full({2, 2}, 7.0f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(full[i], 7.0f);
+  const Tensor range = Tensor::Arange(4);
+  EXPECT_FLOAT_EQ(range[0], 0.0f);
+  EXPECT_FLOAT_EQ(range[3], 3.0f);
+  Pcg32 rng(30);
+  const Tensor uniform = Tensor::Uniform({100}, -1.0f, 1.0f, rng);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_GE(uniform[i], -1.0f);
+    EXPECT_LT(uniform[i], 1.0f);
+  }
+}
+
+TEST(Tensor, ErrorPathsThrow) {
+  const Tensor t({2, 2});
+  EXPECT_THROW(t.Row(5), std::out_of_range);
+  EXPECT_THROW(t.Row(-1), std::out_of_range);
+  Tensor mutable_t({2, 2});
+  EXPECT_THROW(mutable_t.SetRow(0, Tensor({3})), std::invalid_argument);
+  const std::vector<int> bad_index = {9};
+  EXPECT_THROW(t.Gather(bad_index), std::out_of_range);
+  EXPECT_THROW(Tensor::Stack({}), std::invalid_argument);
+  EXPECT_THROW(Tensor::Stack({Tensor({2}), Tensor({3})}),
+               std::invalid_argument);
+}
+
+TEST(Ops, PairwiseCosineSymmetricUnitDiagonal) {
+  Pcg32 rng(31);
+  const Tensor m = Tensor::Gaussian({6, 5}, 0, 1, rng);
+  const Tensor sims = PairwiseCosine(m);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(sims.At(i, i), 1.0f, 1e-5f);
+    for (std::int64_t j = 0; j < 6; ++j) {
+      EXPECT_FLOAT_EQ(sims.At(i, j), sims.At(j, i));
+      EXPECT_LE(sims.At(i, j), 1.0f + 1e-5f);
+      EXPECT_GE(sims.At(i, j), -1.0f - 1e-5f);
+    }
+  }
+}
+
+TEST(Linalg, InverseRecoversIdentity) {
+  Pcg32 rng(7);
+  Tensor m = Tensor::Gaussian({5, 5}, 0, 1, rng);
+  for (std::int64_t i = 0; i < 5; ++i) m.At(i, i) += 3.0f;  // well-conditioned
+  const Tensor inv = Inverse2D(m);
+  const Tensor prod = MatMul(m, inv);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(prod.At(i, j), i == j ? 1.0f : 0.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(Linalg, InverseThrowsOnSingular) {
+  const Tensor singular({2, 2}, {1, 2, 2, 4});
+  EXPECT_THROW(Inverse2D(singular), std::runtime_error);
+}
+
+TEST(Linalg, PseudoInverseWideMatrix) {
+  Pcg32 rng(9);
+  const Tensor a = Tensor::Gaussian({3, 6}, 0, 1, rng);
+  const Tensor pinv = PseudoInverse(a);
+  // A A^+ = I for full-row-rank A.
+  const Tensor prod = MatMul(a, pinv);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod.At(i, j), i == j ? 1.0f : 0.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(Linalg, JacobiEigenDiagonalizes) {
+  // Known symmetric matrix with eigenvalues 3 and 1.
+  const Tensor m({2, 2}, {2, 1, 1, 2});
+  const EigenResult eig = JacobiEigenSymmetric(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0f, 1e-4f);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0f, 1e-4f);
+}
+
+TEST(Linalg, SqrtSymmetricPsdSquaresBack) {
+  Pcg32 rng(11);
+  const Tensor a = Tensor::Gaussian({4, 6}, 0, 1, rng);
+  const Tensor psd = MatMulTransB(a, a);  // A A^T is PSD
+  const Tensor root = SqrtSymmetricPsd(psd);
+  const Tensor squared = MatMul(root, root);
+  EXPECT_LT(MaxAbsDiff(psd, squared), 1e-2f);
+}
+
+TEST(Io, StreamRoundTrip) {
+  Pcg32 rng(21);
+  const Tensor original = Tensor::Gaussian({3, 4, 5}, 0, 1, rng);
+  std::stringstream stream;
+  WriteTensor(stream, original);
+  const Tensor restored = ReadTensor(stream);
+  EXPECT_EQ(restored.shape(), original.shape());
+  EXPECT_EQ(MaxAbsDiff(restored, original), 0.0f);
+}
+
+TEST(Io, FileBundleRoundTrip) {
+  Pcg32 rng(22);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pardon_tensor_io_test.bin")
+          .string();
+  const std::vector<Tensor> tensors = {Tensor::Gaussian({2, 3}, 0, 1, rng),
+                                       Tensor::Arange(7)};
+  SaveTensors(path, tensors);
+  const std::vector<Tensor> restored = LoadTensors(path);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(MaxAbsDiff(restored[0], tensors[0]), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(restored[1], tensors[1]), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Io, RejectsCorruptStream) {
+  std::stringstream stream;
+  stream << "not a tensor";
+  EXPECT_THROW(ReadTensor(stream), std::runtime_error);
+  EXPECT_THROW(LoadTensors("/nonexistent/path/xyz.bin"), std::runtime_error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(Rng, BoundedIsInRange) {
+  Pcg32 rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Pcg32 rng(2024);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsBijection) {
+  Pcg32 rng(77);
+  const std::vector<int> perm = rng.Permutation(100);
+  std::vector<bool> seen(100, false);
+  for (const int p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 100);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Pcg32 parent(5);
+  Pcg32 a = parent.Fork(1);
+  Pcg32 b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace pardon::tensor

@@ -1,0 +1,20 @@
+// Verifies the umbrella header is self-contained and exposes the public API.
+#include "pardon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pardon {
+namespace {
+
+TEST(Umbrella, ExposesCoreTypes) {
+  tensor::Pcg32 rng(1);
+  const tensor::Tensor t = tensor::Tensor::Gaussian({2, 2}, 0, 1, rng);
+  EXPECT_TRUE(tensor::AllFinite(t));
+  core::FiscOptions options;
+  EXPECT_TRUE(options.contrastive);
+  baselines::FedAvg fedavg;
+  EXPECT_EQ(fedavg.Name(), "FedAvg");
+}
+
+}  // namespace
+}  // namespace pardon

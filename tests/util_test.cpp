@@ -1,0 +1,136 @@
+// Utility tests: flags, table formatting, thread pool semantics, stopwatch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/config.hpp"
+#include "util/flags.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pardon::util {
+namespace {
+
+double benchmark_sink_ = 0.0;
+
+TEST(Flags, ParsesEqualsSpaceAndBareForms) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--count", "7", "--verbose",
+                        "--name=test"};
+  const Flags flags(6, argv);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 1.5);
+  EXPECT_EQ(flags.GetInt("count", 0), 7);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetString("name", ""), "test");
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(Flags, BoolFalseValues) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=true"};
+  const Flags flags(4, argv);
+  EXPECT_FALSE(flags.GetBool("a", true));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+}
+
+TEST(Config, ParsesSectionsAndTypes) {
+  const Config config = Config::Parse(
+      "# comment\n"
+      "global_key = 7\n"
+      "[dataset]\n"
+      "preset = pacs\n"
+      "lambda = 0.25\n"
+      "domains = 0, 1, 3\n"
+      "verbose = true\n");
+  EXPECT_EQ(config.GetInt("global_key", 0), 7);
+  EXPECT_EQ(config.GetString("dataset.preset", ""), "pacs");
+  EXPECT_DOUBLE_EQ(config.GetDouble("dataset.lambda", 0), 0.25);
+  EXPECT_EQ(config.GetIntList("dataset.domains"), (std::vector<int>{0, 1, 3}));
+  EXPECT_TRUE(config.GetBool("dataset.verbose", false));
+  EXPECT_FALSE(config.Has("dataset.missing"));
+  EXPECT_EQ(config.GetInt("dataset.missing", 42), 42);
+}
+
+TEST(Config, RejectsMalformedInput) {
+  EXPECT_THROW(Config::Parse("[unclosed\nkey = 1\n"), std::runtime_error);
+  EXPECT_THROW(Config::Parse("no equals sign\n"), std::runtime_error);
+  EXPECT_THROW(Config::Parse("= value\n"), std::runtime_error);
+  EXPECT_THROW(Config::Load("/nonexistent/file.ini"), std::runtime_error);
+}
+
+TEST(Config, SetAndKeys) {
+  Config config;
+  config.Set("b.y", "2");
+  config.Set("a.x", "1");
+  EXPECT_EQ(config.Keys(), (std::vector<std::string>{"a.x", "b.y"}));
+}
+
+TEST(Table, FormatsAlignedMarkdown) {
+  Table table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "2"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  EXPECT_NE(table.ToString().find("only-one"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::Pct(0.7363), "73.63%");
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsUsableFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto future = pool.Submit([&] { counter.fetch_add(5); });
+  future.get();
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(8,
+                       [](std::size_t i) {
+                         if (i == 3) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.NumThreads(), 1u);
+}
+
+TEST(Stopwatch, ElapsedIsMonotone) {
+  Stopwatch watch;
+  const double t1 = watch.ElapsedSeconds();
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmark_sink_ = sink;
+  const double t2 = watch.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), t2 + 1.0);
+}
+
+}  // namespace
+}  // namespace pardon::util
