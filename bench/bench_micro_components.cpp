@@ -1,12 +1,14 @@
 // Component micro-benchmarks (google-benchmark): the building blocks whose
 // costs compose the paper's Table 8 — FINCH clustering, AdaIN transfer,
-// style extraction, matmul, FedAvg aggregation.
+// style extraction, the transfer cache, matmul, FedAvg aggregation.
 #include <benchmark/benchmark.h>
 
 #include "clustering/finch.hpp"
+#include "data/dataset.hpp"
 #include "fl/aggregate.hpp"
 #include "style/adain.hpp"
 #include "style/encoder.hpp"
+#include "style/transfer_cache.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
 
@@ -63,6 +65,62 @@ void BM_StyleExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StyleExtraction);
+
+// Shared setup for the batch-transfer benchmarks: a 256-sample client and a
+// 32-row batch of indices, the paper's local-training batch size.
+struct TransferBenchFixture {
+  TransferBenchFixture()
+      : encoder({.in_channels = 6, .feature_channels = 12, .pool = 2,
+                 .seed = 7}),
+        dataset({.channels = 6, .height = 8, .width = 8}, /*num_classes=*/7,
+                /*num_domains=*/4) {
+    Pcg32 rng(6);
+    for (int i = 0; i < 256; ++i) {
+      dataset.Add(Tensor::Gaussian({6 * 8 * 8}, 0, 1, rng), i % 7, i % 4);
+    }
+    target.mu = Tensor::Gaussian({12}, 0, 1, rng);
+    target.sigma = pardon::tensor::AddScalar(
+        pardon::tensor::Abs(Tensor::Gaussian({12}, 0, 1, rng)), 0.1f);
+    indices.resize(32);
+    for (int i = 0; i < 32; ++i) indices[static_cast<std::size_t>(i)] = (i * 13) % 256;
+  }
+  pardon::style::FrozenEncoder encoder;
+  pardon::data::Dataset dataset;
+  pardon::style::StyleVector target;
+  std::vector<int> indices;
+};
+
+// The pre-cache hot path: re-transfer a 32-image batch (what
+// ContrastiveTrainLocal did per batch per epoch per round).
+void BM_StyleTransferBatch32(benchmark::State& state) {
+  const TransferBenchFixture f;
+  const Tensor batch = f.dataset.images().Gather(f.indices);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::style::StyleTransferBatch(
+        batch, f.target, f.encoder, 6, 8, 8));
+  }
+}
+BENCHMARK(BM_StyleTransferBatch32);
+
+// The cached hot path: fetch the same 32 round-invariant twins by index.
+void BM_TransferCacheGather32(benchmark::State& state) {
+  const TransferBenchFixture f;
+  const pardon::style::TransferCache cache(f.dataset, f.target, f.encoder);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.GatherTransferred(f.indices));
+  }
+}
+BENCHMARK(BM_TransferCacheGather32);
+
+// The one-time cost the cache trades for: transferring the whole client.
+void BM_TransferCacheBuild(benchmark::State& state) {
+  const TransferBenchFixture f;
+  for (auto _ : state) {
+    const pardon::style::TransferCache cache(f.dataset, f.target, f.encoder);
+    benchmark::DoNotOptimize(cache.cached_bytes());
+  }
+}
+BENCHMARK(BM_TransferCacheBuild);
 
 void BM_FedAvgAggregate(benchmark::State& state) {
   const std::int64_t clients = state.range(0);

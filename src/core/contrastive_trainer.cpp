@@ -51,12 +51,11 @@ tensor::Tensor AugmentPositives(const tensor::Tensor& images,
 
 }  // namespace
 
-fl::ClientUpdate ContrastiveTrainLocal(const nn::MlpClassifier& global_model,
-                                       const data::Dataset& dataset,
-                                       const style::StyleVector& global_style,
-                                       const style::FrozenEncoder& encoder,
-                                       const ContrastiveTrainOptions& options,
-                                       tensor::Pcg32& rng) {
+fl::ClientUpdate ContrastiveTrainLocal(
+    const nn::MlpClassifier& global_model, const data::Dataset& dataset,
+    const style::StyleVector& global_style, const style::FrozenEncoder& encoder,
+    const ContrastiveTrainOptions& options, tensor::Pcg32& rng,
+    const style::TransferCache* transfer_cache) {
   fl::ClientUpdate update;
   update.num_samples = dataset.size();
   if (dataset.empty()) {
@@ -75,12 +74,17 @@ fl::ClientUpdate ContrastiveTrainLocal(const nn::MlpClassifier& global_model,
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     for (const data::Batch& batch :
          data::MakeEpochBatches(dataset, options.batch_size, rng)) {
-      // Build the positive twin batch B_p.
+      // Build the positive twin batch B_p. The twins are round-invariant
+      // (S_g and the encoder are frozen), so a prebuilt cache serves them by
+      // sample index; without one they are re-transferred in place.
       tensor::Tensor positive_images;
       if (fisc.positives == PositiveMode::kInterpolationStyle) {
         positive_images =
-            style::StyleTransferBatch(batch.images, global_style, encoder,
-                                      shape.channels, shape.height, shape.width);
+            transfer_cache != nullptr
+                ? transfer_cache->GatherTransferred(batch.indices)
+                : style::StyleTransferBatch(batch.images, global_style, encoder,
+                                            shape.channels, shape.height,
+                                            shape.width);
       } else {
         positive_images = AugmentPositives(batch.images, shape, rng);
       }

@@ -12,6 +12,7 @@
 #include "data/dataset.hpp"
 #include "fl/types.hpp"
 #include "style/adain.hpp"
+#include "style/transfer_cache.hpp"
 #include "tensor/rng.hpp"
 
 namespace pardon::core {
@@ -28,11 +29,13 @@ struct ContrastiveTrainOptions {
 // is the shared frozen AdaIN encoder. Honors the ablation switches in
 // options.fisc (contrastive off -> CE on original+transferred data only;
 // PositiveMode::kSimpleAugmentation -> FISC-v4 positives).
-fl::ClientUpdate ContrastiveTrainLocal(const nn::MlpClassifier& global_model,
-                                       const data::Dataset& dataset,
-                                       const style::StyleVector& global_style,
-                                       const style::FrozenEncoder& encoder,
-                                       const ContrastiveTrainOptions& options,
-                                       tensor::Pcg32& rng);
+// When `transfer_cache` is non-null (and positives are interpolation-style)
+// the twin batch B_p is fetched from the cache by sample index instead of
+// being re-transferred — bitwise-identical output, much cheaper per round.
+fl::ClientUpdate ContrastiveTrainLocal(
+    const nn::MlpClassifier& global_model, const data::Dataset& dataset,
+    const style::StyleVector& global_style, const style::FrozenEncoder& encoder,
+    const ContrastiveTrainOptions& options, tensor::Pcg32& rng,
+    const style::TransferCache* transfer_cache = nullptr);
 
 }  // namespace pardon::core

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/logging.hpp"
+#include "util/stopwatch.hpp"
 
 namespace pardon::core {
 
@@ -55,13 +56,47 @@ void Fisc::Setup(const fl::FlContext& context) {
            .center = options_.interpolation_center});
   global_style_ = interpolation.global_style;
   num_style_clusters_ = interpolation.num_style_clusters;
+
+  // Step 3 prep: S_g and the frozen encoder never change after this point,
+  // so every client's style-transferred twins are round-invariant —
+  // precompute them once instead of re-running AdaIN per batch per round.
+  // The build is timed by the simulator into one_time_seconds, keeping the
+  // Table 8 cost attribution honest.
+  transfer_caches_.clear();
+  transfer_caches_.resize(context.client_data->size());
+  cache_build_seconds_ = 0.0;
+  if (options_.cache_transfers &&
+      options_.positives == PositiveMode::kInterpolationStyle) {
+    const util::Stopwatch watch;
+    std::int64_t total_samples = 0;
+    for (const data::Dataset& dataset : *context.client_data) {
+      total_samples += dataset.size();
+    }
+    for (std::size_t c = 0; c < context.client_data->size(); ++c) {
+      const data::Dataset& dataset = (*context.client_data)[c];
+      if (dataset.empty()) continue;
+      // Budget split proportional to data share, so one big client cannot
+      // starve the rest into the lazy path.
+      const std::size_t budget = static_cast<std::size_t>(
+          static_cast<double>(options_.cache_memory_budget_bytes) *
+          static_cast<double>(dataset.size()) /
+          static_cast<double>(total_samples));
+      transfer_caches_[c] = std::make_unique<style::TransferCache>(
+          dataset, global_style_, *encoder_,
+          style::TransferCacheOptions{.memory_budget_bytes = budget,
+                                      .pool = context.pool});
+    }
+    cache_build_seconds_ = watch.ElapsedSeconds();
+  }
+
   setup_done_ = true;
   PARDON_LOG_DEBUG << "FISC setup: " << client_styles_.size()
                    << " client styles -> " << num_style_clusters_
-                   << " style clusters";
+                   << " style clusters; cache build "
+                   << cache_build_seconds_ << "s";
 }
 
-fl::ClientUpdate Fisc::TrainClient(int /*client_id*/,
+fl::ClientUpdate Fisc::TrainClient(int client_id,
                                    const data::Dataset& dataset,
                                    const nn::MlpClassifier& global_model,
                                    int /*round*/, tensor::Pcg32& rng) {
@@ -74,8 +109,12 @@ fl::ClientUpdate Fisc::TrainClient(int /*client_id*/,
       .batch_size = fl_config_.batch_size,
       .optimizer = fl_config_.optimizer,
   };
+  // Use the cache only when the caller is training the exact dataset it was
+  // built from — a different dataset silently takes the uncached path.
+  const style::TransferCache* cache = transfer_cache(client_id);
+  if (cache != nullptr && cache->dataset() != &dataset) cache = nullptr;
   return ContrastiveTrainLocal(global_model, dataset, global_style_, *encoder_,
-                               options, rng);
+                               options, rng, cache);
 }
 
 }  // namespace pardon::core

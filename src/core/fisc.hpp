@@ -14,6 +14,7 @@
 #include "core/fisc_config.hpp"
 #include "core/local_style.hpp"
 #include "fl/algorithm.hpp"
+#include "style/transfer_cache.hpp"
 
 namespace pardon::core {
 
@@ -37,6 +38,17 @@ class Fisc : public fl::Algorithm {
   int num_style_clusters() const { return num_style_clusters_; }
   const style::FrozenEncoder& encoder() const { return *encoder_; }
   const FiscOptions& options() const { return options_; }
+  // The style-transfer cache of `client_id` (null when caching is off, the
+  // client is empty, or positives are not interpolation-style).
+  const style::TransferCache* transfer_cache(int client_id) const {
+    return client_id >= 0 &&
+                   client_id < static_cast<int>(transfer_caches_.size())
+               ? transfer_caches_[static_cast<std::size_t>(client_id)].get()
+               : nullptr;
+  }
+  // Wall-clock seconds Setup spent building the caches (contained in the
+  // simulator's one_time_seconds accounting).
+  double cache_build_seconds() const { return cache_build_seconds_; }
 
  private:
   FiscOptions options_;
@@ -44,6 +56,9 @@ class Fisc : public fl::Algorithm {
   std::unique_ptr<style::FrozenEncoder> encoder_;
   std::vector<style::StyleVector> client_styles_;  // as uploaded (perturbed)
   style::StyleVector global_style_;
+  // One cache per client id; built in Setup, read-only during training.
+  std::vector<std::unique_ptr<style::TransferCache>> transfer_caches_;
+  double cache_build_seconds_ = 0.0;
   int num_style_clusters_ = 0;
   bool setup_done_ = false;
 };

@@ -23,6 +23,7 @@ std::vector<Batch> MakeEpochBatches(const Dataset& dataset, int batch_size,
     batch.images = dataset.images().Gather(indices);
     batch.labels.reserve(indices.size());
     for (const int idx : indices) batch.labels.push_back(dataset.Label(idx));
+    batch.indices = std::move(indices);
     batches.push_back(std::move(batch));
   }
   return batches;

@@ -10,8 +10,9 @@
 namespace pardon::data {
 
 struct Batch {
-  Tensor images;            // [B, C*H*W]
-  std::vector<int> labels;  // length B
+  Tensor images;             // [B, C*H*W]
+  std::vector<int> labels;   // length B
+  std::vector<int> indices;  // row i's sample index in the source dataset
 };
 
 // Shuffles the dataset and splits it into batches of `batch_size` (the final

@@ -7,6 +7,21 @@
 
 namespace pardon::fl {
 
+namespace internal {
+
+int WeightedDrawIndex(std::span<const double> weights, double target) {
+  int last_positive = -1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    last_positive = static_cast<int>(i);
+    target -= weights[i];
+    if (target <= 0.0) return last_positive;
+  }
+  return last_positive;
+}
+
+}  // namespace internal
+
 ClientSampler::ClientSampler(int total_clients, int participants_per_round,
                              std::uint64_t seed, SamplingStrategy strategy,
                              std::vector<std::int64_t> client_sizes)
@@ -51,15 +66,9 @@ std::vector<int> ClientSampler::Sample(int round) const {
       double total = 0.0;
       for (const double w : weights) total += w;
       if (total <= 0.0) break;  // all remaining clients are empty
-      double target = rng.NextDouble() * total;
-      int chosen = total_clients_ - 1;
-      for (int i = 0; i < total_clients_; ++i) {
-        target -= weights[static_cast<std::size_t>(i)];
-        if (target <= 0.0 && weights[static_cast<std::size_t>(i)] > 0.0) {
-          chosen = i;
-          break;
-        }
-      }
+      const double target = rng.NextDouble() * total;
+      const int chosen = internal::WeightedDrawIndex(weights, target);
+      if (chosen < 0) break;  // unreachable: total > 0 implies a positive weight
       selected.push_back(chosen);
       weights[static_cast<std::size_t>(chosen)] = 0.0;
     }

@@ -13,11 +13,25 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace pardon::fl {
 
 enum class SamplingStrategy { kUniform, kRoundRobin, kWeightedBySize };
+
+namespace internal {
+
+// One draw of weighted sampling without replacement: returns the first index
+// whose running weight sum reaches `target` (skipping zero-weight entries).
+// When floating-point rounding leaves target above the scanned total — which
+// happens when `target` was computed from a sum that rounded differently than
+// the sequential subtraction here — falls back to the LAST index with
+// positive weight, never to a zero-weight (already-drawn or empty) entry.
+// Returns -1 only if no entry has positive weight.
+int WeightedDrawIndex(std::span<const double> weights, double target);
+
+}  // namespace internal
 
 class ClientSampler {
  public:

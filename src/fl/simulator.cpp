@@ -30,7 +30,8 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
 
   FlContext context{.client_data = &client_data_,
                     .initial_model = &initial_model,
-                    .config = config_};
+                    .config = config_,
+                    .pool = pool};
   {
     const util::Stopwatch watch;
     algorithm.Setup(context);

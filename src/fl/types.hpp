@@ -11,6 +11,10 @@
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
 
+namespace pardon::util {
+class ThreadPool;
+}
+
 namespace pardon::fl {
 
 struct FlConfig {
@@ -75,6 +79,10 @@ struct FlContext {
   const std::vector<data::Dataset>* client_data = nullptr;
   const nn::MlpClassifier* initial_model = nullptr;
   FlConfig config;
+  // The simulator's worker pool, for parallelizable one-time setup work
+  // (e.g. FISC's style-transfer cache build). May be null (run serially);
+  // only valid for the duration of Setup.
+  util::ThreadPool* pool = nullptr;
 };
 
 }  // namespace pardon::fl

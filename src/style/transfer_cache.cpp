@@ -1,0 +1,69 @@
+#include "style/transfer_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace pardon::style {
+
+TransferCache::TransferCache(const data::Dataset& dataset, StyleVector target,
+                             const FrozenEncoder& encoder,
+                             const TransferCacheOptions& options)
+    : dataset_(&dataset), encoder_(&encoder), target_(std::move(target)) {
+  const std::int64_t n = dataset.size();
+  if (n == 0) return;
+  const std::size_t bytes_per_sample =
+      static_cast<std::size_t>(dataset.shape().FlatDim()) * sizeof(float);
+  cached_count_ = std::min<std::int64_t>(
+      n, static_cast<std::int64_t>(options.memory_budget_bytes /
+                                   bytes_per_sample));
+  if (cached_count_ == 0) return;
+
+  cached_ = Tensor({cached_count_, dataset.shape().FlatDim()});
+  const auto transfer_range = [this](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      cached_.SetRow(i, TransferOne(i).Flatten());
+    }
+  };
+  util::ThreadPool* pool = options.pool;
+  if (pool == nullptr || pool->NumThreads() <= 1) {
+    transfer_range(0, cached_count_);
+    return;
+  }
+  // Contiguous blocks rather than one task per image: a single transfer is
+  // microseconds, so per-task queue overhead would swamp the parallelism.
+  const std::int64_t blocks = std::min<std::int64_t>(
+      cached_count_, static_cast<std::int64_t>(pool->NumThreads()) * 4);
+  const std::int64_t per_block = (cached_count_ + blocks - 1) / blocks;
+  pool->ParallelFor(static_cast<std::size_t>(blocks), [&](std::size_t b) {
+    const std::int64_t begin = static_cast<std::int64_t>(b) * per_block;
+    transfer_range(begin, std::min(begin + per_block, cached_count_));
+  });
+}
+
+Tensor TransferCache::TransferOne(std::int64_t index) const {
+  return StyleTransferImage(dataset_->Image(index), target_, *encoder_);
+}
+
+Tensor TransferCache::GatherTransferred(std::span<const int> indices) const {
+  const std::int64_t d = dataset_->shape().FlatDim();
+  Tensor out({static_cast<std::int64_t>(indices.size()), d});
+  for (std::size_t row = 0; row < indices.size(); ++row) {
+    const std::int64_t idx = indices[row];
+    if (idx < 0 || idx >= dataset_->size()) {
+      throw std::out_of_range("TransferCache::GatherTransferred: index");
+    }
+    if (idx < cached_count_) {
+      std::memcpy(out.data() + static_cast<std::int64_t>(row) * d,
+                  cached_.data() + idx * d,
+                  static_cast<std::size_t>(d) * sizeof(float));
+    } else {
+      out.SetRow(static_cast<std::int64_t>(row), TransferOne(idx).Flatten());
+    }
+  }
+  return out;
+}
+
+}  // namespace pardon::style

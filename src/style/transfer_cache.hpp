@@ -1,0 +1,75 @@
+// Round-invariant style-transfer cache.
+//
+// After FISC's Setup the interpolation style S_g and the frozen encoder Phi
+// never change, so the style-transferred twin of every client image
+// (decode(AdaIN(encode(x), S_g)), Eq. 4) is a constant of the whole training
+// run. Recomputing it per batch makes encode -> AdaIN -> decode the dominant
+// per-round cost; this cache precomputes each client's full transferred
+// dataset once — parallelized over images on the simulator's thread pool —
+// and serves twins by sample index. Samples that do not fit the configured
+// memory budget are transferred lazily on access, so results are bitwise
+// identical to the uncached path either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "data/dataset.hpp"
+#include "style/adain.hpp"
+#include "style/encoder.hpp"
+
+namespace pardon::util {
+class ThreadPool;
+}
+
+namespace pardon::style {
+
+struct TransferCacheOptions {
+  // Upper bound on the transferred-pixel bytes this cache may materialize.
+  // Samples beyond the budget fall back to a lazy per-sample transfer on
+  // every access (correct, just slower). Default: unlimited.
+  std::size_t memory_budget_bytes = static_cast<std::size_t>(-1);
+  // Pool used to parallelize the one-time build; nullptr builds serially.
+  util::ThreadPool* pool = nullptr;
+};
+
+class TransferCache {
+ public:
+  // Precomputes the transferred twin of every budget-covered sample of
+  // `dataset`. Keeps pointers to `dataset` and `encoder`, which must outlive
+  // the cache (in FISC both live for the whole simulation); `target` is
+  // copied.
+  TransferCache(const data::Dataset& dataset, StyleVector target,
+                const FrozenEncoder& encoder,
+                const TransferCacheOptions& options = {});
+
+  // Transferred twins of the given sample indices as a [B, C*H*W] matrix,
+  // bitwise identical to StyleTransferBatch on the gathered originals.
+  // Thread-safe: concurrent calls only read.
+  Tensor GatherTransferred(std::span<const int> indices) const;
+
+  // The dataset the twins were built from (callers can check identity before
+  // trusting index-based lookups).
+  const data::Dataset* dataset() const { return dataset_; }
+
+  std::int64_t size() const { return dataset_->size(); }
+  std::int64_t cached_count() const { return cached_count_; }
+  bool fully_cached() const { return cached_count_ == dataset_->size(); }
+  std::size_t cached_bytes() const {
+    return static_cast<std::size_t>(cached_.size()) * sizeof(float);
+  }
+
+ private:
+  // Lazy fallback: transfers one sample on the fly (no memoization, so the
+  // cache stays immutable and access stays race-free).
+  Tensor TransferOne(std::int64_t index) const;
+
+  const data::Dataset* dataset_;
+  const FrozenEncoder* encoder_;
+  StyleVector target_;
+  std::int64_t cached_count_ = 0;
+  Tensor cached_;  // [cached_count, C*H*W]
+};
+
+}  // namespace pardon::style

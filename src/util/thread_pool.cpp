@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 namespace pardon::util {
@@ -37,12 +38,28 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {  // skip queue + wake-up overhead for a single task
+    fn(0);
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     futures.push_back(Submit([&fn, i] { fn(i); }));
   }
-  for (auto& future : futures) future.get();
+  // Drain EVERY future before rethrowing: queued tasks capture references to
+  // `fn` (and the caller's stack via it), so returning while any task is
+  // still pending or running would let workers touch a dead frame.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -32,7 +32,9 @@ class ThreadPool {
   std::future<void> Submit(std::function<void()> task);
 
   // Runs fn(i) for i in [0, count) across the pool and waits for completion.
-  // Rethrows the first exception any task raised.
+  // Every index is executed (and waited for) even if some throw; the first
+  // exception raised is rethrown afterwards. count <= 1 runs inline on the
+  // calling thread.
   void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:

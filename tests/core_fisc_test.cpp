@@ -223,6 +223,51 @@ TEST(Fisc, PerturbationChangesUploadedStyles) {
   EXPECT_GT(tensor::MaxAbsDiff(clean_style, noisy_style), 0.01f);
 }
 
+TEST(Fisc, CachedTransfersMatchUncachedBitwise) {
+  // The acceptance bar of the cache: identical training trajectories —
+  // final parameters, eval curves, and accuracies — with caching on
+  // (default), on with a budget small enough to force the lazy per-sample
+  // fallback, and off.
+  const FiscFixture fixture;
+  fl::FlConfig config = fixture.fl_config;
+  config.rounds = 6;
+  config.eval_every = 2;
+  const nn::MlpClassifier model(fixture.model_config);
+  const fl::Simulator simulator(fixture.clients, config);
+  const std::vector<fl::EvalSet> evals = {{"test", &fixture.split.test}};
+  util::ThreadPool pool;
+
+  Fisc cached;
+  const fl::SimulationResult with_cache =
+      simulator.Run(cached, model, evals, &pool);
+  EXPECT_NE(cached.transfer_cache(0), nullptr);
+  EXPECT_TRUE(cached.transfer_cache(0)->fully_cached());
+
+  FiscOptions tiny_budget;
+  tiny_budget.cache_memory_budget_bytes = 16 * 1024;  // forces lazy fallback
+  Fisc partly_cached(tiny_budget);
+  const fl::SimulationResult with_partial_cache =
+      simulator.Run(partly_cached, model, evals, &pool);
+  EXPECT_FALSE(partly_cached.transfer_cache(0)->fully_cached());
+
+  FiscOptions no_cache;
+  no_cache.cache_transfers = false;
+  Fisc uncached(no_cache);
+  const fl::SimulationResult without_cache =
+      simulator.Run(uncached, model, evals, &pool);
+  EXPECT_EQ(uncached.transfer_cache(0), nullptr);
+
+  EXPECT_EQ(with_cache.final_model.FlatParams(),
+            without_cache.final_model.FlatParams());
+  EXPECT_EQ(with_partial_cache.final_model.FlatParams(),
+            without_cache.final_model.FlatParams());
+  EXPECT_EQ(with_cache.final_accuracy, without_cache.final_accuracy);
+  EXPECT_EQ(with_cache.recorder.Rounds("test"),
+            without_cache.recorder.Rounds("test"));
+  EXPECT_EQ(with_cache.recorder.Values("test"),
+            without_cache.recorder.Values("test"));
+}
+
 TEST(Fisc, SimpleAugmentationModeRuns) {
   const FiscFixture fixture;
   FiscOptions options;

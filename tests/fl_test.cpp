@@ -135,6 +135,50 @@ TEST(ClientSampler, WeightedBySizeFavorsLargeClients) {
   EXPECT_GT(hits, 45);  // the huge client is nearly always selected
 }
 
+TEST(WeightedDrawIndex, FallsBackToLastPositiveWeight) {
+  // Regression: when floating-point rounding leaves the target above the
+  // scanned total, the fallback used to return the last client outright —
+  // even with zero weight (already selected or empty), which produced
+  // duplicate participants in a round. It must return the last
+  // positive-weight entry instead.
+  const std::vector<double> weights = {3.0, 0.0, 2.0, 0.0};
+  EXPECT_EQ(internal::WeightedDrawIndex(weights, 5.5), 2);  // past the total
+  EXPECT_EQ(internal::WeightedDrawIndex(weights, 4.0), 2);
+  EXPECT_EQ(internal::WeightedDrawIndex(weights, 0.1), 0);
+  const std::vector<double> all_zero = {0.0, 0.0};
+  EXPECT_EQ(internal::WeightedDrawIndex(all_zero, 1.0), -1);
+}
+
+TEST(ClientSampler, WeightedNeverSelectsEmptyClients) {
+  // Zero-size clients must never appear even when K exceeds the number of
+  // non-empty clients (the draw loop stops once all weight is consumed).
+  const std::vector<std::int64_t> sizes = {0, 4, 0, 6, 0};
+  const ClientSampler sampler(5, 5, 21, SamplingStrategy::kWeightedBySize,
+                              sizes);
+  for (int round = 1; round <= 100; ++round) {
+    EXPECT_EQ(sampler.Sample(round), (std::vector<int>{1, 3}));
+  }
+}
+
+TEST(ClientSampler, WeightedNoDuplicatesUnderRoundingStress) {
+  // 2^53-scale sizes next to unit ones make the weighted scan's sequential
+  // subtraction round differently from the summed total — the regime where
+  // the old fallback could return an already-selected client.
+  std::vector<std::int64_t> sizes;
+  for (int i = 0; i < 24; ++i) {
+    sizes.push_back(i % 2 == 0 ? (std::int64_t{1} << 53) : 1);
+  }
+  const ClientSampler sampler(24, 12, 77, SamplingStrategy::kWeightedBySize,
+                              sizes);
+  for (int round = 1; round <= 200; ++round) {
+    const std::vector<int> selected = sampler.Sample(round);
+    EXPECT_EQ(selected.size(), 12u);
+    const std::set<int> unique(selected.begin(), selected.end());
+    EXPECT_EQ(unique.size(), selected.size())
+        << "duplicate participant in round " << round;
+  }
+}
+
 TEST(ClientSampler, WeightedBySizeRequiresSizes) {
   EXPECT_THROW(ClientSampler(5, 2, 1, SamplingStrategy::kWeightedBySize),
                std::invalid_argument);

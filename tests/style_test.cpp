@@ -1,17 +1,21 @@
 // Style module tests: style statistics, the frozen encoder/decoder pair,
-// AdaIN (with its exact postcondition), interpolation extraction, and the
-// Gaussian perturbation mechanism. Includes parameterized AdaIN sweeps.
+// AdaIN (with its exact postcondition), interpolation extraction, the
+// Gaussian perturbation mechanism, and the round-invariant transfer cache.
+// Includes parameterized AdaIN sweeps.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 
+#include "data/dataset.hpp"
 #include "style/adain.hpp"
 #include "style/encoder.hpp"
 #include "style/interpolate.hpp"
 #include "style/perturb.hpp"
 #include "style/style_stats.hpp"
+#include "style/transfer_cache.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pardon::style {
 namespace {
@@ -371,6 +375,84 @@ TEST(PerturbStyle, SigmaNeverGoesNonPositive) {
   const StyleVector out =
       PerturbStyle(style, {.coefficient = 1.0f, .scale = 5.0f}, rng);
   for (std::int64_t c = 0; c < 128; ++c) EXPECT_GT(out.sigma[c], 0.0f);
+}
+
+// -- TransferCache ----------------------------------------------------------
+
+struct TransferCacheFixture {
+  TransferCacheFixture()
+      : shape{.channels = 4, .height = 8, .width = 8},
+        dataset(shape, /*num_classes=*/3, /*num_domains=*/2),
+        encoder({.in_channels = 4, .feature_channels = 8, .pool = 2,
+                 .seed = 7}) {
+    Pcg32 rng(42);
+    for (int i = 0; i < 10; ++i) {
+      dataset.Add(Tensor::Gaussian({shape.FlatDim()}, 0, 1, rng), i % 3,
+                  i % 2);
+    }
+    target.mu = Tensor::Gaussian({8}, 0, 1, rng);
+    target.sigma =
+        tensor::AddScalar(tensor::Abs(Tensor::Gaussian({8}, 0, 1, rng)), 0.1f);
+  }
+  data::ImageShape shape;
+  data::Dataset dataset;
+  FrozenEncoder encoder;
+  StyleVector target;
+};
+
+TEST(TransferCache, MatchesStyleTransferBatchBitwise) {
+  const TransferCacheFixture f;
+  const TransferCache cache(f.dataset, f.target, f.encoder);
+  EXPECT_TRUE(cache.fully_cached());
+  EXPECT_EQ(cache.cached_count(), 10);
+
+  const std::vector<int> indices = {3, 0, 7, 7, 9};
+  const Tensor cached = cache.GatherTransferred(indices);
+  const Tensor reference = StyleTransferBatch(
+      f.dataset.images().Gather(indices), f.target, f.encoder,
+      f.shape.channels, f.shape.height, f.shape.width);
+  EXPECT_EQ(cached.shape(), reference.shape());
+  EXPECT_EQ(tensor::MaxAbsDiff(cached, reference), 0.0f);
+}
+
+TEST(TransferCache, BudgetLimitsMaterializationButNotResults) {
+  const TransferCacheFixture f;
+  const std::size_t bytes_per_sample =
+      static_cast<std::size_t>(f.shape.FlatDim()) * sizeof(float);
+  const TransferCache partial(
+      f.dataset, f.target, f.encoder,
+      {.memory_budget_bytes = 4 * bytes_per_sample + 1});
+  EXPECT_EQ(partial.cached_count(), 4);
+  EXPECT_FALSE(partial.fully_cached());
+  EXPECT_EQ(partial.cached_bytes(), 4 * bytes_per_sample);
+
+  // Lazy samples (indices >= 4) are bitwise identical to cached ones.
+  const TransferCache full(f.dataset, f.target, f.encoder);
+  std::vector<int> all(10);
+  for (int i = 0; i < 10; ++i) all[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(tensor::MaxAbsDiff(partial.GatherTransferred(all),
+                               full.GatherTransferred(all)),
+            0.0f);
+}
+
+TEST(TransferCache, ParallelBuildMatchesSerial) {
+  const TransferCacheFixture f;
+  util::ThreadPool pool(4);
+  const TransferCache parallel_cache(f.dataset, f.target, f.encoder,
+                                     {.pool = &pool});
+  const TransferCache serial_cache(f.dataset, f.target, f.encoder);
+  std::vector<int> all(10);
+  for (int i = 0; i < 10; ++i) all[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(tensor::MaxAbsDiff(parallel_cache.GatherTransferred(all),
+                               serial_cache.GatherTransferred(all)),
+            0.0f);
+}
+
+TEST(TransferCache, GatherRejectsOutOfRangeIndices) {
+  const TransferCacheFixture f;
+  const TransferCache cache(f.dataset, f.target, f.encoder);
+  const std::vector<int> bad = {0, 10};
+  EXPECT_THROW(cache.GatherTransferred(bad), std::out_of_range);
 }
 
 }  // namespace

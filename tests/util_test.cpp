@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "util/config.hpp"
 #include "util/flags.hpp"
@@ -113,6 +114,36 @@ TEST(ThreadPool, ExceptionsPropagate) {
                          if (i == 3) throw std::runtime_error("boom");
                        }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryTaskEvenWhenOneThrows) {
+  // Regression: ParallelFor used to rethrow on the first failed future while
+  // later queued tasks still referenced the loop body about to be destroyed
+  // (use-after-scope in the workers). Every index must finish before the
+  // exception propagates.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](std::size_t i) {
+                                  hits[i].fetch_add(1);
+                                  if (i % 7 == 3) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSmallCountsRunInline) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "no tasks expected"; });
+  std::thread::id ran_on;
+  pool.ParallelFor(1,
+                   [&](std::size_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  EXPECT_THROW(
+      pool.ParallelFor(1, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
 }
 
 TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
