@@ -37,6 +37,7 @@ fl::FlConfig MakeFlConfig(const Scenario& scenario) {
       .batch_size = scenario.preset.batch_size,
       .optimizer = {.lr = scenario.learning_rate},
       .client_dropout = scenario.client_dropout,
+      .faults = scenario.faults,
       .eval_every = scenario.eval_every,
       .seed = scenario.seed,
   };

@@ -46,7 +46,10 @@ struct Scenario {
   int participants = 20;
   int rounds = 50;
   double lambda = 0.1;
-  double client_dropout = 0.0;
+  double client_dropout = 0.0;  // legacy shorthand for faults.dropout
+  // Seeded fault schedule (dropout, no-shows, corruption, stragglers)
+  // applied identically to every method; see fl/fault.hpp.
+  fl::FaultPlan faults{};
   float learning_rate = 3e-3f;
   int eval_every = 5;
   std::uint64_t seed = 1;

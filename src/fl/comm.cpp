@@ -1,5 +1,6 @@
 #include "fl/comm.hpp"
 
+#include <array>
 #include <cstring>
 #include <stdexcept>
 
@@ -114,6 +115,52 @@ style::StyleVector DecodeStyle(const std::vector<std::uint8_t>& bytes) {
   const std::vector<float> values = GetFloats(bytes, cursor);
   return style::StyleVector::FromFlat(
       tensor::Tensor({static_cast<std::int64_t>(values.size())}, values));
+}
+
+std::uint32_t Crc32(std::span<const std::uint8_t> bytes) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint8_t byte : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::vector<std::uint8_t> FrameMessage(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 8);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> UnframeMessage(
+    std::span<const std::uint8_t> framed) {
+  if (framed.size() < 8) return std::nullopt;
+  std::uint32_t length = 0, crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(framed[static_cast<std::size_t>(i)])
+              << (8 * i);
+    crc |= static_cast<std::uint32_t>(framed[static_cast<std::size_t>(4 + i)])
+           << (8 * i);
+  }
+  if (framed.size() != static_cast<std::size_t>(length) + 8) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> payload(framed.begin() + 8, framed.end());
+  if (Crc32(payload) != crc) return std::nullopt;
+  return payload;
 }
 
 std::int64_t CommProfile::OneTimeBytes() const {

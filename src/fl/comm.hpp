@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,20 @@ ClientUpdate DecodeClientUpdate(const std::vector<std::uint8_t>& bytes);
 
 std::vector<std::uint8_t> EncodeStyle(const style::StyleVector& style);
 style::StyleVector DecodeStyle(const std::vector<std::uint8_t>& bytes);
+
+// -- integrity framing ------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes` — the
+// corruption detector the fault-injection layer relies on.
+std::uint32_t Crc32(std::span<const std::uint8_t> bytes);
+
+// Frame = u32 payload length + u32 CRC-32(payload) + payload, little-endian.
+std::vector<std::uint8_t> FrameMessage(std::span<const std::uint8_t> payload);
+
+// Returns the payload when the frame is intact; std::nullopt when the frame
+// is truncated, has a bad length, or fails the checksum (the server then
+// requests a retransmission). Never reads out of bounds on corrupted input.
+std::optional<std::vector<std::uint8_t>> UnframeMessage(
+    std::span<const std::uint8_t> framed);
 
 // -- accounting -------------------------------------------------------------------
 struct CommEntry {

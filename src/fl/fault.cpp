@@ -1,0 +1,134 @@
+#include "fl/fault.hpp"
+
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+#include "util/config.hpp"
+
+namespace pardon::fl {
+
+namespace {
+
+// Decision-stream domains. Each failure mode hashes its own constant into
+// the seed so decisions for the same (round, client) never correlate.
+constexpr std::uint64_t kUnavailable = 0x756e6176ULL;  // "unav"
+constexpr std::uint64_t kDropout = 0x64726f70ULL;      // "drop"
+constexpr std::uint64_t kStraggler = 0x73747261ULL;    // "stra"
+constexpr std::uint64_t kCorrupt = 0x636f7272ULL;      // "corr"
+constexpr std::uint64_t kFlip = 0x666c6970ULL;         // "flip"
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void CheckProbability(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+bool FaultPlan::Enabled() const {
+  return unavailability > 0.0 || dropout > 0.0 || corruption > 0.0 ||
+         straggler_fraction > 0.0;
+}
+
+void FaultPlan::Validate() const {
+  CheckProbability(unavailability, "unavailability");
+  CheckProbability(dropout, "dropout");
+  CheckProbability(corruption, "corruption");
+  CheckProbability(straggler_fraction, "straggler_fraction");
+  if (max_retries < 0) {
+    throw std::invalid_argument("FaultPlan: max_retries must be >= 0");
+  }
+  if (retry_backoff_seconds < 0.0 || straggler_delay_seconds < 0.0) {
+    throw std::invalid_argument("FaultPlan: delays must be >= 0");
+  }
+}
+
+FaultPlan FaultPlanFromConfig(const util::Config& config,
+                              const std::string& section) {
+  const std::string prefix = section.empty() ? "" : section + ".";
+  FaultPlan plan;
+  plan.unavailability =
+      config.GetDouble(prefix + "unavailability", plan.unavailability);
+  plan.dropout = config.GetDouble(prefix + "dropout", plan.dropout);
+  plan.corruption = config.GetDouble(prefix + "corruption", plan.corruption);
+  plan.max_retries = config.GetInt(prefix + "max_retries", plan.max_retries);
+  plan.retry_backoff_seconds = config.GetDouble(
+      prefix + "retry_backoff_seconds", plan.retry_backoff_seconds);
+  plan.straggler_fraction = config.GetDouble(prefix + "straggler_fraction",
+                                             plan.straggler_fraction);
+  plan.straggler_delay_seconds = config.GetDouble(
+      prefix + "straggler_delay_seconds", plan.straggler_delay_seconds);
+  plan.salt = config.GetUint64(prefix + "salt", plan.salt);
+  plan.Validate();
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t run_seed)
+    : plan_(plan), seed_(SplitMix64(run_seed ^ SplitMix64(plan.salt))) {
+  plan_.Validate();
+}
+
+std::uint64_t FaultInjector::DecisionSeed(std::uint64_t purpose, int round,
+                                          int client, int extra) const {
+  const std::uint64_t position =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(round)) << 32) |
+      static_cast<std::uint32_t>(client);
+  return SplitMix64(seed_ ^ SplitMix64(purpose ^ SplitMix64(
+                                position ^ static_cast<std::uint64_t>(extra))));
+}
+
+bool FaultInjector::Decide(double probability, std::uint64_t purpose,
+                           int round, int client, int extra) const {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  tensor::Pcg32 rng(DecisionSeed(purpose, round, client, extra),
+                    /*stream=*/purpose);
+  return rng.NextDouble() < probability;
+}
+
+bool FaultInjector::Unavailable(int round, int client) const {
+  return Decide(plan_.unavailability, kUnavailable, round, client, 0);
+}
+
+bool FaultInjector::DropsUpdate(int round, int client) const {
+  return Decide(plan_.dropout, kDropout, round, client, 0);
+}
+
+bool FaultInjector::IsStraggler(int round, int client) const {
+  return Decide(plan_.straggler_fraction, kStraggler, round, client, 0);
+}
+
+bool FaultInjector::CorruptsTransmission(int round, int client,
+                                         int attempt) const {
+  return Decide(plan_.corruption, kCorrupt, round, client, attempt);
+}
+
+void FaultInjector::CorruptBytes(std::vector<std::uint8_t>& bytes, int round,
+                                 int client, int attempt) const {
+  if (bytes.empty()) return;
+  tensor::Pcg32 rng(DecisionSeed(kFlip, round, client, attempt),
+                    /*stream=*/kFlip);
+  const std::uint32_t flips = 1 + rng.NextBounded(4);
+  for (std::uint32_t f = 0; f < flips; ++f) {
+    const std::uint32_t offset =
+        rng.NextBounded(static_cast<std::uint32_t>(bytes.size()));
+    // XOR with a nonzero value so the byte always changes.
+    bytes[offset] ^= static_cast<std::uint8_t>(1 + rng.NextBounded(255));
+  }
+}
+
+double FaultInjector::RetryBackoffSeconds(int attempt) const {
+  const int clamped = attempt < 0 ? 0 : (attempt > 62 ? 62 : attempt);
+  return plan_.retry_backoff_seconds *
+         static_cast<double>(std::uint64_t{1} << clamped);
+}
+
+}  // namespace pardon::fl

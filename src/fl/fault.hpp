@@ -1,0 +1,103 @@
+// Deterministic fault injection for the FL round loop.
+//
+// The paper's robustness story (domain-heterogeneous clients, K-of-N
+// sampling, dropout experiments) needs failure modes that are reproducible
+// from a seed, or the results cannot be regression-tested. A FaultPlan
+// describes the failure distribution; a FaultInjector turns it into
+// per-(round, client) decisions that depend only on (run seed, plan salt,
+// round, client) — never on thread scheduling, call order, or how much
+// randomness training consumed. A zero-probability plan draws nothing and
+// leaves a simulation bitwise identical to one without the injector.
+//
+// Modeled failure modes, in the order the round loop applies them:
+//   unavailability — the client never starts the round (sampler-level
+//                    no-show); the sampler re-draws a replacement.
+//   straggler      — the client trains and delivers, but late; the simulated
+//                    delay is folded into CostBreakdown.
+//   dropout        — the client trains but its update is lost in transit.
+//   corruption     — the update arrives but fails its integrity check; the
+//                    server requests retransmission with exponential backoff
+//                    up to max_retries, then gives the update up for lost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pardon::util {
+class Config;
+}
+
+namespace pardon::fl {
+
+struct FaultPlan {
+  // P(a client is unavailable for a given round) — decided before sampling,
+  // so the sampler re-draws from the remaining pool.
+  double unavailability = 0.0;
+  // P(a trained update is lost before reaching the server).
+  double dropout = 0.0;
+  // P(one transmission attempt arrives corrupted). Independent per attempt.
+  double corruption = 0.0;
+  // Retransmissions the server requests after a corrupted arrival before
+  // declaring the update lost (total attempts = max_retries + 1).
+  int max_retries = 2;
+  // Simulated wait before the first retransmission; doubles per retry.
+  double retry_backoff_seconds = 0.05;
+  // P(a participant is a straggler this round).
+  double straggler_fraction = 0.0;
+  // Simulated extra latency charged per straggler event.
+  double straggler_delay_seconds = 0.5;
+  // Folded with the run seed so two plans on the same run seed can produce
+  // independent failure schedules.
+  std::uint64_t salt = 0;
+
+  // True when any failure mode has positive probability.
+  bool Enabled() const;
+  // Throws std::invalid_argument on probabilities outside [0, 1] or negative
+  // retries/delays.
+  void Validate() const;
+};
+
+// Reads a FaultPlan from an INI section (default "[faults]"): keys
+// unavailability, dropout, corruption, max_retries, retry_backoff_seconds,
+// straggler_fraction, straggler_delay_seconds, salt. Missing keys keep their
+// defaults; the parsed plan is validated before it is returned.
+FaultPlan FaultPlanFromConfig(const util::Config& config,
+                              const std::string& section = "faults");
+
+class FaultInjector {
+ public:
+  // Validates the plan; `run_seed` is the simulation seed (FlConfig::seed).
+  FaultInjector(FaultPlan plan, std::uint64_t run_seed);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool Enabled() const { return plan_.Enabled(); }
+
+  // Per-(round, client) decisions. Deterministic and mutually independent:
+  // each draws from its own seeded stream.
+  bool Unavailable(int round, int client) const;
+  bool DropsUpdate(int round, int client) const;
+  bool IsStraggler(int round, int client) const;
+  // `attempt` is 0-based (0 = first transmission).
+  bool CorruptsTransmission(int round, int client, int attempt) const;
+
+  // Deterministically flips 1-4 bytes of `bytes` (no-op on empty input) —
+  // what a corrupted transmission delivers to the server.
+  void CorruptBytes(std::vector<std::uint8_t>& bytes, int round, int client,
+                    int attempt) const;
+
+  // Simulated wait before retransmission attempt `attempt + 1`:
+  // retry_backoff_seconds * 2^attempt.
+  double RetryBackoffSeconds(int attempt) const;
+
+ private:
+  bool Decide(double probability, std::uint64_t purpose, int round, int client,
+              int extra) const;
+  std::uint64_t DecisionSeed(std::uint64_t purpose, int round, int client,
+                             int extra) const;
+
+  FaultPlan plan_;
+  std::uint64_t seed_;
+};
+
+}  // namespace pardon::fl

@@ -41,14 +41,37 @@ ClientSampler::ClientSampler(int total_clients, int participants_per_round,
 }
 
 std::vector<int> ClientSampler::Sample(int round) const {
+  return SampleImpl(round, nullptr);
+}
+
+std::vector<int> ClientSampler::Sample(
+    int round, const std::vector<bool>& available) const {
+  if (static_cast<int>(available.size()) != total_clients_) {
+    throw std::invalid_argument(
+        "ClientSampler: availability mask size must equal total_clients");
+  }
+  return SampleImpl(round, &available);
+}
+
+std::vector<int> ClientSampler::SampleImpl(
+    int round, const std::vector<bool>* available) const {
+  const auto is_available = [available](int id) {
+    return available == nullptr || (*available)[static_cast<std::size_t>(id)];
+  };
   std::vector<int> selected;
   selected.reserve(static_cast<std::size_t>(participants_));
 
   if (strategy_ == SamplingStrategy::kRoundRobin) {
+    // Scan forward from the rotation start, skipping no-shows, until K
+    // available clients are found (or the whole ring has been scanned).
     const int start =
         ((round - 1) * participants_) % total_clients_;
-    for (int k = 0; k < participants_; ++k) {
-      selected.push_back((start + k) % total_clients_);
+    for (int offset = 0;
+         offset < total_clients_ &&
+         static_cast<int>(selected.size()) < participants_;
+         ++offset) {
+      const int id = (start + offset) % total_clients_;
+      if (is_available(id)) selected.push_back(id);
     }
     std::sort(selected.begin(), selected.end());
     return selected;
@@ -60,8 +83,16 @@ std::vector<int> ClientSampler::Sample(int round) const {
                     /*stream=*/0x73616dULL);
 
   if (strategy_ == SamplingStrategy::kWeightedBySize) {
-    // Weighted sampling without replacement (sequential draws).
+    // Weighted sampling without replacement (sequential draws). No-shows get
+    // zero weight, so re-draws renormalize over the remaining pool.
     std::vector<double> weights(client_sizes_.begin(), client_sizes_.end());
+    if (available != nullptr) {
+      for (int id = 0; id < total_clients_; ++id) {
+        if (!(*available)[static_cast<std::size_t>(id)]) {
+          weights[static_cast<std::size_t>(id)] = 0.0;
+        }
+      }
+    }
     for (int k = 0; k < participants_; ++k) {
       double total = 0.0;
       for (const double w : weights) total += w;
@@ -76,10 +107,15 @@ std::vector<int> ClientSampler::Sample(int round) const {
     return selected;
   }
 
-  std::vector<int> all = rng.Permutation(total_clients_);
-  all.resize(static_cast<std::size_t>(participants_));
-  std::sort(all.begin(), all.end());
-  return all;
+  // Uniform: the first K available entries of the round's permutation — the
+  // re-draw for a no-show is simply the next permutation entry.
+  const std::vector<int> all = rng.Permutation(total_clients_);
+  for (const int id : all) {
+    if (static_cast<int>(selected.size()) == participants_) break;
+    if (is_available(id)) selected.push_back(id);
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
 }
 
 }  // namespace pardon::fl

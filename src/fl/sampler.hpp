@@ -43,10 +43,23 @@ class ClientSampler {
   // The sorted client ids participating in `round` (1-based).
   std::vector<int> Sample(int round) const;
 
+  // Sampling restricted to available clients (fault-injection no-shows):
+  // unavailable clients are skipped and replacements re-drawn from the
+  // remaining pool under the same strategy, still deterministic given
+  // (seed, round, availability). Returns fewer than K ids (possibly none)
+  // when too few clients are available. With every client available the
+  // result is identical to Sample(round). `available` must have one entry
+  // per client id.
+  std::vector<int> Sample(int round, const std::vector<bool>& available) const;
+
   int total_clients() const { return total_clients_; }
   int participants_per_round() const { return participants_; }
 
  private:
+  // `available` may be null (all clients available).
+  std::vector<int> SampleImpl(int round,
+                              const std::vector<bool>* available) const;
+
   int total_clients_;
   int participants_;
   std::uint64_t seed_;

@@ -83,4 +83,62 @@ std::vector<float> SecureAggregation::Aggregate(
   return sum;
 }
 
+std::vector<float> SecureAggregation::AggregateWithDropouts(
+    const std::vector<std::vector<float>>& masked,
+    const std::vector<int>& survivors) const {
+  if (masked.size() != survivors.size()) {
+    throw std::invalid_argument(
+        "SecureAggregation::AggregateWithDropouts: survivor count mismatch");
+  }
+  for (const int id : survivors) {
+    if (std::find(participants_.begin(), participants_.end(), id) ==
+        participants_.end()) {
+      throw std::invalid_argument(
+          "SecureAggregation::AggregateWithDropouts: unknown survivor");
+    }
+  }
+  std::vector<int> sorted = survivors;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument(
+        "SecureAggregation::AggregateWithDropouts: duplicate survivor");
+  }
+  // Refuse to unmask a lone survivor: removing every pair mask would hand the
+  // server that client's raw update.
+  if (survivors.size() < 2) return {};
+
+  std::vector<double> acc(vector_size_, 0.0);
+  for (const std::vector<float>& update : masked) {
+    if (update.size() != vector_size_) {
+      throw std::invalid_argument(
+          "SecureAggregation::AggregateWithDropouts: size mismatch");
+    }
+    for (std::size_t i = 0; i < vector_size_; ++i) acc[i] += update[i];
+  }
+
+  // Cancel each survivor<->dropped mask using the revealed pair seed.
+  for (const int survivor : survivors) {
+    for (const int other : participants_) {
+      if (other == survivor) continue;
+      if (std::find(survivors.begin(), survivors.end(), other) !=
+          survivors.end()) {
+        continue;  // survivor pair: masks cancelled in the sum already
+      }
+      const int low = std::min(survivor, other);
+      const int high = std::max(survivor, other);
+      const std::vector<float> mask = PairMask(low, high);
+      const double sign = survivor == low ? 1.0 : -1.0;
+      for (std::size_t i = 0; i < vector_size_; ++i) {
+        acc[i] -= sign * mask[i];
+      }
+    }
+  }
+
+  std::vector<float> sum(vector_size_);
+  for (std::size_t i = 0; i < vector_size_; ++i) {
+    sum[i] = static_cast<float>(acc[i]);
+  }
+  return sum;
+}
+
 }  // namespace pardon::fl

@@ -34,6 +34,21 @@ class SecureAggregation {
   std::vector<float> Aggregate(
       const std::vector<std::vector<float>>& masked) const;
 
+  // Server-side unmasking round under participant dropout (Bonawitz et al.
+  // Sec. 4): `survivors` is the subset of the construction-time participants
+  // whose masked updates arrived, with `masked[i]` the update of
+  // `survivors[i]`. The surviving clients reveal the pair seeds they shared
+  // with the dropped participants, so the server can regenerate and cancel
+  // the orphaned masks; the result is the sum of the survivors' true
+  // updates (masks between survivor pairs cancel on their own).
+  //
+  // Graceful degradation: with fewer than two survivors the "sum" would be a
+  // single client's raw update — exactly what the protocol must never
+  // reveal — so the round is abandoned and an empty vector returned.
+  std::vector<float> AggregateWithDropouts(
+      const std::vector<std::vector<float>>& masked,
+      const std::vector<int>& survivors) const;
+
   const std::vector<int>& participants() const { return participants_; }
 
  private:

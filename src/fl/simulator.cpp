@@ -1,12 +1,62 @@
 #include "fl/simulator.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "fl/comm.hpp"
+#include "fl/fault.hpp"
 #include "metrics/evaluation.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace pardon::fl {
+
+namespace {
+
+// The fault plan the run executes: the explicit plan, with the legacy
+// FlConfig::client_dropout shorthand folded in when the plan leaves dropout
+// unset.
+FaultPlan EffectiveFaultPlan(const FlConfig& config) {
+  FaultPlan plan = config.faults;
+  if (plan.dropout <= 0.0 && config.client_dropout > 0.0) {
+    plan.dropout = config.client_dropout;
+  }
+  return plan;
+}
+
+// Uploads `update` through the lossy channel: frame with a CRC, let the
+// injector corrupt attempts, retry with exponential backoff up to
+// plan.max_retries. Returns the update as decoded from the wire (bitwise
+// equal to the input — the codec is lossless), or nullopt when every attempt
+// arrived corrupted. Accounting goes to `costs`.
+std::optional<ClientUpdate> DeliverThroughLossyChannel(
+    const ClientUpdate& update, const FaultInjector& injector, int round,
+    int client, CostBreakdown& costs) {
+  const std::vector<std::uint8_t> payload = EncodeClientUpdate(update);
+  for (int attempt = 0; attempt <= injector.plan().max_retries; ++attempt) {
+    std::vector<std::uint8_t> framed = FrameMessage(payload);
+    if (injector.CorruptsTransmission(round, client, attempt)) {
+      injector.CorruptBytes(framed, round, client, attempt);
+    }
+    const std::optional<std::vector<std::uint8_t>> received =
+        UnframeMessage(framed);
+    if (received.has_value()) {
+      ClientUpdate decoded = DecodeClientUpdate(*received);
+      // The server measures training time itself; it is not on the wire.
+      decoded.train_seconds = update.train_seconds;
+      return decoded;
+    }
+    ++costs.corrupted_messages;
+    if (attempt < injector.plan().max_retries) {
+      ++costs.retransmissions;
+      costs.retry_backoff_seconds += injector.RetryBackoffSeconds(attempt);
+    }
+  }
+  ++costs.updates_lost_to_corruption;
+  return std::nullopt;
+}
+
+}  // namespace
 
 Simulator::Simulator(std::vector<data::Dataset> client_data, FlConfig config)
     : client_data_(std::move(client_data)), config_(config) {
@@ -51,6 +101,9 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
   tensor::Pcg32 root_rng(config_.seed, /*stream=*/0x73696dULL);
   std::vector<float> global_params = result.final_model.FlatParams();
 
+  const FaultInjector injector(EffectiveFaultPlan(config_), config_.seed);
+  const FaultPlan& plan = injector.plan();
+
   const auto evaluate = [&](int round) {
     result.final_model.SetFlatParams(global_params);
     for (const EvalSet& eval : eval_sets) {
@@ -61,7 +114,27 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
   };
 
   for (int round = 1; round <= config_.rounds; ++round) {
-    const std::vector<int> participants = sampler.Sample(round);
+    // Pre-training unavailability: no-show clients are re-drawn at the
+    // sampler level. When nobody is available the round falls through with
+    // no participants and is counted as skipped after delivery — evaluation
+    // still runs on its schedule.
+    std::vector<int> participants;
+    if (plan.unavailability > 0.0) {
+      std::vector<bool> available(
+          static_cast<std::size_t>(config_.total_clients), true);
+      for (int client = 0; client < config_.total_clients; ++client) {
+        available[static_cast<std::size_t>(client)] =
+            !injector.Unavailable(round, client);
+      }
+      for (const int client : sampler.Sample(round)) {
+        if (!available[static_cast<std::size_t>(client)]) {
+          ++result.costs.no_show_clients;
+        }
+      }
+      participants = sampler.Sample(round, available);
+    } else {
+      participants = sampler.Sample(round);
+    }
     std::vector<ClientUpdate> updates(participants.size());
 
     // Deterministic per-(round, client) RNG forks, independent of thread
@@ -98,19 +171,36 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
     result.costs.local_train_seconds += round_train_seconds;
     result.costs.client_rounds += static_cast<std::int64_t>(participants.size());
 
-    // Client dropout: some trained updates never arrive. Deterministic per
-    // (seed, round); if every update is lost, the round is skipped.
+    // Delivery through the fault model: dropout loses trained updates,
+    // stragglers charge simulated delay, corruption triggers bounded
+    // retry-with-backoff; decisions are deterministic per (seed, round,
+    // client). Aggregation degrades gracefully to whatever arrived (FedAvg
+    // weights survivors by their data sizes); if every update is lost the
+    // round is skipped.
     std::vector<ClientUpdate> delivered;
     std::vector<int> delivered_ids;
-    if (config_.client_dropout > 0.0) {
-      tensor::Pcg32 drop_rng(
-          config_.seed ^ (0xd509ULL + static_cast<std::uint64_t>(round)),
-          /*stream=*/0x64726fULL);
+    if (injector.Enabled()) {
+      delivered.reserve(updates.size());
+      delivered_ids.reserve(updates.size());
       for (std::size_t k = 0; k < updates.size(); ++k) {
-        if (drop_rng.NextDouble() >= config_.client_dropout) {
-          delivered.push_back(std::move(updates[k]));
-          delivered_ids.push_back(participants[k]);
+        const int client = participants[k];
+        if (injector.DropsUpdate(round, client)) {
+          ++result.costs.dropped_updates;
+          continue;
         }
+        if (injector.IsStraggler(round, client)) {
+          ++result.costs.straggler_events;
+          result.costs.straggler_delay_seconds +=
+              plan.straggler_delay_seconds;
+        }
+        if (plan.corruption > 0.0) {
+          std::optional<ClientUpdate> arrived = DeliverThroughLossyChannel(
+              updates[k], injector, round, client, result.costs);
+          if (!arrived.has_value()) continue;
+          updates[k] = std::move(*arrived);
+        }
+        delivered.push_back(std::move(updates[k]));
+        delivered_ids.push_back(client);
       }
     } else {
       delivered = std::move(updates);
@@ -123,6 +213,8 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
           algorithm.Aggregate(global_params, delivered, delivered_ids, round);
       result.costs.aggregate_seconds += watch.ElapsedSeconds();
       ++result.costs.aggregate_rounds;
+    } else {
+      ++result.costs.skipped_rounds;
     }
 
     const bool last_round = round == config_.rounds;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "fl/fault.hpp"
 #include "fl/sampler.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
@@ -29,7 +30,12 @@ struct FlConfig {
   // Probability that a sampled client fails mid-round (network loss, device
   // churn) and its update never reaches the server — the "robustness"
   // stressor real deployments add on top of client sampling. 0 disables.
+  // Legacy shorthand: folded into `faults.dropout` when that is unset.
   double client_dropout = 0.0;
+  // Full deterministic fault model (unavailability, dropout, corruption +
+  // retry, stragglers); see fl/fault.hpp. An all-zero plan leaves the run
+  // bitwise identical to one without fault injection.
+  FaultPlan faults{};
   // Evaluate every `eval_every` rounds (and always at the final round);
   // 0 disables intermediate evaluation.
   int eval_every = 5;
@@ -62,6 +68,24 @@ struct CostBreakdown {
   std::int64_t client_rounds = 0;       // count of local trainings
   double aggregate_seconds = 0.0;       // summed over rounds
   std::int64_t aggregate_rounds = 0;
+
+  // Fault-injection accounting (all zero under a zero-fault plan). The
+  // *_seconds fields here are SIMULATED latencies charged by the FaultPlan,
+  // not wall-clock measurements, so they are deterministic given the seed.
+  std::int64_t no_show_clients = 0;     // sampled but unavailable (re-drawn)
+  std::int64_t dropped_updates = 0;     // trained but lost in transit
+  std::int64_t straggler_events = 0;
+  double straggler_delay_seconds = 0.0;
+  std::int64_t corrupted_messages = 0;  // transmissions failing the CRC check
+  std::int64_t retransmissions = 0;     // retries the server requested
+  double retry_backoff_seconds = 0.0;
+  std::int64_t updates_lost_to_corruption = 0;  // retries exhausted
+  std::int64_t skipped_rounds = 0;      // rounds where no update survived
+
+  // Total simulated latency the fault schedule added on top of measured time.
+  double SimulatedFaultSeconds() const {
+    return straggler_delay_seconds + retry_backoff_seconds;
+  }
 
   double AvgLocalTrain() const {
     return client_rounds ? local_train_seconds / static_cast<double>(client_rounds)

@@ -71,6 +71,14 @@ int Config::GetInt(const std::string& key, int def) const {
   return it == values_.end() ? def : std::atoi(it->second.c_str());
 }
 
+std::uint64_t Config::GetUint64(const std::string& key,
+                                std::uint64_t def) const {
+  const auto it = values_.find(key);
+  return it == values_.end()
+             ? def
+             : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
 double Config::GetDouble(const std::string& key, double def) const {
   const auto it = values_.find(key);
   return it == values_.end() ? def : std::atof(it->second.c_str());

@@ -9,6 +9,7 @@
 // "section.key" ("key" for the global section).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -27,6 +28,8 @@ class Config {
   bool Has(const std::string& key) const;
   std::string GetString(const std::string& key, const std::string& def) const;
   int GetInt(const std::string& key, int def) const;
+  // Full-range unsigned 64-bit parse (RNG seeds overflow GetInt).
+  std::uint64_t GetUint64(const std::string& key, std::uint64_t def) const;
   double GetDouble(const std::string& key, double def) const;
   bool GetBool(const std::string& key, bool def) const;
   // Comma-separated list of integers ("0, 1, 3").

@@ -68,6 +68,40 @@ TEST(Finch, TwoPointsMergeToOneCluster) {
   EXPECT_EQ(result.Coarsest().num_clusters, 1);
 }
 
+TEST(Finch, TwoIdenticalPointsMergeToOneCluster) {
+  // Zero-distance ties between the only two points must still terminate in
+  // a single cluster under both metrics.
+  const Tensor points({2, 3}, {2, -1, 4, 2, -1, 4});
+  for (const Metric metric : {Metric::kCosine, Metric::kEuclidean}) {
+    const FinchResult result = Finch(points, metric);
+    ASSERT_FALSE(result.partitions.empty());
+    EXPECT_EQ(result.Coarsest().num_clusters, 1);
+  }
+}
+
+TEST(Finch, AllIdenticalPointsCollapseToOneCluster) {
+  // Tiny server-side cohorts can hand FINCH a stack of identical style
+  // vectors (all clients share one domain). Every pairwise distance ties at
+  // zero; the recursion must terminate and return exactly one cluster whose
+  // center is the shared point — this guards the style-interpolation path.
+  const std::vector<float> row = {0.5f, -2.0f, 1.25f, 3.0f};
+  std::vector<float> values;
+  for (int i = 0; i < 6; ++i) values.insert(values.end(), row.begin(), row.end());
+  const Tensor points({6, 4}, values);
+  for (const Metric metric : {Metric::kCosine, Metric::kEuclidean}) {
+    const FinchResult result = Finch(points, metric);
+    ASSERT_FALSE(result.partitions.empty());
+    const Partition& coarsest = result.Coarsest();
+    EXPECT_EQ(coarsest.num_clusters, 1);
+    for (const int label : coarsest.labels) EXPECT_EQ(label, 0);
+    ASSERT_EQ(coarsest.centers.dim(0), 1);
+    for (std::int64_t d = 0; d < 4; ++d) {
+      EXPECT_FLOAT_EQ(coarsest.centers.Row(0).data()[static_cast<std::size_t>(d)],
+                      row[static_cast<std::size_t>(d)]);
+    }
+  }
+}
+
 TEST(FirstNeighbors, MatchesBruteForceEuclidean) {
   Pcg32 rng(2);
   const Tensor points = Tensor::Gaussian({12, 3}, 0, 1, rng);

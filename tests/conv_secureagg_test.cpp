@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
 #include "data/dataset.hpp"
 #include "fl/secure_aggregation.hpp"
@@ -221,6 +222,100 @@ TEST(SecureAggregation, IndividualUpdatesAreHidden) {
     diff += std::fabs(masked[i] - update[i]);
   }
   EXPECT_GT(diff / 128.0, 10.0);
+}
+
+TEST(SecureAggregation, ReconstructsSumUnderDropout) {
+  // Masked-sum reconstruction with 1..K-1 participants missing: the server
+  // cancels the orphaned survivor<->dropped masks and recovers the exact sum
+  // of the surviving clients' true updates.
+  const std::vector<int> participants = {2, 5, 9, 14, 21};
+  const std::size_t dim = 48;
+  const fl::SecureAggregation agg(participants, 0xc0ffeeULL, dim);
+  Pcg32 rng(17);
+  std::map<int, std::vector<float>> updates, masked;
+  for (const int id : participants) {
+    std::vector<float> update(dim);
+    for (float& v : update) v = rng.NextGaussian();
+    masked[id] = agg.Mask(id, update);
+    updates[id] = std::move(update);
+  }
+  // Drop the last d participants, for every dropout depth that leaves >= 2
+  // survivors.
+  for (std::size_t drops = 1; drops <= participants.size() - 2; ++drops) {
+    std::vector<int> survivors(participants.begin(),
+                               participants.end() - drops);
+    std::vector<std::vector<float>> arrived;
+    std::vector<double> expected(dim, 0.0);
+    for (const int id : survivors) {
+      arrived.push_back(masked[id]);
+      for (std::size_t i = 0; i < dim; ++i) expected[i] += updates[id][i];
+    }
+    const std::vector<float> sum = agg.AggregateWithDropouts(arrived, survivors);
+    ASSERT_EQ(sum.size(), dim) << drops << " drops";
+    for (std::size_t i = 0; i < dim; ++i) {
+      EXPECT_NEAR(sum[i], expected[i], 1e-2f) << drops << " drops, coord " << i;
+    }
+  }
+}
+
+TEST(SecureAggregation, NoDropoutMatchesPlainAggregate) {
+  const std::vector<int> participants = {1, 4, 6};
+  const fl::SecureAggregation agg(participants, 0xbeefULL, 16);
+  Pcg32 rng(23);
+  std::vector<std::vector<float>> masked;
+  for (const int id : participants) {
+    std::vector<float> update(16);
+    for (float& v : update) v = rng.NextGaussian();
+    masked.push_back(agg.Mask(id, update));
+  }
+  const std::vector<float> full = agg.Aggregate(masked);
+  const std::vector<float> with_dropouts =
+      agg.AggregateWithDropouts(masked, participants);
+  ASSERT_EQ(with_dropouts.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(with_dropouts[i], full[i], 1e-3f);
+  }
+}
+
+TEST(SecureAggregation, LoneSurvivorIsNeverUnmasked) {
+  // Regression: if all but one client drop, cancelling every orphaned mask
+  // would hand the server the survivor's raw update. The protocol must
+  // abandon the round instead.
+  const std::vector<int> participants = {0, 1, 2, 3};
+  const std::size_t dim = 32;
+  const fl::SecureAggregation agg(participants, 0x5ec3e7ULL, dim);
+  std::vector<float> update(dim, 0.25f);
+  const std::vector<float> masked = agg.Mask(0, update);
+
+  const std::vector<float> result = agg.AggregateWithDropouts({masked}, {0});
+  EXPECT_TRUE(result.empty());  // round abandoned, nothing revealed
+
+  // And the masked update itself stays noise-like: far from the raw update.
+  double diff = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    diff += std::fabs(masked[i] - update[i]);
+  }
+  EXPECT_GT(diff / static_cast<double>(dim), 10.0);
+}
+
+TEST(SecureAggregation, DropoutAggregateRejectsBadUsage) {
+  const fl::SecureAggregation agg({1, 2, 3}, 7, 4);
+  const std::vector<std::vector<float>> masked = {std::vector<float>(4, 0.0f),
+                                                  std::vector<float>(4, 0.0f)};
+  // Survivor not a participant.
+  EXPECT_THROW(agg.AggregateWithDropouts(masked, {1, 9}),
+               std::invalid_argument);
+  // Duplicate survivor.
+  EXPECT_THROW(agg.AggregateWithDropouts(masked, {2, 2}),
+               std::invalid_argument);
+  // Count mismatch.
+  EXPECT_THROW(agg.AggregateWithDropouts(masked, {1, 2, 3}),
+               std::invalid_argument);
+  // Wrong vector size.
+  const std::vector<std::vector<float>> bad_dim = {std::vector<float>(3, 0.0f),
+                                                   std::vector<float>(4, 0.0f)};
+  EXPECT_THROW(agg.AggregateWithDropouts(bad_dim, {1, 2}),
+               std::invalid_argument);
 }
 
 TEST(SecureAggregation, RejectsBadUsage) {

@@ -268,6 +268,49 @@ TEST(Fisc, CachedTransfersMatchUncachedBitwise) {
             without_cache.recorder.Values("test"));
 }
 
+TEST(Fisc, GoldenThreeClientRunIsIdenticalSerialAndPooled) {
+  // Fixed-seed golden run: a 3-client x 3-round FISC end-to-end simulation
+  // must produce identical results whether local training runs serially or
+  // on a ThreadPool, and across repeated serial runs. This pins the
+  // determinism contract the fault-injection layer builds on.
+  const FiscFixture fixture;
+  std::vector<data::Dataset> clients(fixture.clients.begin(),
+                                     fixture.clients.begin() + 3);
+  fl::FlConfig config = fixture.fl_config;
+  config.total_clients = 3;
+  config.participants_per_round = 3;
+  config.rounds = 3;
+  config.eval_every = 1;
+  const nn::MlpClassifier model(fixture.model_config);
+  const fl::Simulator simulator(clients, config);
+  const std::vector<fl::EvalSet> evals = {{"test", &fixture.split.test}};
+
+  Fisc serial_a;
+  const fl::SimulationResult serial =
+      simulator.Run(serial_a, model, evals, /*pool=*/nullptr);
+
+  util::ThreadPool pool;
+  Fisc pooled_algo;
+  const fl::SimulationResult pooled =
+      simulator.Run(pooled_algo, model, evals, &pool);
+
+  Fisc serial_b;
+  const fl::SimulationResult repeat =
+      simulator.Run(serial_b, model, evals, /*pool=*/nullptr);
+
+  EXPECT_EQ(serial.final_accuracy, pooled.final_accuracy);
+  EXPECT_EQ(serial.final_model.FlatParams(), pooled.final_model.FlatParams());
+  EXPECT_EQ(serial.recorder.Rounds("test"), pooled.recorder.Rounds("test"));
+  EXPECT_EQ(serial.recorder.Values("test"), pooled.recorder.Values("test"));
+
+  EXPECT_EQ(serial.final_accuracy, repeat.final_accuracy);
+  EXPECT_EQ(serial.final_model.FlatParams(), repeat.final_model.FlatParams());
+
+  // The run actually trained: 3 clients x 3 rounds of local work.
+  EXPECT_EQ(serial.costs.client_rounds, 9);
+  EXPECT_GT(serial.final_accuracy[0], 0.0);
+}
+
 TEST(Fisc, SimpleAugmentationModeRuns) {
   const FiscFixture fixture;
   FiscOptions options;

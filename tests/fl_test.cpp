@@ -79,6 +79,85 @@ TEST(WeightedAverage, MatchesManualComputation) {
   }
 }
 
+// -- metamorphic properties of fl::aggregate --------------------------------
+
+TEST(FedAvg, PairSwapIsBitwiseInvariant) {
+  // With two clients the accumulator sees one addition per coordinate in
+  // either order, and float addition commutes — so swapping the clients is
+  // invariant with tolerance ZERO.
+  Pcg32 rng(301);
+  std::vector<ClientUpdate> updates(2);
+  for (auto& u : updates) {
+    u.params.resize(32);
+    for (float& p : u.params) p = rng.NextGaussian();
+  }
+  updates[0].num_samples = 3;
+  updates[1].num_samples = 11;
+  const std::vector<ClientUpdate> swapped = {updates[1], updates[0]};
+  EXPECT_EQ(FedAvg(updates), FedAvg(swapped));
+}
+
+TEST(FedAvg, PermutationInvariantWithinSummationTolerance) {
+  // With more clients the summation order changes, so invariance holds up to
+  // floating-point reassociation only.
+  Pcg32 rng(302);
+  std::vector<ClientUpdate> updates(5);
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    updates[k].params.resize(64);
+    for (float& p : updates[k].params) p = rng.NextGaussian();
+    updates[k].num_samples = static_cast<std::int64_t>(k + 1);
+  }
+  std::vector<ClientUpdate> permuted = {updates[3], updates[0], updates[4],
+                                        updates[2], updates[1]};
+  const std::vector<float> a = FedAvg(updates);
+  const std::vector<float> b = FedAvg(permuted);
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_NEAR(a[j], b[j], 1e-6f);
+  }
+}
+
+TEST(FedAvg, EqualSampleCountsMatchUniformWeightsBitwise) {
+  // n/(K*n) and 1/K are correctly-rounded quotients of the same real number,
+  // so FedAvg with all-equal sample counts must equal the uniformly-weighted
+  // average bitwise — tolerance ZERO (identical summation order).
+  Pcg32 rng(303);
+  std::vector<ClientUpdate> updates(4);
+  for (auto& u : updates) {
+    u.params.resize(48);
+    for (float& p : u.params) p = rng.NextGaussian();
+    u.num_samples = 37;  // equal, deliberately not a power of two
+  }
+  const std::vector<double> uniform(4, 1.0);
+  EXPECT_EQ(FedAvg(updates), WeightedAverage(updates, uniform));
+}
+
+TEST(FedAvg, EqualWeightsEqualTheUnweightedMean) {
+  const std::vector<ClientUpdate> updates = {
+      MakeUpdate({1.0f, -4.0f}, 5),
+      MakeUpdate({3.0f, 2.0f}, 5),
+      MakeUpdate({5.0f, 8.0f}, 5),
+  };
+  const std::vector<float> merged = FedAvg(updates);
+  EXPECT_NEAR(merged[0], 3.0f, 1e-6f);
+  EXPECT_NEAR(merged[1], 2.0f, 1e-6f);
+}
+
+TEST(FedAvg, WeightScalingIsBitwiseInvariant) {
+  // Scaling every sample count by the same integer leaves every normalized
+  // weight a correctly-rounded quotient of the same real value — bitwise
+  // invariant, tolerance ZERO.
+  Pcg32 rng(304);
+  std::vector<ClientUpdate> updates(3);
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    updates[k].params.resize(40);
+    for (float& p : updates[k].params) p = rng.NextGaussian();
+    updates[k].num_samples = static_cast<std::int64_t>(2 * k + 3);
+  }
+  std::vector<ClientUpdate> scaled = updates;
+  for (auto& u : scaled) u.num_samples *= 7;
+  EXPECT_EQ(FedAvg(updates), FedAvg(scaled));
+}
+
 TEST(SignAgreement, CountsMajoritySign) {
   const std::vector<std::vector<float>> deltas = {
       {1.0f, -1.0f, 0.0f},

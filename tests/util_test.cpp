@@ -54,6 +54,16 @@ TEST(Config, ParsesSectionsAndTypes) {
   EXPECT_EQ(config.GetInt("dataset.missing", 42), 42);
 }
 
+TEST(Config, GetUint64CoversFullRange) {
+  const Config config = Config::Parse(
+      "[faults]\n"
+      "salt = 18446744073709551615\n"  // UINT64_MAX — overflows GetInt
+      "small = 12\n");
+  EXPECT_EQ(config.GetUint64("faults.salt", 0), 18446744073709551615ULL);
+  EXPECT_EQ(config.GetUint64("faults.small", 0), 12ULL);
+  EXPECT_EQ(config.GetUint64("faults.missing", 99), 99ULL);
+}
+
 TEST(Config, RejectsMalformedInput) {
   EXPECT_THROW(Config::Parse("[unclosed\nkey = 1\n"), std::runtime_error);
   EXPECT_THROW(Config::Parse("no equals sign\n"), std::runtime_error);
