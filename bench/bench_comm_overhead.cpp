@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
     table.AddRow({profile.method, mib(profile.OneTimeBytes()),
                   mib(profile.PerRoundBytes()),
                   mib(profile.TotalBytes(rounds))});
+    fl::RecordCommProfile(profile, rounds);  // no-op unless metrics active
   }
   std::printf("\n[Extension] Communication overhead (N=%d, K=%d, %lld model "
               "parameters)\n\n", clients, participants,

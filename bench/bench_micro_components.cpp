@@ -1,11 +1,17 @@
 // Component micro-benchmarks (google-benchmark): the building blocks whose
 // costs compose the paper's Table 8 — FINCH clustering, AdaIN transfer,
-// style extraction, the transfer cache, matmul, FedAvg aggregation.
+// style extraction, the transfer cache, matmul, FedAvg aggregation — plus
+// the observability subsystem's overhead (off and on).
 #include <benchmark/benchmark.h>
 
+#include "baselines/fedavg.hpp"
 #include "clustering/finch.hpp"
 #include "data/dataset.hpp"
+#include "data/domain_generator.hpp"
+#include "data/partition.hpp"
 #include "fl/aggregate.hpp"
+#include "fl/simulator.hpp"
+#include "obs/session.hpp"
 #include "style/adain.hpp"
 #include "style/encoder.hpp"
 #include "style/transfer_cache.hpp"
@@ -138,6 +144,82 @@ void BM_FedAvgAggregate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FedAvgAggregate)->Arg(5)->Arg(20)->Arg(100);
+
+// ------------------------------------------------------- observability cost
+//
+// The acceptance bar for the obs subsystem: with no active sinks every
+// instrumentation site must cost one atomic load + branch, so BM_RoundLoop_
+// ObsOff must stay within noise (<2%) of the pre-instrumentation baseline.
+// BM_RoundLoop_ObsOn measures the enabled cost (span recording + counter
+// updates) on the same workload.
+
+// A small FedAvg fleet whose round loop crosses every instrumentation site.
+struct RoundLoopFixture {
+  RoundLoopFixture() {
+    pardon::data::GeneratorConfig config;
+    config.num_domains = 2;
+    config.num_classes = 3;
+    config.shape = {.channels = 2, .height = 4, .width = 4};
+    config.seed = 33;
+    const pardon::data::DomainGenerator generator(config);
+    Pcg32 rng(3);
+    pardon::data::Dataset train(config.shape, 3, 2);
+    train.Append(generator.GenerateDomain(0, 60, rng));
+    train.Append(generator.GenerateDomain(1, 60, rng));
+    clients = pardon::data::PartitionHeterogeneous(
+        train, {.num_clients = 4, .lambda = 0.5, .seed = 9});
+    eval = generator.GenerateDomain(0, 30, rng);
+    model_config = pardon::nn::MlpClassifier::Config{
+        .input_dim = config.shape.FlatDim(),
+        .hidden = {16},
+        .embed_dim = 8,
+        .num_classes = 3,
+        .seed = 13,
+    };
+    fl_config = pardon::fl::FlConfig{.total_clients = 4,
+                                     .participants_per_round = 3,
+                                     .rounds = 3,
+                                     .batch_size = 16,
+                                     .optimizer = {.lr = 3e-3f},
+                                     .eval_every = 0,
+                                     .seed = 123};
+  }
+
+  double Run() const {
+    const pardon::fl::Simulator simulator(clients, fl_config);
+    pardon::baselines::FedAvg algorithm;
+    pardon::nn::MlpClassifier model(model_config);
+    return simulator.Run(algorithm, model, {{"eval", &eval}})
+        .final_accuracy[0];
+  }
+
+  std::vector<pardon::data::Dataset> clients;
+  pardon::data::Dataset eval;
+  pardon::nn::MlpClassifier::Config model_config;
+  pardon::fl::FlConfig fl_config;
+};
+
+void BM_RoundLoop_ObsOff(benchmark::State& state) {
+  const RoundLoopFixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.Run());
+  }
+}
+BENCHMARK(BM_RoundLoop_ObsOff)->Unit(benchmark::kMillisecond);
+
+void BM_RoundLoop_ObsOn(benchmark::State& state) {
+  const RoundLoopFixture f;
+  pardon::obs::ObsOptions options;
+  options.trace = true;
+  options.metrics = true;
+  for (auto _ : state) {
+    // Session per iteration: each run records into fresh sinks, the way a
+    // traced experiment does (no pre-warmed instrument lookups carried over).
+    pardon::obs::ObsSession session(options);
+    benchmark::DoNotOptimize(f.Run());
+  }
+}
+BENCHMARK(BM_RoundLoop_ObsOn)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

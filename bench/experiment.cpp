@@ -1,6 +1,8 @@
 #include "experiment.hpp"
 
 #include "metrics/evaluation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pardon::bench {
 
@@ -83,17 +85,73 @@ MethodAverages RunMethodsAveraged(const Scenario& scenario,
                                   int repeats, util::ThreadPool* pool) {
   MethodAverages averages;
   for (int rep = 0; rep < repeats; ++rep) {
+    obs::ScopedSpan repeat_span("bench.repeat", "bench");
+    if (repeat_span.active()) repeat_span.AddArg("repeat", std::int64_t{rep});
     Scenario instance = scenario;
     instance.seed = scenario.seed + static_cast<std::uint64_t>(rep) * 1000;
     const ScenarioData data(instance);
     for (const MethodSpec& spec : methods) {
+      obs::ScopedSpan method_span("bench.method", "bench");
+      if (method_span.active()) method_span.AddArg("method", spec.name);
       const auto algorithm = spec.make();
       const ScenarioRun run = data.Run(*algorithm, pool);
       averages.val[spec.name] += run.val_accuracy / repeats;
       averages.test[spec.name] += run.test_accuracy / repeats;
     }
   }
+  if (obs::MetricsOn()) {
+    for (const auto& [method, accuracy] : averages.val) {
+      obs::SetGauge("pardon_bench_val_accuracy", accuracy,
+                    "method=\"" + method + "\"");
+    }
+    for (const auto& [method, accuracy] : averages.test) {
+      obs::SetGauge("pardon_bench_test_accuracy", accuracy,
+                    "method=\"" + method + "\"");
+    }
+  }
   return averages;
+}
+
+std::vector<std::pair<std::string, std::string>> FaultPlanEntries(
+    const fl::FaultPlan& plan) {
+  if (!plan.Enabled()) return {};
+  const auto num = [](double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return std::string(buf);
+  };
+  return {
+      {"unavailability", num(plan.unavailability)},
+      {"dropout", num(plan.dropout)},
+      {"corruption", num(plan.corruption)},
+      {"max_retries", std::to_string(plan.max_retries)},
+      {"retry_backoff_seconds", num(plan.retry_backoff_seconds)},
+      {"straggler_fraction", num(plan.straggler_fraction)},
+      {"straggler_delay_seconds", num(plan.straggler_delay_seconds)},
+      {"salt", std::to_string(plan.salt)},
+  };
+}
+
+void FillRunManifest(obs::RunManifest& manifest, const Scenario& scenario,
+                     const MethodAverages& averages, int repeats) {
+  manifest.seed = scenario.seed;
+  fl::FaultPlan plan = scenario.faults;
+  if (plan.dropout <= 0.0 && scenario.client_dropout > 0.0) {
+    plan.dropout = scenario.client_dropout;
+  }
+  manifest.fault_plan = FaultPlanEntries(plan);
+  manifest.notes = scenario.preset.name + ", " +
+                   std::to_string(scenario.total_clients) + " clients, " +
+                   std::to_string(scenario.participants) + " per round, " +
+                   std::to_string(scenario.rounds) + " rounds, " +
+                   std::to_string(repeats) + " repeat(s)";
+  manifest.final_metrics.clear();
+  for (const auto& [method, accuracy] : averages.val) {
+    manifest.final_metrics.emplace_back("val/" + method, accuracy);
+  }
+  for (const auto& [method, accuracy] : averages.test) {
+    manifest.final_metrics.emplace_back("test/" + method, accuracy);
+  }
 }
 
 std::string DomainLetter(const data::ScenarioPreset& preset, int domain) {

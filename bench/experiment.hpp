@@ -19,6 +19,7 @@
 #include "data/presets.hpp"
 #include "data/splits.hpp"
 #include "fl/simulator.hpp"
+#include "obs/manifest.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -103,5 +104,15 @@ struct MethodAverages {
 MethodAverages RunMethodsAveraged(const Scenario& scenario,
                                   const std::vector<MethodSpec>& methods,
                                   int repeats, util::ThreadPool* pool);
+
+// Flattens a FaultPlan into manifest key/value entries (empty plan -> empty).
+std::vector<std::pair<std::string, std::string>> FaultPlanEntries(
+    const fl::FaultPlan& plan);
+
+// Stamps a run manifest with the scenario (seed, fault plan, headline
+// shape) and the per-method final accuracies. `manifest.config` is left to
+// the caller, which owns the resolved util::Config.
+void FillRunManifest(obs::RunManifest& manifest, const Scenario& scenario,
+                     const MethodAverages& averages, int repeats);
 
 }  // namespace pardon::bench

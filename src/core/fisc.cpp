@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -35,27 +37,42 @@ void Fisc::Setup(const fl::FlContext& context) {
   });
 
   // Step 1: local style per client (clients with no data upload nothing).
-  client_styles_.clear();
-  tensor::Pcg32 noise_rng(fl_config_.seed ^ 0x70657274ULL, /*stream=*/0x6eULL);
-  for (const data::Dataset& dataset : *context.client_data) {
-    if (dataset.empty()) continue;
-    LocalStyleResult local =
-        ComputeClientStyle(dataset, *encoder_, options_.local_clustering);
-    client_styles_.push_back(style::PerturbStyle(
-        local.client_style, options_.perturbation, noise_rng));
+  {
+    obs::ScopedSpan span("fisc.style_extraction", "fisc");
+    client_styles_.clear();
+    tensor::Pcg32 noise_rng(fl_config_.seed ^ 0x70657274ULL, /*stream=*/0x6eULL);
+    for (const data::Dataset& dataset : *context.client_data) {
+      if (dataset.empty()) continue;
+      LocalStyleResult local =
+          ComputeClientStyle(dataset, *encoder_, options_.local_clustering);
+      client_styles_.push_back(style::PerturbStyle(
+          local.client_style, options_.perturbation, noise_rng));
+    }
+    if (span.active()) {
+      span.AddArg("client_styles",
+                  static_cast<std::int64_t>(client_styles_.size()));
+    }
   }
   if (client_styles_.empty()) {
     throw std::invalid_argument("Fisc::Setup: every client is empty");
   }
 
   // Step 2: server-side interpolation style extraction.
-  const style::InterpolationResult interpolation =
-      style::ExtractInterpolationStyle(
-          client_styles_,
-          {.cluster = options_.global_clustering,
-           .center = options_.interpolation_center});
-  global_style_ = interpolation.global_style;
-  num_style_clusters_ = interpolation.num_style_clusters;
+  {
+    obs::ScopedSpan span("fisc.interpolation", "fisc");
+    const style::InterpolationResult interpolation =
+        style::ExtractInterpolationStyle(
+            client_styles_,
+            {.cluster = options_.global_clustering,
+             .center = options_.interpolation_center});
+    global_style_ = interpolation.global_style;
+    num_style_clusters_ = interpolation.num_style_clusters;
+    if (span.active()) {
+      span.AddArg("style_clusters", std::int64_t{num_style_clusters_});
+    }
+  }
+  obs::SetGauge("pardon_fisc_style_clusters",
+                static_cast<double>(num_style_clusters_));
 
   // Step 3 prep: S_g and the frozen encoder never change after this point,
   // so every client's style-transferred twins are round-invariant —
@@ -67,6 +84,7 @@ void Fisc::Setup(const fl::FlContext& context) {
   cache_build_seconds_ = 0.0;
   if (options_.cache_transfers &&
       options_.positives == PositiveMode::kInterpolationStyle) {
+    obs::ScopedSpan span("fisc.cache_build", "fisc");
     const util::Stopwatch watch;
     std::int64_t total_samples = 0;
     for (const data::Dataset& dataset : *context.client_data) {
@@ -87,6 +105,7 @@ void Fisc::Setup(const fl::FlContext& context) {
                                       .pool = context.pool});
     }
     cache_build_seconds_ = watch.ElapsedSeconds();
+    obs::AddCounter("pardon_fisc_cache_build_seconds", cache_build_seconds_);
   }
 
   setup_done_ = true;
@@ -102,6 +121,11 @@ fl::ClientUpdate Fisc::TrainClient(int client_id,
                                    int /*round*/, tensor::Pcg32& rng) {
   if (!setup_done_) {
     throw std::logic_error("Fisc::TrainClient called before Setup");
+  }
+  obs::ScopedSpan span("fisc.train_client", "fisc");
+  if (span.active()) {
+    span.AddArg("client", std::int64_t{client_id});
+    span.AddArg("samples", static_cast<std::int64_t>(dataset.size()));
   }
   const ContrastiveTrainOptions options{
       .fisc = options_,

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace pardon::fl {
 
 namespace {
@@ -249,6 +251,20 @@ std::vector<CommProfile> BuildCommProfiles(const CommModel& model) {
     profiles.push_back(std::move(fisc));
   }
   return profiles;
+}
+
+void RecordCommProfile(const CommProfile& profile, int rounds) {
+  obs::MetricsRegistry* registry = obs::ActiveMetrics();
+  if (registry == nullptr) return;
+  const std::string labels = "method=\"" + profile.method + "\"";
+  registry->GetCounter("pardon_comm_one_time_bytes", labels)
+      .Add(static_cast<double>(profile.OneTimeBytes()));
+  registry->GetCounter("pardon_comm_per_round_bytes", labels)
+      .Add(static_cast<double>(profile.PerRoundBytes()));
+  registry
+      ->GetCounter("pardon_comm_total_bytes",
+                   labels + ",rounds=\"" + std::to_string(rounds) + "\"")
+      .Add(static_cast<double>(profile.TotalBytes(rounds)));
 }
 
 }  // namespace pardon::fl

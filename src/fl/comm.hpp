@@ -77,4 +77,11 @@ struct CommModel {
 // Byte profiles for the paper's six methods under the given sizes.
 std::vector<CommProfile> BuildCommProfiles(const CommModel& model);
 
+// Publishes a profile's byte totals to the active obs::MetricsRegistry as
+// counters labeled by method — pardon_comm_one_time_bytes,
+// pardon_comm_per_round_bytes, and pardon_comm_total_bytes{rounds} — so
+// communication-overhead runs export alongside the timing metrics. No-op
+// when metrics are off.
+void RecordCommProfile(const CommProfile& profile, int rounds);
+
 }  // namespace pardon::fl

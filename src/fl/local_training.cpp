@@ -2,6 +2,7 @@
 
 #include "metrics/evaluation.hpp"
 #include "nn/losses.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace pardon::fl {
@@ -11,6 +12,11 @@ ClientUpdate TrainLocal(const nn::MlpClassifier& global_model,
                         const LocalTrainOptions& options, tensor::Pcg32& rng,
                         const EmbedLossHook* embed_hook,
                         const BatchAugmenter* augmenter) {
+  obs::ScopedSpan span("fl.train_local", "fl");
+  if (span.active()) {
+    span.AddArg("samples", static_cast<std::int64_t>(dataset.size()));
+    span.AddArg("epochs", std::int64_t{options.epochs});
+  }
   ClientUpdate update;
   update.num_samples = dataset.size();
   if (dataset.empty()) {

@@ -6,6 +6,8 @@
 #include "fl/comm.hpp"
 #include "fl/fault.hpp"
 #include "metrics/evaluation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -24,6 +26,13 @@ FaultPlan EffectiveFaultPlan(const FlConfig& config) {
   return plan;
 }
 
+// Observability note for every accounting site below: each CostBreakdown
+// increment has a same-named registry counter incremented at the SAME code
+// point with the SAME value, always from the round loop's thread. The two
+// paths therefore accumulate identical sequences and must agree bitwise —
+// tests/obs_test.cpp cross-checks them after a faulted run. Keep them in
+// lockstep when adding fields.
+
 // Uploads `update` through the lossy channel: frame with a CRC, let the
 // injector corrupt attempts, retry with exponential backoff up to
 // plan.max_retries. Returns the update as decoded from the wire (bitwise
@@ -35,6 +44,8 @@ std::optional<ClientUpdate> DeliverThroughLossyChannel(
   const std::vector<std::uint8_t> payload = EncodeClientUpdate(update);
   for (int attempt = 0; attempt <= injector.plan().max_retries; ++attempt) {
     std::vector<std::uint8_t> framed = FrameMessage(payload);
+    obs::AddCounter("pardon_fl_wire_bytes_total",
+                    static_cast<double>(framed.size()));
     if (injector.CorruptsTransmission(round, client, attempt)) {
       injector.CorruptBytes(framed, round, client, attempt);
     }
@@ -47,12 +58,28 @@ std::optional<ClientUpdate> DeliverThroughLossyChannel(
       return decoded;
     }
     ++costs.corrupted_messages;
+    obs::IncCounter("pardon_fl_corrupted_messages_total");
+    if (obs::TraceOn()) {
+      obs::TraceInstant("fault.corruption", "fault",
+                        obs::JsonKv("round", std::int64_t{round}) + "," +
+                            obs::JsonKv("client", std::int64_t{client}) + "," +
+                            obs::JsonKv("attempt", std::int64_t{attempt}));
+    }
     if (attempt < injector.plan().max_retries) {
       ++costs.retransmissions;
-      costs.retry_backoff_seconds += injector.RetryBackoffSeconds(attempt);
+      const double backoff = injector.RetryBackoffSeconds(attempt);
+      costs.retry_backoff_seconds += backoff;
+      obs::IncCounter("pardon_fl_retransmissions_total");
+      obs::AddCounter("pardon_fl_retry_backoff_seconds", backoff);
     }
   }
   ++costs.updates_lost_to_corruption;
+  obs::IncCounter("pardon_fl_updates_lost_to_corruption_total");
+  if (obs::TraceOn()) {
+    obs::TraceInstant("fault.update_lost", "fault",
+                      obs::JsonKv("round", std::int64_t{round}) + "," +
+                          obs::JsonKv("client", std::int64_t{client}));
+  }
   return std::nullopt;
 }
 
@@ -78,14 +105,24 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
                           .costs = {},
                           .final_accuracy = {}};
 
+  obs::ScopedSpan run_span("fl.run", "fl");
+  if (run_span.active()) {
+    run_span.AddArg("algorithm", algorithm.Name());
+    run_span.AddArg("rounds", std::int64_t{config_.rounds});
+    run_span.AddArg("clients", std::int64_t{config_.total_clients});
+  }
+
   FlContext context{.client_data = &client_data_,
                     .initial_model = &initial_model,
                     .config = config_,
                     .pool = pool};
   {
+    obs::ScopedSpan span("fl.setup", "fl");
     const util::Stopwatch watch;
     algorithm.Setup(context);
-    result.costs.one_time_seconds = watch.ElapsedSeconds();
+    const double elapsed = watch.ElapsedSeconds();
+    result.costs.one_time_seconds = elapsed;
+    obs::AddCounter("pardon_fl_one_time_seconds", elapsed);
   }
 
   std::vector<std::int64_t> client_sizes;
@@ -105,35 +142,57 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
   const FaultPlan& plan = injector.plan();
 
   const auto evaluate = [&](int round) {
+    obs::ScopedSpan span("fl.evaluate", "fl");
+    if (span.active()) span.AddArg("round", std::int64_t{round});
+    obs::IncCounter("pardon_fl_evaluations_total");
     result.final_model.SetFlatParams(global_params);
     for (const EvalSet& eval : eval_sets) {
       if (eval.data == nullptr || eval.data->empty()) continue;
       const double accuracy = metrics::Accuracy(result.final_model, *eval.data);
       result.recorder.Record(eval.name, round, accuracy);
+      if (obs::MetricsOn()) {
+        obs::SetGauge("pardon_fl_eval_accuracy", accuracy,
+                      "eval=\"" + eval.name + "\"");
+      }
     }
   };
 
   for (int round = 1; round <= config_.rounds; ++round) {
+    obs::ScopedSpan round_span("fl.round", "fl");
+    if (round_span.active()) round_span.AddArg("round", std::int64_t{round});
+    const util::Stopwatch round_watch;
+    obs::IncCounter("pardon_fl_rounds_total");
+
     // Pre-training unavailability: no-show clients are re-drawn at the
     // sampler level. When nobody is available the round falls through with
     // no participants and is counted as skipped after delivery — evaluation
     // still runs on its schedule.
     std::vector<int> participants;
-    if (plan.unavailability > 0.0) {
-      std::vector<bool> available(
-          static_cast<std::size_t>(config_.total_clients), true);
-      for (int client = 0; client < config_.total_clients; ++client) {
-        available[static_cast<std::size_t>(client)] =
-            !injector.Unavailable(round, client);
-      }
-      for (const int client : sampler.Sample(round)) {
-        if (!available[static_cast<std::size_t>(client)]) {
-          ++result.costs.no_show_clients;
+    {
+      obs::ScopedSpan span("fl.sample", "fl");
+      if (plan.unavailability > 0.0) {
+        std::vector<bool> available(
+            static_cast<std::size_t>(config_.total_clients), true);
+        for (int client = 0; client < config_.total_clients; ++client) {
+          available[static_cast<std::size_t>(client)] =
+              !injector.Unavailable(round, client);
         }
+        for (const int client : sampler.Sample(round)) {
+          if (!available[static_cast<std::size_t>(client)]) {
+            ++result.costs.no_show_clients;
+            obs::IncCounter("pardon_fl_no_show_clients_total");
+            if (obs::TraceOn()) {
+              obs::TraceInstant(
+                  "fault.no_show", "fault",
+                  obs::JsonKv("round", std::int64_t{round}) + "," +
+                      obs::JsonKv("client", std::int64_t{client}));
+            }
+          }
+        }
+        participants = sampler.Sample(round, available);
+      } else {
+        participants = sampler.Sample(round);
       }
-      participants = sampler.Sample(round, available);
-    } else {
-      participants = sampler.Sample(round);
     }
     std::vector<ClientUpdate> updates(participants.size());
 
@@ -153,23 +212,44 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
     const util::Stopwatch train_watch;
     const auto train_one = [&](std::size_t k) {
       const int client = participants[k];
+      obs::ScopedSpan span("fl.train_client", "fl");
+      if (span.active()) {
+        span.AddArg("round", std::int64_t{round});
+        span.AddArg("client", std::int64_t{client});
+      }
       updates[k] = algorithm.TrainClient(client,
                                          client_data_[static_cast<std::size_t>(client)],
                                          global_model, round, rngs[k]);
     };
-    if (pool != nullptr) {
-      pool->ParallelFor(participants.size(), train_one);
-    } else {
-      for (std::size_t k = 0; k < participants.size(); ++k) train_one(k);
+    {
+      obs::ScopedSpan span("fl.local_train", "fl");
+      if (span.active()) {
+        span.AddArg("round", std::int64_t{round});
+        span.AddArg("participants",
+                    static_cast<std::int64_t>(participants.size()));
+      }
+      if (pool != nullptr) {
+        pool->ParallelFor(participants.size(), train_one);
+      } else {
+        for (std::size_t k = 0; k < participants.size(); ++k) train_one(k);
+      }
     }
     // Per-client measured seconds when available; wall time as fallback.
     double round_train_seconds = 0.0;
-    for (const ClientUpdate& u : updates) round_train_seconds += u.train_seconds;
+    for (const ClientUpdate& u : updates) {
+      round_train_seconds += u.train_seconds;
+      if (obs::MetricsOn() && u.train_seconds > 0.0) {
+        obs::ObserveLatency("pardon_fl_client_train_seconds", u.train_seconds);
+      }
+    }
     if (round_train_seconds == 0.0) {
       round_train_seconds = train_watch.ElapsedSeconds();
     }
     result.costs.local_train_seconds += round_train_seconds;
     result.costs.client_rounds += static_cast<std::int64_t>(participants.size());
+    obs::AddCounter("pardon_fl_local_train_seconds", round_train_seconds);
+    obs::AddCounter("pardon_fl_client_rounds_total",
+                    static_cast<double>(participants.size()));
 
     // Delivery through the fault model: dropout loses trained updates,
     // stragglers charge simulated delay, corruption triggers bounded
@@ -180,18 +260,34 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
     std::vector<ClientUpdate> delivered;
     std::vector<int> delivered_ids;
     if (injector.Enabled()) {
+      obs::ScopedSpan span("fl.deliver", "fl");
+      if (span.active()) span.AddArg("round", std::int64_t{round});
       delivered.reserve(updates.size());
       delivered_ids.reserve(updates.size());
       for (std::size_t k = 0; k < updates.size(); ++k) {
         const int client = participants[k];
         if (injector.DropsUpdate(round, client)) {
           ++result.costs.dropped_updates;
+          obs::IncCounter("pardon_fl_dropped_updates_total");
+          if (obs::TraceOn()) {
+            obs::TraceInstant("fault.drop", "fault",
+                              obs::JsonKv("round", std::int64_t{round}) + "," +
+                                  obs::JsonKv("client", std::int64_t{client}));
+          }
           continue;
         }
         if (injector.IsStraggler(round, client)) {
           ++result.costs.straggler_events;
           result.costs.straggler_delay_seconds +=
               plan.straggler_delay_seconds;
+          obs::IncCounter("pardon_fl_straggler_events_total");
+          obs::AddCounter("pardon_fl_straggler_delay_seconds",
+                          plan.straggler_delay_seconds);
+          if (obs::TraceOn()) {
+            obs::TraceInstant("fault.straggler", "fault",
+                              obs::JsonKv("round", std::int64_t{round}) + "," +
+                                  obs::JsonKv("client", std::int64_t{client}));
+          }
         }
         if (plan.corruption > 0.0) {
           std::optional<ClientUpdate> arrived = DeliverThroughLossyChannel(
@@ -208,13 +304,29 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
     }
 
     if (!delivered.empty()) {
+      obs::ScopedSpan span("fl.aggregate", "fl");
+      if (span.active()) {
+        span.AddArg("round", std::int64_t{round});
+        span.AddArg("updates", static_cast<std::int64_t>(delivered.size()));
+      }
       const util::Stopwatch watch;
       global_params =
           algorithm.Aggregate(global_params, delivered, delivered_ids, round);
-      result.costs.aggregate_seconds += watch.ElapsedSeconds();
+      const double elapsed = watch.ElapsedSeconds();
+      result.costs.aggregate_seconds += elapsed;
       ++result.costs.aggregate_rounds;
+      obs::AddCounter("pardon_fl_aggregate_seconds", elapsed);
+      obs::IncCounter("pardon_fl_aggregate_rounds_total");
+      if (obs::MetricsOn()) {
+        obs::ObserveLatency("pardon_fl_aggregate_latency_seconds", elapsed);
+      }
     } else {
       ++result.costs.skipped_rounds;
+      obs::IncCounter("pardon_fl_skipped_rounds_total");
+      if (obs::TraceOn()) {
+        obs::TraceInstant("fl.round_skipped", "fl",
+                          obs::JsonKv("round", std::int64_t{round}));
+      }
     }
 
     const bool last_round = round == config_.rounds;
@@ -231,6 +343,10 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
                          << "round " << round;
         break;
       }
+    }
+    if (obs::MetricsOn()) {
+      obs::ObserveLatency("pardon_fl_round_seconds",
+                          round_watch.ElapsedSeconds());
     }
   }
 

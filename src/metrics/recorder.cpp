@@ -1,6 +1,8 @@
 #include "metrics/recorder.hpp"
 
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -49,6 +51,9 @@ std::vector<std::string> Recorder::SeriesNames() const {
 
 std::string Recorder::ToCsv() const {
   std::ostringstream out;
+  // max_digits10 keeps the values round-trippable; the stream default of 6
+  // significant digits silently truncated small accuracy differences.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
   out << "series,round,value\n";
   for (const auto& [name, values] : series_) {
     for (const auto& [round, value] : values) {

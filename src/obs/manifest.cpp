@@ -1,0 +1,96 @@
+#include "obs/manifest.hpp"
+
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/trace.hpp"  // JsonEscape / JsonNumber / JsonKv
+
+namespace pardon::obs {
+
+namespace {
+
+std::string EntriesToJson(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    " + JsonKv(key, value);
+  }
+  out += first ? "}" : "\n  }";
+  return out;
+}
+
+}  // namespace
+
+std::string RunManifest::CompilerDescription() {
+#if defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string RunManifest::BuildTypeDescription() {
+#if defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+std::string RunManifest::NowUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+std::string RunManifest::ToJson() const {
+  std::string out = "{\n";
+  out += "  " + JsonKv("tool", tool) + ",\n";
+  out += "  " + JsonKv("started_at_utc", started_at_utc) + ",\n";
+  out += "  " + JsonKv("wall_seconds", wall_seconds) + ",\n";
+  // Seeds use the full uint64 range; emit as a string to dodge JSON's
+  // 2^53 integer precision limit.
+  out += "  " + JsonKv("seed", std::to_string(seed)) + ",\n";
+  out += "  \"build\":{" + JsonKv("type", build_type) + "," +
+         JsonKv("compiler", compiler) + "},\n";
+  out += "  \"config\":" + EntriesToJson(config) + ",\n";
+  out += "  \"fault_plan\":" + EntriesToJson(fault_plan) + ",\n";
+  out += "  \"final_metrics\":{";
+  bool first = true;
+  for (const auto& [key, value] : final_metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    " + JsonKv(key, value);
+  }
+  out += first ? "}" : "\n  }";
+  if (!notes.empty()) {
+    out += ",\n  " + JsonKv("notes", notes);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void RunManifest::Save(const std::string& path) const {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("RunManifest::Save: cannot open " + path);
+  }
+  out << ToJson();
+}
+
+}  // namespace pardon::obs

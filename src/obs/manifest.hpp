@@ -1,0 +1,44 @@
+// Run manifest: a per-run provenance record written next to results.
+//
+// Captures everything needed to reproduce or audit a run — the resolved
+// configuration, the seed, the fault plan, build flags, wall-clock, and the
+// final metrics — as a single JSON file. Sections are generic key/value
+// lists so the manifest stays dependency-free: callers that own richer types
+// (util::Config, fl::FaultPlan) flatten them into entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pardon::obs {
+
+struct RunManifest {
+  std::string tool;            // producing binary, e.g. "run_experiment"
+  std::string started_at_utc;  // ISO-8601; stamp with NowUtc()
+  double wall_seconds = 0.0;
+  std::uint64_t seed = 0;
+  std::string build_type;  // stamp with BuildTypeDescription()
+  std::string compiler;    // stamp with CompilerDescription()
+  // Resolved configuration, exactly as the run consumed it.
+  std::vector<std::pair<std::string, std::string>> config;
+  // The effective fault plan (flattened fl::FaultPlan), empty when faultless.
+  std::vector<std::pair<std::string, std::string>> fault_plan;
+  // Headline results (e.g. final per-method accuracies).
+  std::vector<std::pair<std::string, double>> final_metrics;
+  std::string notes;
+
+  // Compile-time build description: "__VERSION__" of the compiler and the
+  // NDEBUG-derived build type ("Release" / "Debug").
+  static std::string CompilerDescription();
+  static std::string BuildTypeDescription();
+  // Current wall-clock time as "YYYY-MM-DDTHH:MM:SSZ" (UTC).
+  static std::string NowUtc();
+
+  std::string ToJson() const;
+  // Writes ToJson() to `path`, creating parent directories as needed.
+  void Save(const std::string& path) const;
+};
+
+}  // namespace pardon::obs

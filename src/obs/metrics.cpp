@@ -1,0 +1,370 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/trace.hpp"  // JsonEscape / JsonNumber
+
+namespace pardon::obs {
+
+namespace internal {
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (current < value &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_active_metrics{nullptr};
+
+std::string EntryKey(std::string_view name, std::string_view labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    key += labels;
+    key += '}';
+  }
+  return key;
+}
+
+// "name" or "name{labels}" for exposition lines, with an extra label merged
+// in (histogram `le`).
+std::string SampleName(const std::string& name, const std::string& labels,
+                       const std::string& extra_label = {}) {
+  if (labels.empty() && extra_label.empty()) return name;
+  std::string out = name + "{" + labels;
+  if (!labels.empty() && !extra_label.empty()) out += ",";
+  out += extra_label + "}";
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry* ActiveMetrics() {
+  return g_active_metrics.load(std::memory_order_acquire);
+}
+
+void SetActiveMetrics(MetricsRegistry* registry) {
+  g_active_metrics.store(registry, std::memory_order_release);
+}
+
+// ----------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument(
+          "Histogram: upper_bounds must be strictly increasing");
+    }
+  }
+  counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // +Inf when past-end
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAdd(sum_, value);
+}
+
+std::vector<std::int64_t> Histogram::BucketCounts() const {
+  std::vector<std::int64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<std::int64_t> counts = BucketCounts();
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank && counts[i] > 0) {
+      if (i >= bounds_.size()) {
+        // Overflow bucket is unbounded: report its lower edge.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double upper = bounds_[i];
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double into_bucket =
+          rank - static_cast<double>(cumulative - counts[i]);
+      return lower +
+             (upper - lower) * into_bucket / static_cast<double>(counts[i]);
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::span<const double> DefaultLatencyBucketsSeconds() {
+  static const double kBuckets[] = {1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05,
+                                    0.1,  0.5,  1.0,  5.0,  10.0, 60.0};
+  return kBuckets;
+}
+
+// ------------------------------------------------------------ MetricsRegistry
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = EntryKey(name, labels);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry{.kind = Kind::kCounter,
+                .name = std::string(name),
+                .labels = std::string(labels),
+                .counter = std::make_unique<Counter>(),
+                .gauge = nullptr,
+                .histogram = nullptr};
+    it = entries_.emplace(key, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kCounter) {
+    throw std::logic_error("MetricsRegistry: " + key + " is not a counter");
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = EntryKey(name, labels);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry{.kind = Kind::kGauge,
+                .name = std::string(name),
+                .labels = std::string(labels),
+                .counter = nullptr,
+                .gauge = std::make_unique<Gauge>(),
+                .histogram = nullptr};
+    it = entries_.emplace(key, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kGauge) {
+    throw std::logic_error("MetricsRegistry: " + key + " is not a gauge");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> upper_bounds,
+                                         std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = EntryKey(name, labels);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    std::vector<double> bounds(upper_bounds.begin(), upper_bounds.end());
+    if (bounds.empty()) {
+      const std::span<const double> def = DefaultLatencyBucketsSeconds();
+      bounds.assign(def.begin(), def.end());
+    }
+    Entry entry{.kind = Kind::kHistogram,
+                .name = std::string(name),
+                .labels = std::string(labels),
+                .counter = nullptr,
+                .gauge = nullptr,
+                .histogram = std::make_unique<Histogram>(std::move(bounds))};
+    it = entries_.emplace(key, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kHistogram) {
+    throw std::logic_error("MetricsRegistry: " + key + " is not a histogram");
+  }
+  return *it->second.histogram;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::Find(std::string_view name,
+                                                    std::string_view labels,
+                                                    Kind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(EntryKey(name, labels));
+  if (it == entries_.end() || it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+double MetricsRegistry::CounterValue(std::string_view name,
+                                     std::string_view labels) const {
+  const Entry* entry = Find(name, labels, Kind::kCounter);
+  return entry == nullptr ? 0.0 : entry->counter->Value();
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name,
+                                   std::string_view labels) const {
+  const Entry* entry = Find(name, labels, Kind::kGauge);
+  return entry == nullptr ? 0.0 : entry->gauge->Value();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name,
+                                                std::string_view labels) const {
+  const Entry* entry = Find(name, labels, Kind::kHistogram);
+  return entry == nullptr ? nullptr : entry->histogram.get();
+}
+
+std::size_t MetricsRegistry::InstrumentCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Group label variants of one family under a single # TYPE line (the map's
+  // key order can interleave families: "f_total" sorts between "f" and
+  // "f{...}").
+  std::map<std::string, std::vector<const Entry*>> families;
+  for (const auto& [key, entry] : entries_) {
+    families[entry.name].push_back(&entry);
+  }
+  std::string out;
+  for (const auto& [family, members] : families) {
+    out += "# TYPE " + family + " ";
+    switch (members.front()->kind) {
+      case Kind::kCounter: out += "counter\n"; break;
+      case Kind::kGauge: out += "gauge\n"; break;
+      case Kind::kHistogram: out += "histogram\n"; break;
+    }
+    for (const Entry* member : members) {
+      const Entry& entry = *member;
+      switch (entry.kind) {
+        case Kind::kCounter:
+          out += SampleName(entry.name, entry.labels) + " " +
+                 JsonNumber(entry.counter->Value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += SampleName(entry.name, entry.labels) + " " +
+                 JsonNumber(entry.gauge->Value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          const std::vector<std::int64_t> counts = h.BucketCounts();
+          std::int64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.UpperBounds().size(); ++i) {
+            cumulative += counts[i];
+            out += SampleName(entry.name + "_bucket", entry.labels,
+                              "le=\"" + JsonNumber(h.UpperBounds()[i]) +
+                                  "\"") +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          cumulative += counts.back();
+          out += SampleName(entry.name + "_bucket", entry.labels,
+                            "le=\"+Inf\"") +
+                 " " + std::to_string(cumulative) + "\n";
+          out += SampleName(entry.name + "_sum", entry.labels) + " " +
+                 JsonNumber(h.Sum()) + "\n";
+          out += SampleName(entry.name + "_count", entry.labels) + " " +
+                 std::to_string(h.Count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJsonLines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [key, entry] : entries_) {
+    out += "{\"name\":\"" + JsonEscape(entry.name) + "\"";
+    if (!entry.labels.empty()) {
+      out += ",\"labels\":\"" + JsonEscape(entry.labels) + "\"";
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += ",\"type\":\"counter\",\"value\":" +
+               JsonNumber(entry.counter->Value());
+        break;
+      case Kind::kGauge:
+        out += ",\"type\":\"gauge\",\"value\":" +
+               JsonNumber(entry.gauge->Value()) +
+               ",\"max\":" + JsonNumber(entry.gauge->Max());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += ",\"type\":\"histogram\",\"count\":" +
+               std::to_string(h.Count()) +
+               ",\"sum\":" + JsonNumber(h.Sum()) +
+               ",\"p50\":" + JsonNumber(h.Quantile(0.50)) +
+               ",\"p95\":" + JsonNumber(h.Quantile(0.95)) +
+               ",\"p99\":" + JsonNumber(h.Quantile(0.99)) + ",\"buckets\":[";
+        const std::vector<std::int64_t> counts = h.BucketCounts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (i > 0) out += ",";
+          const std::string le = i < h.UpperBounds().size()
+                                     ? JsonNumber(h.UpperBounds()[i])
+                                     : "\"+Inf\"";
+          out += "{\"le\":" + le + ",\"count\":" + std::to_string(counts[i]) +
+                 "}";
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+void WriteFile(const std::string& path, const std::string& contents,
+               const char* what) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error(std::string(what) + ": cannot open " + path);
+  }
+  out << contents;
+}
+
+}  // namespace
+
+void MetricsRegistry::SavePrometheusText(const std::string& path) const {
+  WriteFile(path, ToPrometheusText(), "MetricsRegistry::SavePrometheusText");
+}
+
+void MetricsRegistry::SaveJsonLines(const std::string& path) const {
+  WriteFile(path, ToJsonLines(), "MetricsRegistry::SaveJsonLines");
+}
+
+// ------------------------------------------------------------- null-safe API
+
+void AddCounter(std::string_view name, double delta, std::string_view labels) {
+  MetricsRegistry* registry = ActiveMetrics();
+  if (registry != nullptr) registry->GetCounter(name, labels).Add(delta);
+}
+
+void SetGauge(std::string_view name, double value, std::string_view labels) {
+  MetricsRegistry* registry = ActiveMetrics();
+  if (registry != nullptr) registry->GetGauge(name, labels).Set(value);
+}
+
+void ObserveLatency(std::string_view name, double seconds,
+                    std::string_view labels) {
+  MetricsRegistry* registry = ActiveMetrics();
+  if (registry != nullptr) {
+    registry->GetHistogram(name, DefaultLatencyBucketsSeconds(), labels)
+        .Observe(seconds);
+  }
+}
+
+}  // namespace pardon::obs

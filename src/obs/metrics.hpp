@@ -1,0 +1,168 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms with
+// Prometheus text exposition and JSONL export.
+//
+// Like tracing (obs/trace.hpp) the registry is OFF by default: the free
+// helpers (AddCounter / SetGauge / ObserveLatency) route through the
+// process-wide ActiveMetrics() pointer and are a single atomic load + branch
+// when no registry is active. Instruments are created on first use and live
+// as long as the registry; returned references stay valid across later
+// registrations. Updates are lock-free atomics, safe from ThreadPool
+// workers.
+//
+// Determinism: integer-valued counters updated from worker threads are
+// order-independent. Floating-point counters fed from a single thread in a
+// deterministic order (the simulator's accounting) reproduce bitwise; the
+// exposition formats print round-trip (max_digits10) precision so exported
+// values survive a parse exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pardon::obs {
+
+namespace internal {
+// fetch_add for atomic<double> via CAS (portable pre-C++20-atomic-float
+// toolchains; also keeps the accumulation order the caller's order when the
+// counter is only touched from one thread).
+void AtomicAdd(std::atomic<double>& target, double delta);
+// Lock-free running maximum.
+void AtomicMax(std::atomic<double>& target, double value);
+}  // namespace internal
+
+class Counter {
+ public:
+  void Add(double delta) { internal::AtomicAdd(value_, delta); }
+  void Increment() { Add(1.0); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+    internal::AtomicMax(max_, value);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  // High-water mark over the gauge's lifetime (e.g. peak queue depth).
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+class Histogram {
+ public:
+  // `upper_bounds` must be strictly increasing; an implicit +Inf overflow
+  // bucket is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  std::int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& UpperBounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) counts; size UpperBounds().size() + 1, the
+  // last entry being the +Inf overflow bucket.
+  std::vector<std::int64_t> BucketCounts() const;
+  // Bucket-interpolated quantile estimate (Prometheus histogram_quantile
+  // semantics), q in [0, 1]. Returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;  // bounds_+1 buckets
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Latency bucket ladder (seconds) used when a histogram site does not pick
+// its own bounds: 1us .. 60s, roughly log-spaced.
+std::span<const double> DefaultLatencyBucketsSeconds();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Create-or-get. `labels` is a pre-rendered Prometheus label body without
+  // braces (e.g. `method="FISC"`); instruments with the same name but
+  // different labels are distinct time series under one metric family.
+  // Re-requesting an existing name with a different instrument kind throws
+  // std::logic_error.
+  Counter& GetCounter(std::string_view name, std::string_view labels = {});
+  Gauge& GetGauge(std::string_view name, std::string_view labels = {});
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> upper_bounds = {},
+                          std::string_view labels = {});
+
+  // Lookup without creation; 0 / nullptr when absent.
+  double CounterValue(std::string_view name, std::string_view labels = {}) const;
+  double GaugeValue(std::string_view name, std::string_view labels = {}) const;
+  const Histogram* FindHistogram(std::string_view name,
+                                 std::string_view labels = {}) const;
+
+  std::size_t InstrumentCount() const;
+
+  // Prometheus text exposition format (one # TYPE line per family).
+  std::string ToPrometheusText() const;
+  // One JSON object per line per instrument; histograms include count, sum,
+  // p50/p95/p99 and per-bucket counts.
+  std::string ToJsonLines() const;
+  // Write either format to `path`, creating parent directories as needed.
+  void SavePrometheusText(const std::string& path) const;
+  void SaveJsonLines(const std::string& path) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;    // family name (no labels)
+    std::string labels;  // label body without braces; may be empty
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  const Entry* Find(std::string_view name, std::string_view labels,
+                    Kind kind) const;
+
+  mutable std::mutex mutex_;
+  // Keyed "name{labels}" — map iteration gives a stable, sorted export order.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+// Process-wide active registry; null (metrics off) by default. Lifetime
+// contract matches SetActiveTrace.
+MetricsRegistry* ActiveMetrics();
+void SetActiveMetrics(MetricsRegistry* registry);
+inline bool MetricsOn() { return ActiveMetrics() != nullptr; }
+
+// Null-safe helpers for instrumentation sites: no-ops when metrics are off.
+// Each call resolves the instrument by name, so hot loops should batch
+// (tally locally, then one Add).
+void AddCounter(std::string_view name, double delta,
+                std::string_view labels = {});
+inline void IncCounter(std::string_view name, std::string_view labels = {}) {
+  AddCounter(name, 1.0, labels);
+}
+void SetGauge(std::string_view name, double value,
+              std::string_view labels = {});
+// Observes into a histogram with DefaultLatencyBucketsSeconds() bounds.
+void ObserveLatency(std::string_view name, double seconds,
+                    std::string_view labels = {});
+
+}  // namespace pardon::obs

@@ -1,0 +1,50 @@
+#include "obs/session.hpp"
+
+namespace pardon::obs {
+
+ObsSession::ObsSession(ObsOptions options)
+    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
+  manifest_.started_at_utc = RunManifest::NowUtc();
+  manifest_.build_type = RunManifest::BuildTypeDescription();
+  manifest_.compiler = RunManifest::CompilerDescription();
+  if (options_.trace) SetActiveTrace(&trace_);
+  if (options_.metrics) SetActiveMetrics(&metrics_);
+}
+
+ObsSession::~ObsSession() { Deactivate(); }
+
+void ObsSession::Deactivate() {
+  if (options_.trace && ActiveTrace() == &trace_) SetActiveTrace(nullptr);
+  if (options_.metrics && ActiveMetrics() == &metrics_) {
+    SetActiveMetrics(nullptr);
+  }
+}
+
+std::vector<std::string> ObsSession::Finish() {
+  std::vector<std::string> written;
+  if (finished_) return written;
+  finished_ = true;
+  manifest_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  Deactivate();
+  if (options_.trace && !options_.trace_path.empty()) {
+    trace_.SaveChromeJson(options_.trace_path);
+    written.push_back(options_.trace_path);
+  }
+  if (options_.metrics && !options_.metrics_path.empty()) {
+    metrics_.SavePrometheusText(options_.metrics_path);
+    written.push_back(options_.metrics_path);
+  }
+  if (options_.metrics && !options_.metrics_jsonl_path.empty()) {
+    metrics_.SaveJsonLines(options_.metrics_jsonl_path);
+    written.push_back(options_.metrics_jsonl_path);
+  }
+  if (options_.manifest && !options_.manifest_path.empty()) {
+    manifest_.Save(options_.manifest_path);
+    written.push_back(options_.manifest_path);
+  }
+  return written;
+}
+
+}  // namespace pardon::obs

@@ -1,0 +1,74 @@
+// Observability session: owns a TraceRecorder + MetricsRegistry + RunManifest
+// for one run, activates them as the process-wide sinks for its lifetime,
+// and writes the configured artifacts on Finish().
+//
+// Usage (tools/run_experiment):
+//   obs::ObsSession session(options);   // activates enabled sinks
+//   ... run the experiment ...
+//   session.manifest().final_metrics = ...;
+//   session.Finish();                   // stamps wall time, writes files
+//
+// With an all-disabled ObsOptions the session activates nothing: every
+// instrumentation site in the codebase stays on its null-sink branch, and
+// Finish() writes nothing.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pardon::obs {
+
+struct ObsOptions {
+  // Per-sink switches. A sink with a path writes its artifact on Finish();
+  // enabling a sink without a path records in memory only (embedders read
+  // the recorder/registry directly).
+  bool trace = false;
+  bool metrics = false;
+  bool manifest = false;
+  std::string trace_path;          // Chrome/Perfetto JSON
+  std::string metrics_path;        // Prometheus text exposition
+  std::string metrics_jsonl_path;  // JSONL mirror of the registry
+  std::string manifest_path;       // run manifest JSON
+
+  bool Enabled() const { return trace || metrics || manifest; }
+};
+
+class ObsSession {
+ public:
+  // Activates the trace/metrics globals for every enabled sink. Only one
+  // session should be live at a time (globals are process-wide).
+  explicit ObsSession(ObsOptions options);
+  // Deactivates any sink still active (a session destroyed without Finish()
+  // discards its data).
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool enabled() const { return options_.Enabled(); }
+  const ObsOptions& options() const { return options_; }
+  TraceRecorder& trace() { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  RunManifest& manifest() { return manifest_; }
+
+  // Stamps manifest wall time, deactivates the sinks, writes every artifact
+  // with a configured path, and returns the written paths. Idempotent.
+  std::vector<std::string> Finish();
+
+ private:
+  void Deactivate();
+
+  ObsOptions options_;
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+  RunManifest manifest_;
+  std::chrono::steady_clock::time_point start_;
+  bool finished_ = false;
+};
+
+}  // namespace pardon::obs

@@ -1,0 +1,249 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace pardon::obs {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_active_trace{nullptr};
+
+std::uint64_t NextRecorderId() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceRecorder* ActiveTrace() {
+  return g_active_trace.load(std::memory_order_acquire);
+}
+
+void SetActiveTrace(TraceRecorder* recorder) {
+  g_active_trace.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder::TraceRecorder()
+    : id_(NextRecorderId()), epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  // Each thread caches the buffer it claimed from the most recent recorder it
+  // touched; the recorder id detects a stale slot (different or destroyed
+  // recorder) and re-registers. Buffers are owned by the recorder, so a
+  // thread exiting never invalidates them.
+  struct Slot {
+    std::uint64_t recorder_id = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local Slot slot;
+  if (slot.recorder_id != id_) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    slot.buffer = buffer.get();
+    slot.recorder_id = id_;
+    buffers_.push_back(std::move(buffer));
+  }
+  return *slot.buffer;
+}
+
+void TraceRecorder::AddComplete(std::string_view name,
+                                std::string_view category,
+                                std::int64_t start_us,
+                                std::int64_t duration_us,
+                                std::string args_json) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(TraceEvent{.name = std::string(name),
+                                     .category = std::string(category),
+                                     .phase = 'X',
+                                     .start_us = start_us,
+                                     .duration_us = duration_us,
+                                     .thread_id = buffer.tid,
+                                     .args_json = std::move(args_json)});
+}
+
+void TraceRecorder::AddInstant(std::string_view name,
+                               std::string_view category,
+                               std::string args_json) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(TraceEvent{.name = std::string(name),
+                                     .category = std::string(category),
+                                     .phase = 'i',
+                                     .start_us = NowMicros(),
+                                     .duration_us = 0,
+                                     .thread_id = buffer.tid,
+                                     .args_json = std::move(args_json)});
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.thread_id != b.thread_id)
+                       return a.thread_id < b.thread_id;
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     return a.duration_us > b.duration_us;  // parents first
+                   });
+  return merged;
+}
+
+std::size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::size_t TraceRecorder::ThreadCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(event.name) + "\",\"cat\":\"" +
+           JsonEscape(event.category) + "\",\"ph\":\"" + event.phase +
+           "\",\"ts\":" + std::to_string(event.start_us);
+    if (event.phase == 'X') {
+      out += ",\"dur\":" + std::to_string(event.duration_us);
+    } else if (event.phase == 'i') {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    out += ",\"pid\":1,\"tid\":" + std::to_string(event.thread_id);
+    if (!event.args_json.empty()) {
+      out += ",\"args\":{" + event.args_json + "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void TraceRecorder::SaveChromeJson(const std::string& path) const {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("TraceRecorder::SaveChromeJson: cannot open " +
+                             path);
+  }
+  out << ToChromeJson();
+}
+
+void TraceInstant(std::string_view name, std::string_view category,
+                  std::string args_json) {
+  TraceRecorder* recorder = ActiveTrace();
+  if (recorder != nullptr) {
+    recorder->AddInstant(name, category, std::move(args_json));
+  }
+}
+
+void ScopedSpan::AddArg(std::string_view key, std::int64_t value) {
+  if (recorder_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += JsonKv(key, value);
+}
+
+void ScopedSpan::AddArg(std::string_view key, double value) {
+  if (recorder_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += JsonKv(key, value);
+}
+
+void ScopedSpan::AddArg(std::string_view key, std::string_view value) {
+  if (recorder_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += JsonKv(key, value);
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  // %.17g is max_digits10 for double: the value round-trips exactly.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string JsonKv(std::string_view key, std::int64_t value) {
+  std::string out;
+  out += '"';
+  out += JsonEscape(key);
+  out += "\":";
+  out += std::to_string(value);
+  return out;
+}
+
+std::string JsonKv(std::string_view key, double value) {
+  std::string out;
+  out += '"';
+  out += JsonEscape(key);
+  out += "\":";
+  out += JsonNumber(value);
+  return out;
+}
+
+std::string JsonKv(std::string_view key, std::string_view value) {
+  std::string out;
+  out += '"';
+  out += JsonEscape(key);
+  out += "\":\"";
+  out += JsonEscape(value);
+  out += '"';
+  return out;
+}
+
+}  // namespace pardon::obs

@@ -1,0 +1,145 @@
+// Structured tracing: thread-safe span recording with Chrome-tracing export.
+//
+// A TraceRecorder collects complete spans ('X') and instant events ('i') into
+// per-thread buffers and exports them as Chrome/Perfetto `chrome://tracing`
+// JSON (load the file at https://ui.perfetto.dev or chrome://tracing). The
+// recorder is OFF by default: instrumentation sites go through the
+// process-wide ActiveTrace() pointer, which is null until a recorder is
+// activated, so a disabled build path costs one atomic load and a branch.
+//
+// Threading model: every recording thread appends to its own buffer (claimed
+// lazily through a thread_local slot), so concurrent spans from the
+// ThreadPool never contend on a shared vector. Export merges the buffers.
+// Span CONTENT (names, categories, args, nesting) is deterministic given a
+// deterministic workload; timestamps and durations are wall-clock and vary
+// run to run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pardon::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';              // 'X' complete span, 'i' instant event
+  std::int64_t start_us = 0;     // microseconds since the recorder's epoch
+  std::int64_t duration_us = 0;  // 'X' only
+  std::uint32_t thread_id = 0;   // stable small id (buffer claim order)
+  // Pre-rendered JSON object body for the event's "args" field, without the
+  // enclosing braces (e.g. `"round":3,"client":7`). Empty = no args.
+  std::string args_json;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Thread-safe appends (per-thread buffers).
+  void AddComplete(std::string_view name, std::string_view category,
+                   std::int64_t start_us, std::int64_t duration_us,
+                   std::string args_json = {});
+  void AddInstant(std::string_view name, std::string_view category,
+                  std::string args_json = {});
+
+  // Microseconds since this recorder was constructed (span timestamps).
+  std::int64_t NowMicros() const;
+
+  // Merged snapshot of every thread's events, ordered by (thread, start,
+  // longest-first) so a per-thread scan sees parents before children.
+  std::vector<TraceEvent> Events() const;
+  std::size_t EventCount() const;
+  std::size_t ThreadCount() const;
+
+  // Chrome trace-event JSON ({"traceEvents":[...]}), microsecond timestamps.
+  std::string ToChromeJson() const;
+  // Writes ToChromeJson() to `path`, creating parent directories as needed.
+  void SaveChromeJson(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    // Guards `events`. The owning thread appends; export snapshots. In
+    // steady state the lock is uncontended, so an append pays ~one CAS.
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer& LocalBuffer();
+
+  const std::uint64_t id_;  // process-unique, keys the thread_local slot cache
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  // guards buffers_ (registration + export)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+// Process-wide active recorder; null (tracing off) by default. The caller
+// activating a recorder must keep it alive until after deactivation, and must
+// not deactivate while instrumented work is still in flight.
+TraceRecorder* ActiveTrace();
+void SetActiveTrace(TraceRecorder* recorder);
+inline bool TraceOn() { return ActiveTrace() != nullptr; }
+
+// RAII complete-span: captures the active recorder at construction, records
+// an 'X' event on destruction. When tracing is off, construction is one
+// atomic load + branch and destruction one branch.
+class ScopedSpan {
+ public:
+  // `name` and `category` must outlive the span (string literals at every
+  // call site); they are only copied into the event at destruction.
+  ScopedSpan(std::string_view name, std::string_view category)
+      : recorder_(ActiveTrace()), name_(name), category_(category) {
+    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->AddComplete(name_, category_,
+                             start_us_, recorder_->NowMicros() - start_us_,
+                             std::move(args_));
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // True when a recorder is attached — gate arg formatting on this so the
+  // disabled path never allocates.
+  bool active() const { return recorder_ != nullptr; }
+
+  void AddArg(std::string_view key, std::int64_t value);
+  void AddArg(std::string_view key, double value);
+  void AddArg(std::string_view key, std::string_view value);
+
+ private:
+  TraceRecorder* const recorder_;
+  const std::string_view name_;
+  const std::string_view category_;
+  std::int64_t start_us_ = 0;
+  std::string args_;
+};
+
+// Instant event on the active recorder; no-op when tracing is off.
+void TraceInstant(std::string_view name, std::string_view category,
+                  std::string args_json = {});
+
+// JSON string escaping shared by the trace/metrics/manifest writers.
+std::string JsonEscape(std::string_view text);
+// Round-trip (max_digits10) formatting; "NaN"-free output ("null" for
+// non-finite values so exported JSON always parses).
+std::string JsonNumber(double value);
+// `"key":value` arg fragments for TraceEvent::args_json / ScopedSpan.
+std::string JsonKv(std::string_view key, std::int64_t value);
+std::string JsonKv(std::string_view key, double value);
+std::string JsonKv(std::string_view key, std::string_view value);
+
+}  // namespace pardon::obs

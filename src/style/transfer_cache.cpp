@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pardon::style {
@@ -12,13 +14,16 @@ TransferCache::TransferCache(const data::Dataset& dataset, StyleVector target,
                              const FrozenEncoder& encoder,
                              const TransferCacheOptions& options)
     : dataset_(&dataset), encoder_(&encoder), target_(std::move(target)) {
+  obs::ScopedSpan span("style.cache_build", "style");
   const std::int64_t n = dataset.size();
+  if (span.active()) span.AddArg("samples", n);
   if (n == 0) return;
   const std::size_t bytes_per_sample =
       static_cast<std::size_t>(dataset.shape().FlatDim()) * sizeof(float);
   cached_count_ = std::min<std::int64_t>(
       n, static_cast<std::int64_t>(options.memory_budget_bytes /
                                    bytes_per_sample));
+  if (span.active()) span.AddArg("cached", cached_count_);
   if (cached_count_ == 0) return;
 
   cached_ = Tensor({cached_count_, dataset.shape().FlatDim()});
@@ -50,17 +55,33 @@ Tensor TransferCache::TransferOne(std::int64_t index) const {
 Tensor TransferCache::GatherTransferred(std::span<const int> indices) const {
   const std::int64_t d = dataset_->shape().FlatDim();
   Tensor out({static_cast<std::int64_t>(indices.size()), d});
+  // Tallied locally and flushed as two counter adds per batch so the hot
+  // loop never touches the registry per index.
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
   for (std::size_t row = 0; row < indices.size(); ++row) {
     const std::int64_t idx = indices[row];
     if (idx < 0 || idx >= dataset_->size()) {
       throw std::out_of_range("TransferCache::GatherTransferred: index");
     }
     if (idx < cached_count_) {
+      ++hits;
       std::memcpy(out.data() + static_cast<std::int64_t>(row) * d,
                   cached_.data() + idx * d,
                   static_cast<std::size_t>(d) * sizeof(float));
     } else {
+      ++misses;
       out.SetRow(static_cast<std::int64_t>(row), TransferOne(idx).Flatten());
+    }
+  }
+  if (obs::MetricsOn()) {
+    if (hits > 0) {
+      obs::AddCounter("pardon_style_transfer_cache_hits_total",
+                      static_cast<double>(hits));
+    }
+    if (misses > 0) {
+      obs::AddCounter("pardon_style_transfer_cache_misses_total",
+                      static_cast<double>(misses));
     }
   }
   return out;

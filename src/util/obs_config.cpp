@@ -1,0 +1,23 @@
+#include "util/obs_config.hpp"
+
+#include "util/config.hpp"
+
+namespace pardon::util {
+
+obs::ObsOptions ObsOptionsFromConfig(const Config& config,
+                                     const std::string& section) {
+  obs::ObsOptions options;
+  const bool enabled = config.GetBool(section + ".enabled", false);
+  options.trace_path = config.GetString(section + ".trace_out", "");
+  options.metrics_path = config.GetString(section + ".metrics_out", "");
+  options.metrics_jsonl_path =
+      config.GetString(section + ".metrics_jsonl_out", "");
+  options.manifest_path = config.GetString(section + ".manifest_out", "");
+  options.trace = enabled || !options.trace_path.empty();
+  options.metrics = enabled || !options.metrics_path.empty() ||
+                    !options.metrics_jsonl_path.empty();
+  options.manifest = enabled || !options.manifest_path.empty();
+  return options;
+}
+
+}  // namespace pardon::util

@@ -1,0 +1,28 @@
+// [observability] INI schema -> obs::ObsOptions.
+//
+// Keys (all optional; section default "observability"):
+//   enabled           = true|false  # master switch: record trace + metrics
+//                                   # even when no output path is set
+//   trace_out         = trace.json  # Chrome/Perfetto trace JSON
+//   metrics_out       = metrics.prom    # Prometheus text exposition
+//   metrics_jsonl_out = metrics.jsonl   # JSONL mirror of the registry
+//   manifest_out      = manifest.json   # run manifest
+// A sink is enabled when its output path is set or `enabled = true`; with no
+// keys at all, observability stays off (the null-sink fast path).
+//
+// Lives in util (not obs) because it needs util::Config; pardon_obs stays
+// dependency-free so the ThreadPool underneath it can be instrumented.
+#pragma once
+
+#include <string>
+
+#include "obs/session.hpp"
+
+namespace pardon::util {
+
+class Config;
+
+obs::ObsOptions ObsOptionsFromConfig(
+    const Config& config, const std::string& section = "observability");
+
+}  // namespace pardon::util

@@ -4,7 +4,17 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pardon::util {
+
+namespace {
+// Gauge tracking the instantaneous task-queue depth (its max is the
+// high-water mark). Updated on every submit/dequeue, so keep the name
+// resolution behind the single MetricsOn() branch.
+constexpr const char* kQueueDepthGauge = "pardon_util_thread_pool_queue_depth";
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -28,11 +38,17 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(packaged));
+    depth = tasks_.size();
   }
   cv_.notify_one();
+  if (obs::MetricsOn()) {
+    obs::SetGauge(kQueueDepthGauge, static_cast<double>(depth));
+    obs::IncCounter("pardon_util_thread_pool_tasks_total");
+  }
   return future;
 }
 
@@ -65,14 +81,22 @@ void ThreadPool::ParallelFor(std::size_t count,
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      depth = tasks_.size();
     }
-    task();
+    if (obs::MetricsOn()) {
+      obs::SetGauge(kQueueDepthGauge, static_cast<double>(depth));
+    }
+    {
+      obs::ScopedSpan span("pool.task", "pool");
+      task();
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "fl/comm.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 
 namespace pardon::fl {
@@ -85,6 +86,35 @@ TEST(CommProfiles, StructuralClaimsHold) {
   EXPECT_EQ(by_name["FISC"]->TotalBytes(10),
             by_name["FISC"]->OneTimeBytes() +
                 10 * by_name["FISC"]->PerRoundBytes());
+}
+
+TEST(CommProfiles, RecordCommProfileMirrorsTotalsIntoRegistry) {
+  CommProfile profile{.method = "FISC", .entries = {}};
+  profile.entries.push_back({.description = "exchange",
+                             .upstream_bytes = 1000,
+                             .downstream_bytes = 2000});
+  profile.entries.push_back({.description = "styles",
+                             .upstream_bytes = 300,
+                             .downstream_bytes = 400,
+                             .one_time = true});
+
+  // Metrics off: must be a silent no-op.
+  ASSERT_EQ(obs::ActiveMetrics(), nullptr);
+  RecordCommProfile(profile, 10);
+
+  obs::MetricsRegistry registry;
+  obs::SetActiveMetrics(&registry);
+  RecordCommProfile(profile, 10);
+  obs::SetActiveMetrics(nullptr);
+
+  const std::string labels = "method=\"FISC\"";
+  EXPECT_EQ(registry.CounterValue("pardon_comm_one_time_bytes", labels),
+            static_cast<double>(profile.OneTimeBytes()));
+  EXPECT_EQ(registry.CounterValue("pardon_comm_per_round_bytes", labels),
+            static_cast<double>(profile.PerRoundBytes()));
+  EXPECT_EQ(registry.CounterValue("pardon_comm_total_bytes",
+                                  labels + ",rounds=\"10\""),
+            static_cast<double>(profile.TotalBytes(10)));
 }
 
 }  // namespace

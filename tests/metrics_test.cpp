@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 
 #include "data/dataset.hpp"
 #include "metrics/evaluation.hpp"
@@ -121,7 +122,9 @@ TEST(Recorder, SeriesRoundsValuesAndCsv) {
   EXPECT_EQ(recorder.SeriesNames(), (std::vector<std::string>{"acc", "loss"}));
 
   const std::string csv = recorder.ToCsv();
-  EXPECT_NE(csv.find("acc,5,0.3"), std::string::npos);
+  // Values print at max_digits10 so they round-trip; 0.3 is not exactly
+  // representable and prints its nearest-double form.
+  EXPECT_NE(csv.find("acc,5,0.2999999999999999"), std::string::npos);
   EXPECT_NE(csv.find("loss,5,2"), std::string::npos);
 
   const std::string path =
@@ -130,6 +133,31 @@ TEST(Recorder, SeriesRoundsValuesAndCsv) {
   recorder.SaveCsv(path);
   EXPECT_TRUE(std::filesystem::exists(path));
   std::remove(path.c_str());
+}
+
+TEST(Recorder, CsvRoundTripsFullDoublePrecision) {
+  // Regression: the stream default of 6 significant digits used to truncate
+  // values like 2/3 to "0.666667", losing information across save/reload.
+  Recorder recorder;
+  const double two_thirds = 2.0 / 3.0;
+  const double tiny_gap = 0.1234567890123456789;
+  recorder.Record("acc", 1, two_thirds);
+  recorder.Record("acc", 2, tiny_gap);
+
+  const std::string csv = recorder.ToCsv();
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<double> parsed;
+  while (std::getline(in, line)) {
+    const std::size_t comma = line.rfind(',');
+    ASSERT_NE(comma, std::string::npos);
+    parsed.push_back(std::stod(line.substr(comma + 1)));
+  }
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], two_thirds);  // bitwise round trip, not approximate
+  EXPECT_EQ(parsed[1], tiny_gap);
+  EXPECT_NE(csv.find("0.66666666666666663"), std::string::npos);
 }
 
 TEST(Recorder, OverwritesSameRound) {

@@ -1,0 +1,696 @@
+// Observability subsystem tests: metrics registry semantics, trace recorder
+// thread-safety, Chrome-trace export validity (parsed with a small JSON
+// parser below), the CostBreakdown <-> MetricsRegistry cross-check after a
+// faulted run, and the contract that an obs-disabled run is bitwise
+// identical to an uninstrumented one.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/fedavg.hpp"
+#include "data/domain_generator.hpp"
+#include "data/partition.hpp"
+#include "fl/simulator.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+#include "util/config.hpp"
+#include "util/obs_config.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pardon::obs {
+namespace {
+
+// ------------------------------------------------------- minimal JSON parser
+//
+// Just enough JSON to validate our own exporters: objects, arrays, strings
+// (with \uXXXX accepted but not decoded), numbers, booleans, null. Throws
+// std::runtime_error on malformed input, which is exactly what the validity
+// tests assert against.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& At(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key " + key);
+    return it->second;
+  }
+  bool Has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing JSON input");
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    SkipWs();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected JSON end");
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  bool Consume(const std::string& literal) {
+    if (text_.compare(pos_, literal.size(), literal) == 0) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    JsonValue value;
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      value.type = JsonValue::Type::kString;
+      value.string = ParseString();
+      return value;
+    }
+    if (Consume("true")) {
+      value.type = JsonValue::Type::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (Consume("false")) {
+      value.type = JsonValue::Type::kBool;
+      return value;
+    }
+    if (Consume("null")) return value;
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    Expect('{');
+    if (Peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      if (Peek() != '"') throw std::runtime_error("object key must be string");
+      std::string key = ParseString();
+      Expect(':');
+      value.object.emplace(std::move(key), ParseValue());
+      const char next = Peek();
+      ++pos_;
+      if (next == '}') return value;
+      if (next != ',') throw std::runtime_error("expected ',' or '}'");
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    Expect('[');
+    if (Peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(ParseValue());
+      const char next = Peek();
+      ++pos_;
+      if (next == ']') return value;
+      if (next != ',') throw std::runtime_error("expected ',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        throw std::runtime_error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              throw std::runtime_error("bad \\u digit");
+            }
+          }
+          pos_ += 4;  // accepted, not decoded — fine for validation
+          break;
+        }
+        default: throw std::runtime_error("unknown escape");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("invalid JSON value");
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    value.number = std::stod(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------------ fixture
+
+using tensor::Pcg32;
+
+// Small two-domain fleet, same substrate as the fault-injection tests.
+struct SimFixture {
+  SimFixture() {
+    data::GeneratorConfig config;
+    config.num_domains = 2;
+    config.num_classes = 3;
+    config.shape = {.channels = 2, .height = 4, .width = 4};
+    config.seed = 33;
+    const data::DomainGenerator generator(config);
+    Pcg32 rng(3);
+    data::Dataset train(config.shape, 3, 2);
+    train.Append(generator.GenerateDomain(0, 80, rng));
+    train.Append(generator.GenerateDomain(1, 80, rng));
+    clients = data::PartitionHeterogeneous(
+        train, {.num_clients = 4, .lambda = 0.5, .seed = 9});
+    eval = generator.GenerateDomain(0, 60, rng);
+    model_config = nn::MlpClassifier::Config{
+        .input_dim = config.shape.FlatDim(),
+        .hidden = {16},
+        .embed_dim = 8,
+        .num_classes = 3,
+        .seed = 13,
+    };
+    base_config = fl::FlConfig{.total_clients = 4,
+                               .participants_per_round = 3,
+                               .rounds = 5,
+                               .batch_size = 16,
+                               .optimizer = {.lr = 3e-3f},
+                               .eval_every = 2,
+                               .seed = 123};
+  }
+
+  fl::SimulationResult Run(const fl::FlConfig& config,
+                           util::ThreadPool* pool = nullptr) const {
+    const fl::Simulator simulator(clients, config);
+    baselines::FedAvg algorithm;
+    nn::MlpClassifier model(model_config);
+    return simulator.Run(algorithm, model, {{"eval", &eval}}, pool);
+  }
+
+  std::vector<data::Dataset> clients;
+  data::Dataset eval;
+  nn::MlpClassifier::Config model_config;
+  fl::FlConfig base_config;
+};
+
+fl::FlConfig FaultyConfig(const SimFixture& fixture) {
+  fl::FlConfig config = fixture.base_config;
+  config.rounds = 10;
+  config.faults.unavailability = 0.2;
+  config.faults.dropout = 0.25;
+  config.faults.corruption = 0.3;
+  config.faults.straggler_fraction = 0.3;
+  return config;
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Metrics, OffByDefault) {
+  ASSERT_EQ(ActiveMetrics(), nullptr);
+  EXPECT_FALSE(MetricsOn());
+  // Null-safe helpers must be no-ops, not crashes.
+  AddCounter("pardon_test_noop", 1.0);
+  SetGauge("pardon_test_noop_gauge", 2.0);
+  ObserveLatency("pardon_test_noop_hist", 0.5);
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  counter.Add(2.5);
+  counter.Increment();
+  EXPECT_DOUBLE_EQ(counter.Value(), 3.5);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("c"), 3.5);
+  // Create-or-get returns the same instrument.
+  EXPECT_EQ(&registry.GetCounter("c"), &counter);
+
+  Gauge& gauge = registry.GetGauge("g");
+  gauge.Set(7.0);
+  gauge.Set(3.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.0);
+  EXPECT_DOUBLE_EQ(gauge.Max(), 7.0);
+
+  Histogram& hist = registry.GetHistogram("h", std::vector<double>{1.0, 10.0});
+  hist.Observe(0.5);
+  hist.Observe(5.0);
+  hist.Observe(50.0);
+  EXPECT_EQ(hist.Count(), 3);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 55.5);
+  EXPECT_EQ(hist.BucketCounts(), (std::vector<std::int64_t>{1, 1, 1}));
+  EXPECT_EQ(registry.InstrumentCount(), 3u);
+}
+
+TEST(Metrics, LabelsMakeDistinctSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("family", "method=\"A\"").Add(1.0);
+  registry.GetCounter("family", "method=\"B\"").Add(2.0);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("family", "method=\"A\""), 1.0);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("family", "method=\"B\""), 2.0);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("family"), 0.0);  // unlabeled absent
+  const std::string text = registry.ToPrometheusText();
+  // One family -> exactly one # TYPE line.
+  EXPECT_EQ(text.find("# TYPE family counter"),
+            text.rfind("# TYPE family counter"));
+  EXPECT_NE(text.find("family{method=\"A\"} 1"), std::string::npos);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.GetCounter("x");
+  EXPECT_THROW(registry.GetGauge("x"), std::logic_error);
+  EXPECT_THROW(registry.GetHistogram("x"), std::logic_error);
+}
+
+TEST(Metrics, HistogramQuantileInterpolates) {
+  MetricsRegistry registry;
+  Histogram& hist =
+      registry.GetHistogram("q", std::vector<double>{1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) hist.Observe(1.5);  // all in (1, 2]
+  const double p50 = hist.Quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_DOUBLE_EQ(Histogram(std::vector<double>{1.0}).Quantile(0.5), 0.0);
+}
+
+TEST(Metrics, PrometheusTextRoundTripsDoubles) {
+  MetricsRegistry registry;
+  registry.GetCounter("precise").Add(2.0 / 3.0);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("0.66666666666666663"), std::string::npos);
+}
+
+TEST(Metrics, JsonLinesParse) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", "k=\"v\"").Add(1.0);
+  registry.GetGauge("g").Set(2.0);
+  registry.GetHistogram("h").Observe(0.01);
+  std::istringstream lines(registry.ToJsonLines());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    const JsonValue value = JsonParser(line).Parse();
+    EXPECT_EQ(value.type, JsonValue::Type::kObject);
+    EXPECT_TRUE(value.Has("name"));
+    EXPECT_TRUE(value.Has("type"));
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 3);
+}
+
+TEST(Metrics, ConcurrentCountersFromThreadPool) {
+  MetricsRegistry registry;
+  SetActiveMetrics(&registry);
+  util::ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  pool.ParallelFor(kTasks, [](std::size_t) {
+    IncCounter("pardon_test_concurrent_total");
+    ObserveLatency("pardon_test_concurrent_seconds", 1e-4);
+  });
+  SetActiveMetrics(nullptr);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("pardon_test_concurrent_total"),
+                   static_cast<double>(kTasks));
+  const Histogram* hist =
+      registry.FindHistogram("pardon_test_concurrent_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Count(), kTasks);
+}
+
+// -------------------------------------------------------------------- trace
+
+TEST(Trace, OffByDefault) {
+  ASSERT_EQ(ActiveTrace(), nullptr);
+  EXPECT_FALSE(TraceOn());
+  {
+    ScopedSpan span("noop", "test");
+    EXPECT_FALSE(span.active());
+    span.AddArg("ignored", std::int64_t{1});
+  }
+  TraceInstant("noop", "test");
+}
+
+TEST(Trace, RecordsSpansAndInstantsWithArgs) {
+  TraceRecorder recorder;
+  SetActiveTrace(&recorder);
+  {
+    ScopedSpan span("outer", "test");
+    ASSERT_TRUE(span.active());
+    span.AddArg("round", std::int64_t{3});
+    span.AddArg("name", "a\"b");  // must be escaped in export
+    { ScopedSpan inner("inner", "test"); }
+    TraceInstant("ping", "test", JsonKv("client", std::int64_t{7}));
+  }
+  SetActiveTrace(nullptr);
+
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(recorder.EventCount(), 3u);
+  EXPECT_EQ(recorder.ThreadCount(), 1u);
+  // (tid, start, longest-first) ordering puts the outer span first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_NE(events[0].args_json.find("\"round\":3"), std::string::npos);
+  bool saw_instant = false;
+  for (const TraceEvent& event : events) {
+    if (event.phase == 'i') {
+      saw_instant = true;
+      EXPECT_EQ(event.name, "ping");
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(Trace, ThreadPoolSpansLandInDistinctBuffers) {
+  TraceRecorder recorder;
+  SetActiveTrace(&recorder);
+  util::ThreadPool pool(4);
+  pool.ParallelFor(64, [](std::size_t i) {
+    ScopedSpan span("work", "test");
+    span.AddArg("i", static_cast<std::int64_t>(i));
+  });
+  SetActiveTrace(nullptr);
+  // ThreadPool itself wraps tasks in "pool.task" spans; count only ours.
+  std::size_t work_spans = 0;
+  for (const TraceEvent& event : recorder.Events()) {
+    if (event.name == "work") ++work_spans;
+  }
+  EXPECT_EQ(work_spans, 64u);
+  EXPECT_GE(recorder.ThreadCount(), 2u);
+}
+
+TEST(Trace, JsonHelpersEscapeAndFormat) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonKv("k", std::int64_t{2}), "\"k\":2");
+  EXPECT_EQ(JsonKv("k", "v"), "\"k\":\"v\"");
+}
+
+// Validates an exported Chrome trace: it parses, every event is a complete
+// span or an instant, durations are non-negative, and spans nest properly
+// per thread (no partial overlap).
+void ValidateChromeTrace(const std::string& json,
+                         bool expect_fault_instants) {
+  const JsonValue root = JsonParser(json).Parse();
+  const JsonValue& events = root.At("traceEvents");
+  ASSERT_EQ(events.type, JsonValue::Type::kArray);
+  ASSERT_FALSE(events.array.empty());
+
+  bool saw_fault_instant = false;
+  // Per-tid stack of span end times; events arrive sorted (tid, start,
+  // longest-first), so parents precede children.
+  std::map<double, std::vector<std::pair<double, double>>> open_spans;
+  for (const JsonValue& event : events.array) {
+    const std::string& phase = event.At("ph").string;
+    ASSERT_TRUE(phase == "X" || phase == "i") << "unexpected phase " << phase;
+    const double ts = event.At("ts").number;
+    const double tid = event.At("tid").number;
+    EXPECT_GE(ts, 0.0);
+    if (event.At("name").string.rfind("fault.", 0) == 0) {
+      EXPECT_EQ(phase, "i");
+      saw_fault_instant = true;
+    }
+    if (phase == "i") continue;
+    const double dur = event.At("dur").number;
+    EXPECT_GE(dur, 0.0);
+    auto& stack = open_spans[tid];
+    while (!stack.empty() && stack.back().second <= ts) stack.pop_back();
+    if (!stack.empty()) {
+      // Nested span must be fully contained in its parent.
+      EXPECT_LE(ts + dur, stack.back().second)
+          << event.At("name").string << " partially overlaps its parent";
+    }
+    stack.emplace_back(ts, ts + dur);
+  }
+  EXPECT_EQ(saw_fault_instant, expect_fault_instants);
+}
+
+TEST(Trace, ExportedChromeJsonIsValidForFaultedRun) {
+  const SimFixture fixture;
+  TraceRecorder recorder;
+  SetActiveTrace(&recorder);
+  util::ThreadPool pool(3);
+  fixture.Run(FaultyConfig(fixture), &pool);
+  SetActiveTrace(nullptr);
+  ValidateChromeTrace(recorder.ToChromeJson(), /*expect_fault_instants=*/true);
+}
+
+TEST(Trace, ZeroFaultRunHasNoFaultInstants) {
+  const SimFixture fixture;
+  TraceRecorder recorder;
+  SetActiveTrace(&recorder);
+  fixture.Run(fixture.base_config);
+  SetActiveTrace(nullptr);
+  ValidateChromeTrace(recorder.ToChromeJson(),
+                      /*expect_fault_instants=*/false);
+}
+
+// -------------------------------------------- CostBreakdown cross-check
+
+// The lockstep contract from fl/simulator.cpp: every CostBreakdown field has
+// a mirror counter fed at the same code point with the same value, so after
+// any run — faults, threads, and all — the two accounting paths must agree
+// exactly (EXPECT_EQ, not NEAR, including the double-valued fields).
+TEST(ObsCrossCheck, RegistryCountersMatchCostBreakdownExactly) {
+  const SimFixture fixture;
+  MetricsRegistry registry;
+  SetActiveMetrics(&registry);
+  util::ThreadPool pool(3);
+  const fl::SimulationResult result = fixture.Run(FaultyConfig(fixture), &pool);
+  SetActiveMetrics(nullptr);
+  const fl::CostBreakdown& costs = result.costs;
+
+  // The plan above must actually exercise every fault path, or this test
+  // would vacuously compare zeros.
+  EXPECT_GT(costs.no_show_clients, 0);
+  EXPECT_GT(costs.dropped_updates, 0);
+  EXPECT_GT(costs.straggler_events, 0);
+  EXPECT_GT(costs.corrupted_messages, 0);
+
+  const auto counter = [&](const char* name) {
+    return registry.CounterValue(name);
+  };
+  EXPECT_EQ(counter("pardon_fl_one_time_seconds"), costs.one_time_seconds);
+  EXPECT_EQ(counter("pardon_fl_local_train_seconds"),
+            costs.local_train_seconds);
+  EXPECT_EQ(counter("pardon_fl_client_rounds_total"),
+            static_cast<double>(costs.client_rounds));
+  EXPECT_EQ(counter("pardon_fl_aggregate_seconds"), costs.aggregate_seconds);
+  EXPECT_EQ(counter("pardon_fl_aggregate_rounds_total"),
+            static_cast<double>(costs.aggregate_rounds));
+  EXPECT_EQ(counter("pardon_fl_no_show_clients_total"),
+            static_cast<double>(costs.no_show_clients));
+  EXPECT_EQ(counter("pardon_fl_dropped_updates_total"),
+            static_cast<double>(costs.dropped_updates));
+  EXPECT_EQ(counter("pardon_fl_straggler_events_total"),
+            static_cast<double>(costs.straggler_events));
+  EXPECT_EQ(counter("pardon_fl_straggler_delay_seconds"),
+            costs.straggler_delay_seconds);
+  EXPECT_EQ(counter("pardon_fl_corrupted_messages_total"),
+            static_cast<double>(costs.corrupted_messages));
+  EXPECT_EQ(counter("pardon_fl_retransmissions_total"),
+            static_cast<double>(costs.retransmissions));
+  EXPECT_EQ(counter("pardon_fl_retry_backoff_seconds"),
+            costs.retry_backoff_seconds);
+  EXPECT_EQ(counter("pardon_fl_updates_lost_to_corruption_total"),
+            static_cast<double>(costs.updates_lost_to_corruption));
+  EXPECT_EQ(counter("pardon_fl_skipped_rounds_total"),
+            static_cast<double>(costs.skipped_rounds));
+  EXPECT_EQ(counter("pardon_fl_rounds_total"), 10.0);
+}
+
+// ------------------------------------------------------ obs-off determinism
+
+TEST(ObsDeterminism, EnablingObservabilityDoesNotChangeTheModel) {
+  const SimFixture fixture;
+  const fl::FlConfig config = FaultyConfig(fixture);
+
+  ASSERT_FALSE(TraceOn());
+  ASSERT_FALSE(MetricsOn());
+  const fl::SimulationResult off = fixture.Run(config);
+
+  ObsOptions options;
+  options.trace = true;
+  options.metrics = true;
+  options.manifest = true;
+  ObsSession session(options);
+  ASSERT_TRUE(TraceOn());
+  const fl::SimulationResult on = fixture.Run(config);
+  session.Finish();  // no paths -> nothing written
+  ASSERT_FALSE(TraceOn());
+
+  EXPECT_EQ(off.final_model.FlatParams(), on.final_model.FlatParams());
+  EXPECT_EQ(off.final_accuracy, on.final_accuracy);
+  EXPECT_EQ(off.costs.client_rounds, on.costs.client_rounds);
+  EXPECT_EQ(off.costs.dropped_updates, on.costs.dropped_updates);
+  EXPECT_EQ(off.costs.corrupted_messages, on.costs.corrupted_messages);
+}
+
+// ----------------------------------------------------- session + config
+
+TEST(ObsConfig, ParsesObservabilitySection) {
+  const util::Config config = util::Config::Parse(
+      "[observability]\n"
+      "trace_out = /tmp/t.json\n"
+      "metrics_out = /tmp/m.prom\n");
+  const ObsOptions options = util::ObsOptionsFromConfig(config);
+  EXPECT_TRUE(options.trace);
+  EXPECT_TRUE(options.metrics);
+  EXPECT_FALSE(options.manifest);
+  EXPECT_EQ(options.trace_path, "/tmp/t.json");
+  EXPECT_EQ(options.metrics_path, "/tmp/m.prom");
+  EXPECT_TRUE(options.Enabled());
+}
+
+TEST(ObsConfig, EnabledFlagActivatesAllSinksWithoutPaths) {
+  const util::Config config =
+      util::Config::Parse("[observability]\nenabled = true\n");
+  const ObsOptions options = util::ObsOptionsFromConfig(config);
+  EXPECT_TRUE(options.trace);
+  EXPECT_TRUE(options.metrics);
+  EXPECT_TRUE(options.manifest);
+  EXPECT_TRUE(options.trace_path.empty());
+}
+
+TEST(ObsConfig, MissingSectionDisablesEverything) {
+  const util::Config config = util::Config::Parse("[fl]\nrounds = 3\n");
+  EXPECT_FALSE(util::ObsOptionsFromConfig(config).Enabled());
+}
+
+TEST(ObsSessionTest, FinishWritesConfiguredArtifacts) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "pardon_obs_session_test";
+  std::filesystem::remove_all(dir);
+  ObsOptions options;
+  options.trace = options.metrics = options.manifest = true;
+  options.trace_path = (dir / "trace.json").string();
+  options.metrics_path = (dir / "metrics.prom").string();
+  options.metrics_jsonl_path = (dir / "metrics.jsonl").string();
+  options.manifest_path = (dir / "deep" / "manifest.json").string();
+
+  std::vector<std::string> written;
+  {
+    ObsSession session(options);
+    { ScopedSpan span("unit", "test"); }
+    IncCounter("pardon_test_session_total");
+    session.manifest().tool = "obs_test";
+    session.manifest().seed = 42;
+    written = session.Finish();
+    EXPECT_TRUE(session.Finish().empty());  // idempotent
+  }
+  EXPECT_EQ(written.size(), 4u);
+  for (const std::string& path : written) {
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+  }
+
+  std::ifstream trace_in(options.trace_path);
+  const std::string trace_json((std::istreambuf_iterator<char>(trace_in)),
+                               std::istreambuf_iterator<char>());
+  EXPECT_NO_THROW(JsonParser(trace_json).Parse());
+
+  std::ifstream manifest_in(options.manifest_path);
+  const std::string manifest_json(
+      (std::istreambuf_iterator<char>(manifest_in)),
+      std::istreambuf_iterator<char>());
+  const JsonValue manifest = JsonParser(manifest_json).Parse();
+  EXPECT_EQ(manifest.At("tool").string, "obs_test");
+  EXPECT_EQ(manifest.At("seed").string, "42");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Manifest, ToJsonCarriesAllSections) {
+  RunManifest manifest;
+  manifest.tool = "unit";
+  manifest.started_at_utc = RunManifest::NowUtc();
+  manifest.wall_seconds = 1.25;
+  manifest.seed = 7;
+  manifest.build_type = RunManifest::BuildTypeDescription();
+  manifest.compiler = RunManifest::CompilerDescription();
+  manifest.config.emplace_back("fl.rounds", "5");
+  manifest.fault_plan.emplace_back("dropout", "0.1");
+  manifest.final_metrics.emplace_back("val/Ours", 2.0 / 3.0);
+  manifest.notes = "quote \" and backslash \\";
+
+  const JsonValue root = JsonParser(manifest.ToJson()).Parse();
+  EXPECT_EQ(root.At("tool").string, "unit");
+  EXPECT_EQ(root.At("config").At("fl.rounds").string, "5");
+  EXPECT_EQ(root.At("fault_plan").At("dropout").string, "0.1");
+  EXPECT_DOUBLE_EQ(root.At("final_metrics").At("val/Ours").number, 2.0 / 3.0);
+  EXPECT_EQ(root.At("notes").string, "quote \" and backslash \\");
+  EXPECT_FALSE(root.At("build").At("type").string.empty());
+  // ISO-8601 basic shape.
+  EXPECT_EQ(root.At("started_at_utc").string.size(), 20u);
+  EXPECT_EQ(root.At("started_at_utc").string.back(), 'Z');
+}
+
+}  // namespace
+}  // namespace pardon::obs

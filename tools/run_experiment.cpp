@@ -2,6 +2,9 @@
 // running any method on any scenario without writing C++.
 //
 //   ./run_experiment --config=experiment.ini [--out=results.csv]
+//                    [--trace-out=trace.json] [--metrics-out=metrics.prom]
+//                    [--metrics-jsonl-out=metrics.jsonl]
+//                    [--manifest-out=manifest.json]
 //
 // Example config (INI):
 //   [dataset]
@@ -28,15 +31,27 @@
 //   gamma1 = 0.6
 //   gamma2 = 0.1
 //   margin = 1.0
+//
+//   [faults]                 # optional deterministic fault schedule
+//   dropout = 0.1
+//   corruption = 0.05
+//
+//   [observability]          # optional; CLI --*-out flags override
+//   trace_out = trace.json
+//   metrics_out = metrics.prom
+//   manifest_out = manifest.json
 // With no --config, runs the PACS default scenario with all methods.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "experiment.hpp"
+#include "fl/fault.hpp"
+#include "obs/session.hpp"
 #include "util/config.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
+#include "util/obs_config.hpp"
 
 namespace {
 
@@ -46,6 +61,30 @@ std::vector<int> ParseDomainList(const util::Config& config,
                                  const std::string& key,
                                  std::vector<int> def) {
   return config.GetIntList(key, std::move(def));
+}
+
+// [observability] keys, overridden by the CLI --trace-out / --metrics-out /
+// --metrics-jsonl-out / --manifest-out flags.
+obs::ObsOptions ResolveObsOptions(const util::Config& config,
+                                  const util::Flags& flags) {
+  obs::ObsOptions options = util::ObsOptionsFromConfig(config);
+  if (flags.Has("trace-out")) {
+    options.trace_path = flags.GetString("trace-out", "");
+    options.trace = true;
+  }
+  if (flags.Has("metrics-out")) {
+    options.metrics_path = flags.GetString("metrics-out", "");
+    options.metrics = true;
+  }
+  if (flags.Has("metrics-jsonl-out")) {
+    options.metrics_jsonl_path = flags.GetString("metrics-jsonl-out", "");
+    options.metrics = true;
+  }
+  if (flags.Has("manifest-out")) {
+    options.manifest_path = flags.GetString("manifest-out", "");
+    options.manifest = true;
+  }
+  return options;
 }
 
 }  // namespace
@@ -87,8 +126,10 @@ int main(int argc, char** argv) {
       .participants = config.GetInt("fl.participants", 20),
       .rounds = config.GetInt("fl.rounds", 50),
       .lambda = config.GetDouble("fl.lambda", 0.1),
+      .client_dropout = config.GetDouble("fl.client_dropout", 0.0),
+      .faults = fl::FaultPlanFromConfig(config),
       .learning_rate = static_cast<float>(config.GetDouble("fl.lr", 3e-3)),
-      .seed = static_cast<std::uint64_t>(config.GetInt("fl.seed", 1)),
+      .seed = config.GetUint64("fl.seed", 1),
   };
   if (preset_name == "iwildcam") {
     const data::IWildCamDomainSplit split = data::IWildCamDomains(preset);
@@ -131,6 +172,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Observability: activates the trace recorder + metrics registry for the
+  // whole run when any sink is configured; otherwise every instrumentation
+  // site stays on its disabled branch.
+  obs::ObsSession session(ResolveObsOptions(config, flags));
+
   const int repeats = config.GetInt("fl.repeats", 1);
   util::ThreadPool pool;
   PARDON_LOG_INFO << "running " << selected.size() << " method(s) x "
@@ -155,6 +201,18 @@ int main(int argc, char** argv) {
     std::ofstream out(out_path);
     out << csv.str();
     std::printf("\nCSV written to %s\n", out_path.c_str());
+  }
+
+  if (session.enabled()) {
+    obs::RunManifest& manifest = session.manifest();
+    manifest.tool = "run_experiment";
+    for (const std::string& key : config.Keys()) {
+      manifest.config.emplace_back(key, config.GetString(key, ""));
+    }
+    bench::FillRunManifest(manifest, scenario, averages, repeats);
+    for (const std::string& path : session.Finish()) {
+      std::printf("observability artifact written to %s\n", path.c_str());
+    }
   }
   return 0;
 }
