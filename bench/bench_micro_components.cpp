@@ -4,6 +4,9 @@
 // the observability subsystem's overhead (off and on).
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <memory>
+
 #include "baselines/fedavg.hpp"
 #include "clustering/finch.hpp"
 #include "data/dataset.hpp"
@@ -11,10 +14,12 @@
 #include "data/partition.hpp"
 #include "fl/aggregate.hpp"
 #include "fl/simulator.hpp"
+#include "nn/conv.hpp"
 #include "obs/session.hpp"
 #include "style/adain.hpp"
 #include "style/encoder.hpp"
 #include "style/transfer_cache.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
 
@@ -33,6 +38,70 @@ void BM_MatMul(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// ------------------------------------------------------------ GEMM backends
+//
+// Direct naive-vs-blocked comparison at the acceptance-criteria shape
+// (256^3). Backend and thread count are pinned per benchmark so the numbers
+// stay meaningful regardless of PARDON_GEMM / PARDON_GEMM_THREADS; threads
+// default to 1 because both kernels are single-accumulator per element and
+// the speedup of interest here is the cache/register blocking itself.
+
+void BM_MatMul_Naive(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Pcg32 rng(1);
+  const Tensor a = Tensor::Gaussian({n, n}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({n, n}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::tensor::NaiveMatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul_Naive)->Arg(128)->Arg(256);
+
+void BM_MatMul_Blocked(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  pardon::tensor::SetGemmThreads(
+      static_cast<std::size_t>(state.range(1)));
+  Pcg32 rng(1);
+  const Tensor a = Tensor::Gaussian({n, n}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({n, n}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::tensor::BlockedMatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  pardon::tensor::SetGemmThreads(1);
+}
+BENCHMARK(BM_MatMul_Blocked)
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 4});
+
+void BM_Conv2dForward_Direct(benchmark::State& state) {
+  pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kNaive);
+  Pcg32 rng(9);
+  const pardon::nn::Conv2d conv(8, 16, 16, 16, rng);
+  const Tensor x = Tensor::Gaussian({16, 8 * 16 * 16}, 0, 1, rng);
+  std::unique_ptr<pardon::nn::Layer::Context> ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, ctx, false, nullptr));
+  }
+  pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kBlocked);
+}
+BENCHMARK(BM_Conv2dForward_Direct)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2dForward_Im2col(benchmark::State& state) {
+  pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kBlocked);
+  pardon::tensor::SetGemmThreads(1);
+  Pcg32 rng(9);
+  const pardon::nn::Conv2d conv(8, 16, 16, 16, rng);
+  const Tensor x = Tensor::Gaussian({16, 8 * 16 * 16}, 0, 1, rng);
+  std::unique_ptr<pardon::nn::Layer::Context> ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, ctx, false, nullptr));
+  }
+}
+BENCHMARK(BM_Conv2dForward_Im2col)->Unit(benchmark::kMillisecond);
 
 void BM_Finch(benchmark::State& state) {
   const std::int64_t n = state.range(0);

@@ -14,9 +14,13 @@ std::vector<Batch> MakeEpochBatches(const Dataset& dataset, int batch_size,
   if (n == 0) return batches;
 
   const std::vector<int> order = rng.Permutation(static_cast<int>(n));
-  for (std::int64_t start = 0; start < n; start += batch_size) {
-    const std::int64_t end = std::min<std::int64_t>(start + batch_size, n);
-    if (end - start < 2 && n >= 2) continue;  // singleton tail: skip
+  for (std::int64_t start = 0; start < n;) {
+    std::int64_t end = std::min<std::int64_t>(start + batch_size, n);
+    // A singleton tail would break pairwise losses (contrastive terms need
+    // >= 2 samples), but dropping it starves that sample for the whole
+    // epoch. Fold it into the previous batch instead; a lone batch of one
+    // (n == 1) is still emitted — the caller owns that policy.
+    if (n - end == 1) end = n;
     std::vector<int> indices(order.begin() + static_cast<std::ptrdiff_t>(start),
                              order.begin() + static_cast<std::ptrdiff_t>(end));
     Batch batch;
@@ -25,6 +29,7 @@ std::vector<Batch> MakeEpochBatches(const Dataset& dataset, int batch_size,
     for (const int idx : indices) batch.labels.push_back(dataset.Label(idx));
     batch.indices = std::move(indices);
     batches.push_back(std::move(batch));
+    start = end;
   }
   return batches;
 }

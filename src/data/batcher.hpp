@@ -15,9 +15,11 @@ struct Batch {
   std::vector<int> indices;  // row i's sample index in the source dataset
 };
 
-// Shuffles the dataset and splits it into batches of `batch_size` (the final
-// batch may be smaller; it is dropped only if it would contain one sample,
-// which breaks contrastive negative sampling).
+// Shuffles the dataset and splits it into batches of `batch_size`. The final
+// batch may be smaller; a would-be singleton tail (which breaks contrastive
+// negative sampling) is folded into the preceding batch instead of being
+// dropped, so every sample is seen exactly once per epoch. Only n == 1
+// produces a batch of one.
 std::vector<Batch> MakeEpochBatches(const Dataset& dataset, int batch_size,
                                     tensor::Pcg32& rng);
 

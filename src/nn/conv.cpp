@@ -4,6 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
 namespace pardon::nn {
 
 namespace {
@@ -17,6 +20,41 @@ struct PoolContext : Layer::Context {
   std::vector<std::int64_t> argmax;
   std::int64_t batch = 0;
 };
+
+// Builds the transposed im2col matrix for a whole batch: row r = ic*9 + kk
+// holds the input value under kernel tap kk of channel ic for every output
+// position, columns laid out [n*H*W + i*W + j]. Out-of-bounds taps (the
+// zero padding) stay at the tensor's zero initialization. With this layout
+// the convolution is one GEMM: W[out, in*9] x colT -> [out, batch*H*W].
+pardon::tensor::Tensor BuildColT(const pardon::tensor::Tensor& x,
+                                 std::int64_t in_channels, std::int64_t height,
+                                 std::int64_t width) {
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t hw = height * width;
+  pardon::tensor::Tensor col_t({in_channels * 9, batch * hw});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* sample = x.data() + n * x.dim(1);
+    for (std::int64_t ic = 0; ic < in_channels; ++ic) {
+      const float* plane = sample + ic * hw;
+      for (int di = -1; di <= 1; ++di) {
+        for (int dj = -1; dj <= 1; ++dj) {
+          const std::int64_t row = ic * 9 + (di + 1) * 3 + (dj + 1);
+          float* dst = col_t.data() + row * batch * hw + n * hw;
+          const std::int64_t i_lo = std::max<std::int64_t>(0, -di);
+          const std::int64_t i_hi = std::min<std::int64_t>(height, height - di);
+          const std::int64_t j_lo = std::max<std::int64_t>(0, -dj);
+          const std::int64_t j_hi = std::min<std::int64_t>(width, width - dj);
+          for (std::int64_t i = i_lo; i < i_hi; ++i) {
+            const float* src = plane + (i + di) * width + dj;
+            float* out_row = dst + i * width;
+            for (std::int64_t j = j_lo; j < j_hi; ++j) out_row[j] = src[j];
+          }
+        }
+      }
+    }
+  }
+  return col_t;
+}
 }  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
@@ -43,6 +81,32 @@ Tensor Conv2d::Forward(const Tensor& x, std::unique_ptr<Context>& ctx,
   if (x.rank() != 2 || x.dim(1) != in_channels_ * height_ * width_) {
     throw std::invalid_argument("Conv2d: bad input shape " + x.ShapeString());
   }
+  ctx = std::make_unique<InputContext>(x);
+  if (tensor::ActiveGemmBackend() == tensor::GemmBackend::kNaive) {
+    return ForwardDirect(x);
+  }
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t hw = height_ * width_;
+  // im2col + GEMM: one [out, in*9] x [in*9, batch*H*W] product rides the
+  // blocked backend, then the scatter restores the [N, oc*H*W] row layout
+  // and adds the bias.
+  const Tensor col_t = BuildColT(x, in_channels_, height_, width_);
+  const Tensor weight_mat = weight_.Reshape({out_channels_, in_channels_ * 9});
+  const Tensor out_mat = tensor::MatMul(weight_mat, col_t);
+  Tensor out({batch, out_channels_ * hw});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* dst = out.data() + n * out.dim(1);
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* src = out_mat.data() + oc * batch * hw + n * hw;
+      const float b = bias_[oc];
+      float* drow = dst + oc * hw;
+      for (std::int64_t p = 0; p < hw; ++p) drow[p] = src[p] + b;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::ForwardDirect(const Tensor& x) const {
   const std::int64_t batch = x.dim(0);
   const std::int64_t hw = height_ * width_;
   Tensor out({batch, out_channels_ * hw});
@@ -72,12 +136,70 @@ Tensor Conv2d::Forward(const Tensor& x, std::unique_ptr<Context>& ctx,
       }
     }
   }
-  ctx = std::make_unique<InputContext>(x);
   return out;
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_out, const Context& ctx) {
   const Tensor& x = static_cast<const InputContext&>(ctx).input;
+  if (tensor::ActiveGemmBackend() == tensor::GemmBackend::kNaive) {
+    return BackwardDirect(grad_out, x);
+  }
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t hw = height_ * width_;
+  // Gather grad_out into [out, batch*H*W] (the GEMM layout), accumulating
+  // the bias gradient on the way through.
+  Tensor grad_mat({out_channels_, batch * hw});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* g = grad_out.data() + n * grad_out.dim(1);
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* grow = g + oc * hw;
+      float* dst = grad_mat.data() + oc * batch * hw + n * hw;
+      // Same float accumulation order as BackwardDirect, so the bias gradient
+      // is bitwise identical across backends.
+      for (std::int64_t p = 0; p < hw; ++p) {
+        dst[p] = grow[p];
+        grad_bias_[oc] += grow[p];
+      }
+    }
+  }
+  // The im2col matrix is recomputed from the saved input rather than cached
+  // in the context: it is 9x the input's size, and rebuilding it costs far
+  // less than the two GEMMs it feeds.
+  const Tensor col_t = BuildColT(x, in_channels_, height_, width_);
+  const Tensor grad_weight_mat = tensor::MatMulTransB(grad_mat, col_t);
+  float* gw = grad_weight_.data();
+  const float* gwm = grad_weight_mat.data();
+  for (std::int64_t i = 0; i < grad_weight_.size(); ++i) gw[i] += gwm[i];
+
+  const Tensor weight_mat = weight_.Reshape({out_channels_, in_channels_ * 9});
+  const Tensor grad_col = tensor::MatMulTransA(weight_mat, grad_mat);
+  // col2im: scatter-add each kernel tap's row back onto the input plane.
+  Tensor grad_in(x.shape());
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* gi = grad_in.data() + n * grad_in.dim(1);
+    for (std::int64_t ic = 0; ic < in_channels_; ++ic) {
+      float* gplane = gi + ic * hw;
+      for (int di = -1; di <= 1; ++di) {
+        for (int dj = -1; dj <= 1; ++dj) {
+          const std::int64_t row = ic * 9 + (di + 1) * 3 + (dj + 1);
+          const float* src = grad_col.data() + row * batch * hw + n * hw;
+          const std::int64_t i_lo = std::max<std::int64_t>(0, -di);
+          const std::int64_t i_hi = std::min<std::int64_t>(height_, height_ - di);
+          const std::int64_t j_lo = std::max<std::int64_t>(0, -dj);
+          const std::int64_t j_hi = std::min<std::int64_t>(width_, width_ - dj);
+          for (std::int64_t i = i_lo; i < i_hi; ++i) {
+            float* grow = gplane + (i + di) * width_ + dj;
+            const float* srow = src + i * width_;
+            for (std::int64_t j = j_lo; j < j_hi; ++j) grow[j] += srow[j];
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor Conv2d::BackwardDirect(const Tensor& grad_out, const Tensor& x) {
   const std::int64_t batch = x.dim(0);
   const std::int64_t hw = height_ * width_;
   Tensor grad_in(x.shape());
@@ -90,8 +212,9 @@ Tensor Conv2d::Backward(const Tensor& grad_out, const Context& ctx) {
       float* gk = grad_weight_.data() + oc * in_channels_ * 9;
       for (std::int64_t i = 0; i < height_; ++i) {
         for (std::int64_t j = 0; j < width_; ++j) {
+          // No zero-skip on the upstream gradient: 0 * NaN must stay NaN so
+          // a diverged activation is visible in the weight gradient.
           const float go = g[oc * hw + i * width_ + j];
-          if (go == 0.0f) continue;
           grad_bias_[oc] += go;
           for (std::int64_t ic = 0; ic < in_channels_; ++ic) {
             const float* plane = sample + ic * hw;

@@ -14,6 +14,12 @@ namespace pardon::nn {
 
 // 3x3 convolution, stride 1, zero padding 1 (shape-preserving), bias per
 // output channel.
+//
+// With the blocked GEMM backend active (the default), Forward/Backward run as
+// im2col + GEMM so convolution rides the shared tiled kernel; the naive
+// backend keeps the original direct 7-deep loop nests as the reference
+// implementation. Both paths propagate non-finite values — a NaN anywhere in
+// the input or upstream gradient reaches the outputs instead of being masked.
 class Conv2d : public Layer {
  public:
   Conv2d(std::int64_t in_channels, std::int64_t out_channels,
@@ -30,6 +36,10 @@ class Conv2d : public Layer {
   std::int64_t out_dim() const { return out_channels_ * height_ * width_; }
 
  private:
+  // Reference direct kernels, used when the naive GEMM backend is selected.
+  Tensor ForwardDirect(const Tensor& x) const;
+  Tensor BackwardDirect(const Tensor& grad_out, const Tensor& x);
+
   std::int64_t in_channels_;
   std::int64_t out_channels_;
   std::int64_t height_;

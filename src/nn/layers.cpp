@@ -51,7 +51,9 @@ Linear::Linear(Tensor weight, Tensor bias)
 Tensor Linear::Forward(const Tensor& x, std::unique_ptr<Context>& ctx,
                        bool /*training*/, Pcg32* /*rng*/) const {
   ctx = std::make_unique<TensorContext>(x);
-  return tensor::AddRowVector(tensor::MatMul(x, weight_), bias_);
+  Tensor out = tensor::MatMul(x, weight_);
+  tensor::AddRowVectorInPlace(out, bias_);  // skips AddRowVector's full copy
+  return out;
 }
 
 Tensor Linear::Backward(const Tensor& grad_out, const Context& ctx) {

@@ -46,6 +46,10 @@ CrossEntropyResult SoftmaxCrossEntropy(const Tensor& logits,
       const float target =
           off_target + (c == label ? on_target : 0.0f);
       if (target > 0.0f) {
+        // Intentional clamp: a target probability that underflowed to 0 in
+        // float softmax yields a finite worst-case loss of -log(1e-12)
+        // ~= 27.6 instead of +Inf. A NaN probability still propagates (the
+        // max returns NaN); pinned by nn_losses_test's LogFloor tests.
         loss -= target *
                 std::log(std::max(result.probabilities.At(i, c), 1e-12f));
       }
@@ -196,6 +200,8 @@ SupConResult SupervisedContrastiveLoss(const Tensor& anchors,
         positive_mass += softmax.At(i, j);
       }
     }
+    // Intentional clamp, same rationale as the cross-entropy floor above:
+    // an underflowed positive mass gives a finite -log(1e-12) loss, not +Inf.
     positive_mass = std::max(positive_mass, 1e-12);
     loss -= std::log(positive_mass);
     // dL_i/dlogit_ij = s_ij - 1[same class] * s_ij / positive_mass.

@@ -1,0 +1,439 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/config.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pardon::tensor {
+
+namespace {
+
+// Blocking parameters. kStripCols x kMicroRows is the register tile: small
+// enough that one strip row (16 floats) plus four accumulator rows stay in
+// vector registers, large enough to amortize the broadcast of each A element
+// over 64 FMAs. kRowsPerTask fixes the parallel decomposition independently
+// of the thread count, so the task grid (and with it the absence of any
+// cross-task accumulation) never depends on how many workers run it.
+constexpr std::int64_t kStripCols = 16;
+constexpr std::int64_t kMicroRows = 4;
+constexpr std::int64_t kRowsPerTask = 64;
+// Below ~4 MFLOP the ParallelFor dispatch overhead beats the speedup.
+constexpr std::int64_t kParallelMinFlops = std::int64_t{1} << 22;
+
+constexpr std::string_view kNaiveLabel = "backend=\"naive\"";
+constexpr std::string_view kBlockedLabel = "backend=\"blocked\"";
+
+void CheckRank2(const Tensor& m, const char* what) {
+  if (m.rank() != 2) {
+    throw std::invalid_argument(std::string(what) + ": expected rank-2, got " +
+                                m.ShapeString());
+  }
+}
+
+void RecordGemmMetrics(std::string_view backend_label, std::int64_t n,
+                       std::int64_t k, std::int64_t m) {
+  if (!obs::MetricsOn()) return;
+  obs::AddCounter("pardon_tensor_gemm_calls_total", 1.0, backend_label);
+  obs::AddCounter("pardon_tensor_gemm_flops_total",
+                  2.0 * static_cast<double>(n) * static_cast<double>(k) *
+                      static_cast<double>(m),
+                  backend_label);
+}
+
+// ---------------------------------------------------------------- backend ---
+
+std::atomic<int>& BackendFlag() {
+  static std::atomic<int> flag{-1};  // -1 = not yet resolved
+  return flag;
+}
+
+GemmBackend BackendFromEnvOrDefault() {
+  if (const char* env = std::getenv("PARDON_GEMM")) {
+    if (const auto parsed = ParseGemmBackend(env)) return *parsed;
+  }
+  return GemmBackend::kBlocked;
+}
+
+struct GemmPoolState {
+  std::mutex mutex;
+  std::unique_ptr<util::ThreadPool> pool;
+  bool initialized = false;
+};
+
+GemmPoolState& PoolState() {
+  static GemmPoolState state;
+  return state;
+}
+
+std::size_t ThreadsFromEnvOrDefault() {
+  if (const char* env = std::getenv("PARDON_GEMM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+// ------------------------------------------------------------ blocked core ---
+
+// Packs op(B) — logically [K,N] — into column strips of kStripCols: strip s
+// covers columns [s*16, s*16+w) and stores its K rows of w floats
+// contiguously at offset K * s*16, so the micro-kernel streams one strip
+// linearly while sweeping k. `trans` reads B as its transpose (B given
+// [N,K] row-major).
+void PackStrips(const float* b, std::int64_t k, std::int64_t n, bool trans,
+                std::vector<float>& packed) {
+  packed.resize(static_cast<std::size_t>(k * n));
+  float* dst = packed.data();
+  for (std::int64_t j0 = 0; j0 < n; j0 += kStripCols) {
+    const std::int64_t w = std::min(kStripCols, n - j0);
+    if (trans) {
+      for (std::int64_t p = 0; p < k; ++p, dst += w) {
+        for (std::int64_t jj = 0; jj < w; ++jj) dst[jj] = b[(j0 + jj) * k + p];
+      }
+    } else {
+      for (std::int64_t p = 0; p < k; ++p, dst += w) {
+        for (std::int64_t jj = 0; jj < w; ++jj) dst[jj] = b[p * n + j0 + jj];
+      }
+    }
+  }
+}
+
+// 4 rows x one strip. Every output element owns one accumulator updated in
+// ascending-k order — the same addition chain as the naive kernels, which is
+// what makes the backends (and serial vs parallel) bitwise identical.
+// `W` is the compile-time strip width for the full-strip fast path; the
+// tail strip uses the dynamic-width overload below.
+template <int W>
+void Micro4(const float* a0, const float* a1, const float* a2, const float* a3,
+            const float* strip, std::int64_t k, float* c0, float* c1,
+            float* c2, float* c3) {
+  float acc0[W] = {}, acc1[W] = {}, acc2[W] = {}, acc3[W] = {};
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* bp = strip + p * W;
+    const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+    for (int j = 0; j < W; ++j) {
+      acc0[j] += v0 * bp[j];
+      acc1[j] += v1 * bp[j];
+      acc2[j] += v2 * bp[j];
+      acc3[j] += v3 * bp[j];
+    }
+  }
+  for (int j = 0; j < W; ++j) {
+    c0[j] = acc0[j];
+    c1[j] = acc1[j];
+    c2[j] = acc2[j];
+    c3[j] = acc3[j];
+  }
+}
+
+void Micro4Tail(const float* a0, const float* a1, const float* a2,
+                const float* a3, const float* strip, std::int64_t k,
+                std::int64_t w, float* c0, float* c1, float* c2, float* c3) {
+  float acc0[kStripCols] = {}, acc1[kStripCols] = {}, acc2[kStripCols] = {},
+        acc3[kStripCols] = {};
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* bp = strip + p * w;
+    const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+    for (std::int64_t j = 0; j < w; ++j) {
+      acc0[j] += v0 * bp[j];
+      acc1[j] += v1 * bp[j];
+      acc2[j] += v2 * bp[j];
+      acc3[j] += v3 * bp[j];
+    }
+  }
+  for (std::int64_t j = 0; j < w; ++j) {
+    c0[j] = acc0[j];
+    c1[j] = acc1[j];
+    c2[j] = acc2[j];
+    c3[j] = acc3[j];
+  }
+}
+
+void Micro1(const float* a, const float* strip, std::int64_t k, std::int64_t w,
+            float* c) {
+  float acc[kStripCols] = {};
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* bp = strip + p * w;
+    const float v = a[p];
+    for (std::int64_t j = 0; j < w; ++j) acc[j] += v * bp[j];
+  }
+  for (std::int64_t j = 0; j < w; ++j) c[j] = acc[j];
+}
+
+// C rows [row_begin, row_end) from packed strips. Strip-outer order keeps one
+// strip (K * 16 floats) hot while the task's A rows stream past it.
+void ComputeRowRange(const float* a, const float* packed, std::int64_t k,
+                     std::int64_t n, float* c, std::int64_t row_begin,
+                     std::int64_t row_end) {
+  for (std::int64_t j0 = 0; j0 < n; j0 += kStripCols) {
+    const std::int64_t w = std::min(kStripCols, n - j0);
+    const float* strip = packed + k * j0;
+    std::int64_t i = row_begin;
+    for (; i + kMicroRows <= row_end; i += kMicroRows) {
+      const float* a0 = a + i * k;
+      float* c0 = c + i * n + j0;
+      if (w == kStripCols) {
+        Micro4<kStripCols>(a0, a0 + k, a0 + 2 * k, a0 + 3 * k, strip, k, c0,
+                           c0 + n, c0 + 2 * n, c0 + 3 * n);
+      } else {
+        Micro4Tail(a0, a0 + k, a0 + 2 * k, a0 + 3 * k, strip, k, w, c0, c0 + n,
+                   c0 + 2 * n, c0 + 3 * n);
+      }
+    }
+    for (; i < row_end; ++i) {
+      Micro1(a + i * k, strip, k, w, c + i * n + j0);
+    }
+  }
+}
+
+// Dispatches the row blocks of C across the GEMM pool when the matrix is
+// large enough; each task owns a disjoint row range, so scheduling cannot
+// affect any accumulation order.
+void RunBlocked(const float* a, const float* packed, std::int64_t m,
+                std::int64_t k, std::int64_t n, float* c) {
+  util::ThreadPool* pool = nullptr;
+  if (m > kRowsPerTask && 2 * m * k * n >= kParallelMinFlops) {
+    pool = GemmThreadPool();
+  }
+  if (pool != nullptr && pool->NumThreads() > 1) {
+    pool->ParallelForChunks(
+        static_cast<std::size_t>(m), static_cast<std::size_t>(kRowsPerTask),
+        [&](std::size_t begin, std::size_t end) {
+          ComputeRowRange(a, packed, k, n, c,
+                          static_cast<std::int64_t>(begin),
+                          static_cast<std::int64_t>(end));
+        });
+  } else {
+    ComputeRowRange(a, packed, k, n, c, 0, m);
+  }
+}
+
+// Tiled out-of-place transpose of [rows, cols] row-major into `out`
+// ([cols, rows] row-major). Used to feed MatMulTransA through the same
+// row-major core.
+void TransposeInto(const float* src, std::int64_t rows, std::int64_t cols,
+                   std::vector<float>& out) {
+  constexpr std::int64_t kTile = 32;
+  out.resize(static_cast<std::size_t>(rows * cols));
+  float* dst = out.data();
+  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::int64_t r1 = std::min(r0 + kTile, rows);
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::int64_t c1 = std::min(c0 + kTile, cols);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dst[c * rows + r] = src[r * cols + c];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- switch ---
+
+GemmBackend ActiveGemmBackend() {
+  int value = BackendFlag().load(std::memory_order_relaxed);
+  if (value < 0) {
+    value = static_cast<int>(BackendFromEnvOrDefault());
+    BackendFlag().store(value, std::memory_order_relaxed);
+  }
+  return static_cast<GemmBackend>(value);
+}
+
+void SetGemmBackend(GemmBackend backend) {
+  BackendFlag().store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+std::optional<GemmBackend> ParseGemmBackend(std::string_view name) {
+  if (name == "naive") return GemmBackend::kNaive;
+  if (name == "blocked") return GemmBackend::kBlocked;
+  return std::nullopt;
+}
+
+std::string_view ToString(GemmBackend backend) {
+  return backend == GemmBackend::kNaive ? "naive" : "blocked";
+}
+
+void SetGemmThreads(std::size_t num_threads) {
+  GemmPoolState& state = PoolState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.pool =
+      num_threads > 1 ? std::make_unique<util::ThreadPool>(num_threads)
+                      : nullptr;
+  state.initialized = true;
+}
+
+util::ThreadPool* GemmThreadPool() {
+  GemmPoolState& state = PoolState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.initialized) {
+    const std::size_t threads = ThreadsFromEnvOrDefault();
+    if (threads > 1) state.pool = std::make_unique<util::ThreadPool>(threads);
+    state.initialized = true;
+  }
+  return state.pool.get();
+}
+
+void ApplyGemmConfig(const util::Config& config) {
+  const std::string backend_name =
+      config.GetString("tensor.gemm", std::string(ToString(GemmBackend::kBlocked)));
+  const auto parsed = ParseGemmBackend(backend_name);
+  if (!parsed) {
+    throw std::invalid_argument("tensor.gemm: expected naive|blocked, got '" +
+                                backend_name + "'");
+  }
+  // Environment wins over config so a run can be flipped without editing the
+  // experiment file.
+  if (std::getenv("PARDON_GEMM") == nullptr) SetGemmBackend(*parsed);
+  if (std::getenv("PARDON_GEMM_THREADS") == nullptr) {
+    const int threads = config.GetInt("tensor.gemm_threads", -1);
+    if (threads >= 0) SetGemmThreads(static_cast<std::size_t>(threads));
+  }
+}
+
+// ------------------------------------------------------- reference kernels ---
+//
+// These are the original triple-loop kernels minus the `a == 0` fast path,
+// which silently turned 0 * NaN and 0 * Inf into 0 and thereby masked
+// divergence instead of letting it reach the loss.
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMul lhs");
+  CheckRank2(b, "MatMul rhs");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("MatMul: inner dimension mismatch " +
+                                a.ShapeString() + " x " + b.ShapeString());
+  }
+  RecordGemmMetrics(kNaiveLabel, n, k, m);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * m;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = pb + p * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor NaiveMatMulTransA(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulTransA lhs");
+  CheckRank2(b, "MatMulTransA rhs");
+  const std::int64_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("MatMulTransA: dimension mismatch");
+  }
+  RecordGemmMetrics(kNaiveLabel, n, k, m);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * n;
+    const float* brow = pb + p * m;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float av = arow[i];
+      float* crow = pc + i * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor NaiveMatMulTransB(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulTransB lhs");
+  CheckRank2(b, "MatMulTransB rhs");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("MatMulTransB: dimension mismatch");
+  }
+  RecordGemmMetrics(kNaiveLabel, n, k, m);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * m;
+    for (std::int64_t j = 0; j < m; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------- blocked kernels ---
+
+Tensor BlockedMatMul(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMul lhs");
+  CheckRank2(b, "MatMul rhs");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("MatMul: inner dimension mismatch " +
+                                a.ShapeString() + " x " + b.ShapeString());
+  }
+  RecordGemmMetrics(kBlockedLabel, n, k, m);
+  Tensor out({n, m});
+  if (n == 0 || m == 0) return out;
+  std::vector<float> packed;
+  PackStrips(b.data(), k, m, /*trans=*/false, packed);
+  RunBlocked(a.data(), packed.data(), n, k, m, out.data());
+  return out;
+}
+
+Tensor BlockedMatMulTransA(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulTransA lhs");
+  CheckRank2(b, "MatMulTransA rhs");
+  const std::int64_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("MatMulTransA: dimension mismatch");
+  }
+  RecordGemmMetrics(kBlockedLabel, n, k, m);
+  Tensor out({n, m});
+  if (n == 0 || m == 0) return out;
+  std::vector<float> a_t;  // a is [K,N]; the core wants [N,K] rows
+  TransposeInto(a.data(), k, n, a_t);
+  std::vector<float> packed;
+  PackStrips(b.data(), k, m, /*trans=*/false, packed);
+  RunBlocked(a_t.data(), packed.data(), n, k, m, out.data());
+  return out;
+}
+
+Tensor BlockedMatMulTransB(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulTransB lhs");
+  CheckRank2(b, "MatMulTransB rhs");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("MatMulTransB: dimension mismatch");
+  }
+  RecordGemmMetrics(kBlockedLabel, n, k, m);
+  Tensor out({n, m});
+  if (n == 0 || m == 0) return out;
+  std::vector<float> packed;  // packs b^T ([K,M]) straight from b's rows
+  PackStrips(b.data(), k, m, /*trans=*/true, packed);
+  RunBlocked(a.data(), packed.data(), n, k, m, out.data());
+  return out;
+}
+
+}  // namespace pardon::tensor

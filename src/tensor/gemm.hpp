@@ -1,0 +1,81 @@
+// Dense GEMM backends behind the tensor::MatMul* entry points.
+//
+// Two backends are compiled in and selectable at runtime:
+//
+//   kNaive    — the original triple-loop reference kernels. Kept for
+//               differential testing and as the semantic ground truth.
+//   kBlocked  — cache-blocked kernels: the right-hand operand is packed into
+//               column strips of kStripCols floats, a register-tiled
+//               micro-kernel computes a 4-row by one-strip tile of C with one
+//               accumulator per output element, and independent row blocks of
+//               C are fanned out over a ThreadPool.
+//
+// Determinism contract: every output element is accumulated in ascending-k
+// order into a single accumulator, exactly like the naive kernels. The
+// blocked backend is therefore bitwise identical to the naive one — and the
+// parallel blocked path is bitwise identical to the serial blocked path —
+// for any shape, blocking, and thread count. gemm.cpp is compiled with
+// -ffp-contract=off so FMA contraction cannot round the two backends
+// differently under -march flags (see src/tensor/CMakeLists.txt);
+// tests/gemm_test.cpp enforces the contract.
+//
+// Neither backend masks non-finite values: 0 * NaN and 0 * Inf propagate NaN
+// into the output instead of being skipped (the pre-backend kernels had an
+// `a == 0` fast path that silently zeroed them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "tensor/tensor.hpp"
+
+namespace pardon::util {
+class Config;
+class ThreadPool;
+}  // namespace pardon::util
+
+namespace pardon::tensor {
+
+enum class GemmBackend { kNaive, kBlocked };
+
+// Process-wide backend switch. Defaults to kBlocked; the PARDON_GEMM
+// environment variable ("naive" | "blocked"), read on first use, overrides
+// the default and any [tensor] config value.
+GemmBackend ActiveGemmBackend();
+void SetGemmBackend(GemmBackend backend);
+
+std::optional<GemmBackend> ParseGemmBackend(std::string_view name);
+std::string_view ToString(GemmBackend backend);
+
+// Worker threads for the blocked backend. 0 or 1 disables parallelism; the
+// first GEMM large enough to parallelize lazily initializes the pool from
+// PARDON_GEMM_THREADS (default: hardware concurrency). Not safe to call
+// concurrently with in-flight GEMMs — intended for startup/test/bench setup.
+void SetGemmThreads(std::size_t num_threads);
+// The pool the blocked backend dispatches to, or nullptr when serial.
+util::ThreadPool* GemmThreadPool();
+
+// Applies `[tensor] gemm = naive|blocked` and `[tensor] gemm_threads = N`
+// from an INI config. The PARDON_GEMM / PARDON_GEMM_THREADS environment
+// variables win over config values so a run can be switched without editing
+// experiment files.
+void ApplyGemmConfig(const util::Config& config);
+
+// -- kernels -----------------------------------------------------------------
+// All six validate shapes and throw std::invalid_argument on mismatch.
+// Prefer the dispatching tensor::MatMul* wrappers (tensor/ops.hpp); these are
+// public for differential tests and benchmarks.
+
+// Reference kernels: [N,K] x [K,M], a^T b, a b^T.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b);
+Tensor NaiveMatMulTransA(const Tensor& a, const Tensor& b);
+Tensor NaiveMatMulTransB(const Tensor& a, const Tensor& b);
+
+// Blocked kernels, bitwise identical to the reference kernels (see above).
+Tensor BlockedMatMul(const Tensor& a, const Tensor& b);
+Tensor BlockedMatMulTransA(const Tensor& a, const Tensor& b);
+Tensor BlockedMatMulTransB(const Tensor& a, const Tensor& b);
+
+}  // namespace pardon::tensor

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/gemm.hpp"
+
 namespace pardon::tensor {
 
 namespace {
@@ -67,10 +69,15 @@ Tensor Exp(const Tensor& a) {
 }
 
 Tensor Log(const Tensor& a) {
+  // Intentional clamp: the 1e-12 floor keeps log of an underflowed-to-zero
+  // probability finite. NaN still propagates (max(NaN, c) returns NaN here)
+  // — pinned by tensor_test's NonFinite suite.
   return UnaryOp(a, [](float v) { return std::log(std::max(v, 1e-12f)); });
 }
 
 Tensor Sqrt(const Tensor& a) {
+  // Intentional clamp: negative inputs are rounding noise from variance-style
+  // computations and flush to 0 (this also maps -Inf to 0). NaN propagates.
   return UnaryOp(a, [](float v) { return std::sqrt(std::max(v, 0.0f)); });
 }
 
@@ -82,18 +89,22 @@ Tensor Abs(const Tensor& a) {
   return UnaryOp(a, [](float v) { return std::fabs(v); });
 }
 
-Tensor AddRowVector(const Tensor& m, const Tensor& v) {
+void AddRowVectorInPlace(Tensor& m, const Tensor& v) {
   CheckRank2(m, "AddRowVector");
   if (v.size() != m.dim(1)) {
     throw std::invalid_argument("AddRowVector: vector length mismatch");
   }
-  Tensor out = m;
   const std::int64_t rows = m.dim(0);
   const std::int64_t cols = m.dim(1);
   for (std::int64_t r = 0; r < rows; ++r) {
-    float* row = out.data() + r * cols;
+    float* row = m.data() + r * cols;
     for (std::int64_t c = 0; c < cols; ++c) row[c] += v[c];
   }
+}
+
+Tensor AddRowVector(const Tensor& m, const Tensor& v) {
+  Tensor out = m;
+  AddRowVectorInPlace(out, v);
   return out;
 }
 
@@ -112,77 +123,25 @@ Tensor MulRowVector(const Tensor& m, const Tensor& v) {
   return out;
 }
 
+// The MatMul* entry points dispatch on the process-wide GEMM backend switch
+// (tensor/gemm.hpp). Both backends are bitwise identical; the naive one stays
+// selectable for differential testing.
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  CheckRank2(a, "MatMul lhs");
-  CheckRank2(b, "MatMul rhs");
-  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
-  if (b.dim(0) != k) {
-    throw std::invalid_argument("MatMul: inner dimension mismatch " +
-                                a.ShapeString() + " x " + b.ShapeString());
-  }
-  Tensor out({n, m});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * m;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * m;
-      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
-  return out;
+  return ActiveGemmBackend() == GemmBackend::kBlocked ? BlockedMatMul(a, b)
+                                                      : NaiveMatMul(a, b);
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
-  CheckRank2(a, "MatMulTransA lhs");
-  CheckRank2(b, "MatMulTransA rhs");
-  const std::int64_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
-  if (b.dim(0) != k) {
-    throw std::invalid_argument("MatMulTransA: dimension mismatch");
-  }
-  Tensor out({n, m});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * n;
-    const float* brow = pb + p * m;
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * m;
-      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
-  return out;
+  return ActiveGemmBackend() == GemmBackend::kBlocked
+             ? BlockedMatMulTransA(a, b)
+             : NaiveMatMulTransA(a, b);
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
-  CheckRank2(a, "MatMulTransB lhs");
-  CheckRank2(b, "MatMulTransB rhs");
-  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
-  if (b.dim(1) != k) {
-    throw std::invalid_argument("MatMulTransB: dimension mismatch");
-  }
-  Tensor out({n, m});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * m;
-    for (std::int64_t j = 0; j < m; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
-    }
-  }
-  return out;
+  return ActiveGemmBackend() == GemmBackend::kBlocked
+             ? BlockedMatMulTransB(a, b)
+             : NaiveMatMulTransB(a, b);
 }
 
 Tensor Transpose2D(const Tensor& a) {
@@ -243,6 +202,9 @@ Tensor ColMean(const Tensor& m) {
 }
 
 Tensor ColMedian(const Tensor& m) {
+  // Requires finite inputs: NaN breaks nth_element's strict weak ordering.
+  // Callers feed style statistics, which are finite by construction; anything
+  // less trustworthy must be screened with AllFinite first.
   CheckRank2(m, "ColMedian");
   const std::int64_t rows = m.dim(0), cols = m.dim(1);
   if (rows == 0) throw std::invalid_argument("ColMedian: no rows");
@@ -308,6 +270,11 @@ Tensor SoftmaxRows(const Tensor& logits) {
       row[c] = std::exp(row[c] - max_v);
       denom += row[c];
     }
+    // Intentional floor: unreachable for finite rows (the max element always
+    // contributes exp(0) = 1) but keeps the division defined at the type's
+    // edges. A NaN anywhere in the row makes denom NaN, so the whole row
+    // comes out NaN instead of being silently renormalized — pinned by
+    // tensor_test's NonFinite suite.
     const float inv = static_cast<float>(1.0 / std::max(denom, 1e-12));
     for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
   }

@@ -2,9 +2,13 @@
 //
 // All binary elementwise ops require identical volumes except the *RowVector
 // variants, which broadcast a [D] vector across the rows of an [N,D] matrix
-// (the only broadcast the library needs). Matmul is plain O(n^3) with the
-// inner loop arranged for cache-friendly row-major access; model sizes in
-// this project are small enough that this is never the bottleneck.
+// (the only broadcast the library needs). The MatMul* entry points dispatch
+// to the runtime-selected GEMM backend (tensor/gemm.hpp): a cache-blocked,
+// ThreadPool-parallel kernel by default, with the naive reference kernels
+// kept selectable for differential testing. No kernel here masks non-finite
+// values — NaN/Inf inputs propagate to the output so divergence is
+// detectable at the loss; the few intentional clamps are documented at the
+// declaration and pinned by tests.
 #pragma once
 
 #include <cstdint>
@@ -21,16 +25,20 @@ Tensor Mul(const Tensor& a, const Tensor& b);
 Tensor Scale(const Tensor& a, float s);
 Tensor AddScalar(const Tensor& a, float s);
 Tensor Exp(const Tensor& a);
-Tensor Log(const Tensor& a);          // clamps input to >= 1e-12
-Tensor Sqrt(const Tensor& a);         // clamps input to >= 0
+Tensor Log(const Tensor& a);          // clamps input to >= 1e-12; NaN propagates
+Tensor Sqrt(const Tensor& a);         // clamps input to >= 0; NaN propagates
 Tensor Clamp(const Tensor& a, float lo, float hi);
 Tensor Abs(const Tensor& a);
 
 // Broadcasts [D] vector `v` over rows of [N,D] matrix `m`.
 Tensor AddRowVector(const Tensor& m, const Tensor& v);
+// Same, without the copy (hot path for Linear's bias add).
+void AddRowVectorInPlace(Tensor& m, const Tensor& v);
 Tensor MulRowVector(const Tensor& m, const Tensor& v);
 
 // -- linear algebra -----------------------------------------------------------
+// Backend-dispatched (see tensor/gemm.hpp for the switch and the
+// determinism contract).
 // [N,K] x [K,M] -> [N,M].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 // a^T b: [K,N]^T x [K,M] -> [N,M].
@@ -49,7 +57,8 @@ Tensor ColSum(const Tensor& m);
 Tensor RowSum(const Tensor& m);
 // Column means of [N,D] -> [D].
 Tensor ColMean(const Tensor& m);
-// Element-wise median over axis 0 of [N,D] -> [D].
+// Element-wise median over axis 0 of [N,D] -> [D]. Inputs must be finite
+// (NaN breaks the selection ordering); screen untrusted data with AllFinite.
 Tensor ColMedian(const Tensor& m);
 // Unbiased-off (population) covariance of [N,D] rows -> [D,D].
 Tensor Covariance(const Tensor& m);

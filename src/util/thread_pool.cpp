@@ -14,6 +14,11 @@ namespace {
 // high-water mark). Updated on every submit/dequeue, so keep the name
 // resolution behind the single MetricsOn() branch.
 constexpr const char* kQueueDepthGauge = "pardon_util_thread_pool_queue_depth";
+
+// The pool whose WorkerLoop owns this thread, if any. Lets ParallelFor detect
+// re-entrant calls from its own workers and degrade to inline execution
+// instead of deadlocking on its own queue.
+thread_local const ThreadPool* t_worker_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -52,11 +57,25 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return future;
 }
 
+bool ThreadPool::OnWorkerThread() const { return t_worker_pool == this; }
+
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1) {  // skip queue + wake-up overhead for a single task
-    fn(0);
+  // Run inline for a single task (skip queue + wake-up overhead) and for
+  // nested calls from our own workers (blocking on our own queue while other
+  // blocking tasks sit ahead of the sub-tasks can deadlock). The inline path
+  // keeps the contract: every index runs, first exception rethrown at the end.
+  if (count == 1 || OnWorkerThread()) {
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
   std::vector<std::future<void>> futures;
@@ -78,7 +97,20 @@ void ThreadPool::ParallelFor(std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::ParallelForChunks(
+    std::size_t total, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (total == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t num_chunks = (total + grain - 1) / grain;
+  ParallelFor(num_chunks, [&fn, total, grain](std::size_t chunk) {
+    const std::size_t begin = chunk * grain;
+    fn(begin, std::min(begin + grain, total));
+  });
+}
+
 void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     std::size_t depth;

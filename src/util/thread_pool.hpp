@@ -1,9 +1,13 @@
-// Fixed-size thread pool used to train sampled clients in parallel.
+// Fixed-size thread pool used to train sampled clients in parallel and to
+// fan out row blocks of the blocked GEMM backend.
 //
 // The FL orchestrator dispatches one task per selected client each round;
 // tasks must be independent (clients never share mutable state). ParallelFor
 // blocks until every index has been processed, so round barriers in the
-// orchestrator stay simple.
+// orchestrator stay simple. ParallelFor called from one of this pool's own
+// workers runs inline on the calling thread instead of enqueueing: a worker
+// blocking on sub-tasks that sit behind other blocking tasks in the same
+// queue would deadlock once every worker waits.
 #pragma once
 
 #include <condition_variable>
@@ -33,9 +37,22 @@ class ThreadPool {
 
   // Runs fn(i) for i in [0, count) across the pool and waits for completion.
   // Every index is executed (and waited for) even if some throw; the first
-  // exception raised is rethrown afterwards. count <= 1 runs inline on the
+  // exception raised is rethrown afterwards. count <= 1 — or a call from one
+  // of this pool's own workers (see file comment) — runs inline on the
   // calling thread.
   void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  // Splits [0, total) into fixed chunks of `grain` and runs fn(begin, end)
+  // for each across the pool. The decomposition depends only on (total,
+  // grain) — never on the thread count — so callers that keep each chunk's
+  // work internally ordered (e.g. the blocked GEMM's row blocks) get
+  // bitwise-identical results serial or parallel. Same execution and
+  // exception contract as ParallelFor.
+  void ParallelForChunks(std::size_t total, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
 
  private:
   void WorkerLoop();

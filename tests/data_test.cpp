@@ -3,6 +3,7 @@
 // normalization, and batching.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <numeric>
@@ -358,13 +359,70 @@ TEST(Batcher, DeterministicGivenSeed) {
   }
 }
 
-TEST(Batcher, DropsSingletonTail) {
+TEST(Batcher, FoldsSingletonTailIntoPreviousBatch) {
   Dataset dataset({.channels = 1, .height = 1, .width = 1}, 2, 1);
   for (int i = 0; i < 9; ++i) dataset.Add(Tensor({1}), i % 2, 0);
   Pcg32 rng(13);
   const std::vector<Batch> batches = MakeEpochBatches(dataset, 4, rng);
-  // 9 = 4 + 4 + 1; the singleton tail is dropped.
-  EXPECT_EQ(batches.size(), 2u);
+  // 9 = 4 + 5: the would-be singleton tail is folded into the last batch
+  // rather than dropped, so the ninth sample still trains this epoch.
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].indices.size(), 4u);
+  EXPECT_EQ(batches[1].indices.size(), 5u);
+}
+
+TEST(Batcher, EveryEpochCoversEverySampleExactlyOnce) {
+  Dataset dataset({.channels = 1, .height = 1, .width = 1}, 2, 1);
+  for (int i = 0; i < 9; ++i) dataset.Add(Tensor({1}), i % 2, 0);
+  Pcg32 rng(7);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const std::vector<Batch> batches = MakeEpochBatches(dataset, 4, rng);
+    std::vector<int> seen;
+    for (const Batch& batch : batches) {
+      EXPECT_GE(batch.indices.size(), 2u);
+      EXPECT_EQ(batch.indices.size(), batch.labels.size());
+      EXPECT_EQ(static_cast<std::size_t>(batch.images.dim(0)),
+                batch.indices.size());
+      seen.insert(seen.end(), batch.indices.begin(), batch.indices.end());
+    }
+    std::sort(seen.begin(), seen.end());
+    const std::vector<int> want = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(seen, want);
+  }
+}
+
+TEST(Batcher, TailFoldOnlyTriggersOnSingletons) {
+  Dataset dataset({.channels = 1, .height = 1, .width = 1}, 2, 1);
+  for (int i = 0; i < 10; ++i) dataset.Add(Tensor({1}), i % 2, 0);
+  Pcg32 rng(5);
+  // 10 = 4 + 4 + 2: a two-sample tail is a valid batch and stays separate.
+  const std::vector<Batch> batches = MakeEpochBatches(dataset, 4, rng);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].indices.size(), 4u);
+  EXPECT_EQ(batches[1].indices.size(), 4u);
+  EXPECT_EQ(batches[2].indices.size(), 2u);
+}
+
+TEST(Batcher, SingleSampleDatasetStillYieldsABatch) {
+  Dataset dataset({.channels = 1, .height = 1, .width = 1}, 2, 1);
+  dataset.Add(Tensor({1}), 0, 0);
+  Pcg32 rng(3);
+  const std::vector<Batch> batches = MakeEpochBatches(dataset, 4, rng);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].indices.size(), 1u);
+}
+
+TEST(Batcher, SameSeedSameBatches) {
+  Dataset dataset({.channels = 1, .height = 1, .width = 1}, 2, 1);
+  for (int i = 0; i < 9; ++i) dataset.Add(Tensor({1}), i % 2, 0);
+  Pcg32 rng_a(21), rng_b(21);
+  const std::vector<Batch> a = MakeEpochBatches(dataset, 4, rng_a);
+  const std::vector<Batch> b = MakeEpochBatches(dataset, 4, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].indices, b[i].indices);
+    EXPECT_EQ(a[i].labels, b[i].labels);
+  }
 }
 
 // ---- Presets -------------------------------------------------------------------

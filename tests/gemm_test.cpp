@@ -1,0 +1,372 @@
+// GEMM backend tests (ctest label: gemm).
+//
+// Three contracts are enforced here:
+//   1. Non-finite propagation — no kernel masks NaN/Inf behind a zero-skip.
+//      The NaN tests in this file FAIL against the pre-backend kernels, which
+//      skipped `a == 0` terms and silently zeroed 0 * NaN.
+//   2. Blocked == naive, bitwise, for every shape class the blocking logic
+//      distinguishes (micro-tile remainders, strip remainders, empty dims).
+//   3. Serial == parallel, bitwise, for the blocked backend — thread count
+//      must never change a result.
+// Plus an end-to-end golden run: a small federated FISC experiment produces
+// bitwise-identical final model parameters under either backend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/fisc.hpp"
+#include "data/partition.hpp"
+#include "data/presets.hpp"
+#include "data/splits.hpp"
+#include "fl/simulator.hpp"
+#include "nn/conv.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+#include "util/config.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pardon::tensor {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// Saves and restores the process-wide backend + thread settings so tests can
+// flip them freely without leaking state into other test cases.
+class GemmStateGuard {
+ public:
+  GemmStateGuard() : backend_(ActiveGemmBackend()) {}
+  ~GemmStateGuard() {
+    SetGemmBackend(backend_);
+    SetGemmThreads(1);
+  }
+
+ private:
+  GemmBackend backend_;
+};
+
+Tensor FilledTensor(std::vector<std::int64_t> shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Pcg32 rng(seed);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.NextUniform(-2.0f, 2.0f);
+  }
+  return t;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// ---- 1. Non-finite propagation ---------------------------------------------
+
+TEST(GemmNonFinite, ZeroTimesNaNPropagatesThroughMatMul) {
+  // a = [[0, 1]], b = [[NaN], [2]]. 0 * NaN + 1 * 2 must be NaN; the old
+  // zero-skip returned 2.
+  Tensor a({1, 2});
+  a[0] = 0.0f;
+  a[1] = 1.0f;
+  Tensor b({2, 1});
+  b[0] = kNaN;
+  b[1] = 2.0f;
+  EXPECT_TRUE(std::isnan(NaiveMatMul(a, b).At(0, 0)));
+  EXPECT_TRUE(std::isnan(BlockedMatMul(a, b).At(0, 0)));
+}
+
+TEST(GemmNonFinite, ZeroTimesInfIsNaNNotZero) {
+  // a = [[0]], b = [[Inf]]. IEEE says 0 * Inf = NaN; the old zero-skip
+  // returned 0.
+  Tensor a({1, 1});
+  a[0] = 0.0f;
+  Tensor b({1, 1});
+  b[0] = kInf;
+  EXPECT_TRUE(std::isnan(NaiveMatMul(a, b).At(0, 0)));
+  EXPECT_TRUE(std::isnan(BlockedMatMul(a, b).At(0, 0)));
+}
+
+TEST(GemmNonFinite, ZeroTimesNaNPropagatesThroughMatMulTransA) {
+  // MatMulTransA(a, b) = a^T b with a [K,M], b [K,N]. Zero in a against NaN
+  // in b; the old TransA kernel had the same zero-skip.
+  Tensor a({2, 1});
+  a[0] = 0.0f;
+  a[1] = 1.0f;
+  Tensor b({2, 1});
+  b[0] = kNaN;
+  b[1] = 2.0f;
+  EXPECT_TRUE(std::isnan(NaiveMatMulTransA(a, b).At(0, 0)));
+  EXPECT_TRUE(std::isnan(BlockedMatMulTransA(a, b).At(0, 0)));
+}
+
+TEST(GemmNonFinite, MatMulTransBPropagatesNaN) {
+  // TransB never had the skip; pin the behavior anyway so it cannot regress.
+  Tensor a({1, 2});
+  a[0] = 0.0f;
+  a[1] = 1.0f;
+  Tensor b({1, 2});
+  b[0] = kNaN;
+  b[1] = 2.0f;
+  EXPECT_TRUE(std::isnan(NaiveMatMulTransB(a, b).At(0, 0)));
+  EXPECT_TRUE(std::isnan(BlockedMatMulTransB(a, b).At(0, 0)));
+}
+
+TEST(GemmNonFinite, NaNRowPoisonsOnlyItsOutputRow) {
+  Tensor a = FilledTensor({3, 5}, 11);
+  a.At(1, 2) = kNaN;
+  const Tensor b = FilledTensor({5, 4}, 12);
+  for (const Tensor& out : {NaiveMatMul(a, b), BlockedMatMul(a, b)}) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      EXPECT_FALSE(std::isnan(out.At(0, j)));
+      EXPECT_TRUE(std::isnan(out.At(1, j)));
+      EXPECT_FALSE(std::isnan(out.At(2, j)));
+    }
+  }
+}
+
+// ---- 2. Blocked vs naive bitwise parity ------------------------------------
+
+struct Shape {
+  std::int64_t m, k, n;
+};
+
+// Shape classes the blocking logic treats differently: single element, sizes
+// below one micro-tile, exact tile/strip multiples, remainders in every
+// dimension, tall-skinny / short-wide, and empty dims.
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 7, 1},    {4, 16, 16},  {5, 17, 18},  {64, 64, 64},
+    {67, 33, 19}, {3, 200, 2}, {200, 3, 2},  {2, 2, 100},  {65, 1, 129},
+    {0, 5, 3},   {5, 0, 3},    {5, 3, 0},
+};
+
+TEST(GemmParity, BlockedMatchesNaiveBitwise) {
+  for (const Shape& s : kShapes) {
+    const Tensor a = FilledTensor({s.m, s.k}, 100 + s.m);
+    const Tensor b = FilledTensor({s.k, s.n}, 200 + s.n);
+    const Tensor naive = NaiveMatMul(a, b);
+    const Tensor blocked = BlockedMatMul(a, b);
+    EXPECT_TRUE(BitwiseEqual(naive, blocked))
+        << "MatMul mismatch at m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(GemmParity, BlockedTransAMatchesNaiveBitwise) {
+  for (const Shape& s : kShapes) {
+    const Tensor a = FilledTensor({s.k, s.m}, 300 + s.m);
+    const Tensor b = FilledTensor({s.k, s.n}, 400 + s.n);
+    EXPECT_TRUE(BitwiseEqual(NaiveMatMulTransA(a, b), BlockedMatMulTransA(a, b)))
+        << "TransA mismatch at m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(GemmParity, BlockedTransBMatchesNaiveBitwise) {
+  for (const Shape& s : kShapes) {
+    const Tensor a = FilledTensor({s.m, s.k}, 500 + s.m);
+    const Tensor b = FilledTensor({s.n, s.k}, 600 + s.n);
+    EXPECT_TRUE(BitwiseEqual(NaiveMatMulTransB(a, b), BlockedMatMulTransB(a, b)))
+        << "TransB mismatch at m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(GemmParity, DispatchFollowsActiveBackend) {
+  GemmStateGuard guard;
+  const Tensor a = FilledTensor({9, 13}, 7);
+  const Tensor b = FilledTensor({13, 5}, 8);
+  SetGemmBackend(GemmBackend::kNaive);
+  const Tensor via_naive = MatMul(a, b);
+  SetGemmBackend(GemmBackend::kBlocked);
+  const Tensor via_blocked = MatMul(a, b);
+  EXPECT_TRUE(BitwiseEqual(via_naive, via_blocked));
+  EXPECT_TRUE(BitwiseEqual(via_naive, NaiveMatMul(a, b)));
+}
+
+// ---- 3. Serial vs parallel bitwise determinism ------------------------------
+
+TEST(GemmDeterminism, ThreadCountNeverChangesTheResult) {
+  GemmStateGuard guard;
+  // Big enough to clear the parallel-dispatch threshold (2*m*k*n >= 2^22,
+  // m > 64) so the 4-thread run genuinely fans out over the pool.
+  const Tensor a = FilledTensor({160, 96}, 21);
+  const Tensor b = FilledTensor({96, 144}, 22);
+  SetGemmThreads(1);
+  const Tensor serial = BlockedMatMul(a, b);
+  SetGemmThreads(4);
+  const Tensor parallel = BlockedMatMul(a, b);
+  EXPECT_TRUE(BitwiseEqual(serial, parallel));
+  EXPECT_TRUE(BitwiseEqual(serial, NaiveMatMul(a, b)));
+}
+
+TEST(GemmDeterminism, ParallelTransKernelsMatchSerial) {
+  GemmStateGuard guard;
+  const Tensor at = FilledTensor({96, 160}, 23);
+  const Tensor b = FilledTensor({96, 144}, 24);
+  const Tensor a2 = FilledTensor({160, 96}, 25);
+  const Tensor bt = FilledTensor({144, 96}, 26);
+  SetGemmThreads(1);
+  const Tensor serial_ta = BlockedMatMulTransA(at, b);
+  const Tensor serial_tb = BlockedMatMulTransB(a2, bt);
+  SetGemmThreads(4);
+  EXPECT_TRUE(BitwiseEqual(serial_ta, BlockedMatMulTransA(at, b)));
+  EXPECT_TRUE(BitwiseEqual(serial_tb, BlockedMatMulTransB(a2, bt)));
+}
+
+// ---- Backend switch plumbing ------------------------------------------------
+
+TEST(GemmConfig, ParseAndPrintRoundTrip) {
+  EXPECT_EQ(ParseGemmBackend("naive"), GemmBackend::kNaive);
+  EXPECT_EQ(ParseGemmBackend("blocked"), GemmBackend::kBlocked);
+  EXPECT_EQ(ParseGemmBackend("BLOCKED"), std::nullopt);
+  EXPECT_EQ(ParseGemmBackend(""), std::nullopt);
+  EXPECT_EQ(ParseGemmBackend("fast"), std::nullopt);
+  EXPECT_EQ(ToString(GemmBackend::kNaive), "naive");
+  EXPECT_EQ(ToString(GemmBackend::kBlocked), "blocked");
+}
+
+TEST(GemmConfig, ApplyGemmConfigSelectsBackend) {
+  GemmStateGuard guard;
+  util::Config config;
+  config.Set("tensor.gemm", "naive");
+  ApplyGemmConfig(config);
+  EXPECT_EQ(ActiveGemmBackend(), GemmBackend::kNaive);
+  config.Set("tensor.gemm", "blocked");
+  ApplyGemmConfig(config);
+  EXPECT_EQ(ActiveGemmBackend(), GemmBackend::kBlocked);
+  config.Set("tensor.gemm", "turbo");
+  EXPECT_THROW(ApplyGemmConfig(config), std::invalid_argument);
+}
+
+// ---- Convolution rides the backend ------------------------------------------
+
+TEST(GemmConv, Im2colForwardMatchesDirect) {
+  GemmStateGuard guard;
+  Pcg32 seed_rng(31);
+  nn::Conv2d conv(3, 4, 6, 5, seed_rng);
+  const Tensor x = FilledTensor({2, 3 * 6 * 5}, 32);
+  std::unique_ptr<nn::Layer::Context> ctx;
+
+  SetGemmBackend(GemmBackend::kNaive);
+  const Tensor direct = conv.Forward(x, ctx, /*training=*/true, nullptr);
+  SetGemmBackend(GemmBackend::kBlocked);
+  const Tensor im2col = conv.Forward(x, ctx, /*training=*/true, nullptr);
+
+  ASSERT_EQ(direct.shape(), im2col.shape());
+  for (std::int64_t i = 0; i < direct.size(); ++i) {
+    // Tolerance, not bitwise: the two paths accumulate taps in different
+    // orders (direct sums per output pixel, GEMM sums over packed rows).
+    EXPECT_NEAR(direct[i], im2col[i], 1e-4f) << "at " << i;
+  }
+}
+
+TEST(GemmConv, Im2colBackwardMatchesDirect) {
+  GemmStateGuard guard;
+  Pcg32 seed_a(41), seed_b(41);
+  nn::Conv2d conv_direct(2, 3, 4, 4, seed_a);
+  nn::Conv2d conv_gemm(2, 3, 4, 4, seed_b);
+  const Tensor x = FilledTensor({3, 2 * 4 * 4}, 42);
+  const Tensor grad_out = FilledTensor({3, 3 * 4 * 4}, 43);
+
+  std::unique_ptr<nn::Layer::Context> ctx_direct, ctx_gemm;
+  SetGemmBackend(GemmBackend::kNaive);
+  conv_direct.Forward(x, ctx_direct, true, nullptr);
+  const Tensor gi_direct = conv_direct.Backward(grad_out, *ctx_direct);
+  SetGemmBackend(GemmBackend::kBlocked);
+  conv_gemm.Forward(x, ctx_gemm, true, nullptr);
+  const Tensor gi_gemm = conv_gemm.Backward(grad_out, *ctx_gemm);
+
+  ASSERT_EQ(gi_direct.shape(), gi_gemm.shape());
+  for (std::int64_t i = 0; i < gi_direct.size(); ++i) {
+    EXPECT_NEAR(gi_direct[i], gi_gemm[i], 1e-4f) << "grad_input at " << i;
+  }
+  const auto grads_direct = conv_direct.Grads();
+  const auto grads_gemm = conv_gemm.Grads();
+  ASSERT_EQ(grads_direct.size(), grads_gemm.size());
+  for (std::size_t g = 0; g < grads_direct.size(); ++g) {
+    ASSERT_EQ(grads_direct[g]->shape(), grads_gemm[g]->shape());
+    for (std::int64_t i = 0; i < grads_direct[g]->size(); ++i) {
+      EXPECT_NEAR((*grads_direct[g])[i], (*grads_gemm[g])[i], 1e-4f)
+          << "grad param " << g << " at " << i;
+    }
+  }
+}
+
+TEST(GemmConv, NaNGradientReachesWeightGradient) {
+  // The direct Backward used to skip zero upstream-gradient entries; with a
+  // NaN activation under a zero gradient that masked real divergence. Pin
+  // that NaN inputs now reach the weight gradient on both paths.
+  GemmStateGuard guard;
+  for (const GemmBackend backend : {GemmBackend::kNaive, GemmBackend::kBlocked}) {
+    SetGemmBackend(backend);
+    Pcg32 seed_rng(51);
+    nn::Conv2d conv(1, 1, 2, 2, seed_rng);
+    Tensor x({1, 4});
+    x[0] = kNaN;
+    std::unique_ptr<nn::Layer::Context> ctx;
+    conv.Forward(x, ctx, true, nullptr);
+    Tensor grad_out({1, 4});  // all-zero upstream gradient
+    conv.Backward(grad_out, *ctx);
+    bool any_nan = false;
+    for (Tensor* grad : conv.Grads()) {
+      for (std::int64_t i = 0; i < grad->size(); ++i) {
+        any_nan |= std::isnan((*grad)[i]);
+      }
+    }
+    EXPECT_TRUE(any_nan) << "backend " << ToString(backend);
+  }
+}
+
+// ---- End-to-end golden run ---------------------------------------------------
+
+TEST(GemmGolden, FederatedFiscRunIsBackendInvariant) {
+  GemmStateGuard guard;
+  const data::ScenarioPreset preset = data::MakePacsLike();
+  const data::DomainGenerator generator(preset.generator);
+  const data::FederatedSplit split =
+      data::BuildSplit(generator, {.train_domains = {0, 1},
+                                   .val_domains = {2},
+                                   .test_domains = {3},
+                                   .samples_per_train_domain = 120,
+                                   .samples_per_eval_domain = 60,
+                                   .seed = 9});
+  const std::vector<data::Dataset> clients = data::PartitionHeterogeneous(
+      split.train, {.num_clients = 3, .lambda = 0.5, .seed = 10});
+  const nn::MlpClassifier model(
+      {.input_dim = preset.generator.shape.FlatDim(),
+       .hidden = {32},
+       .embed_dim = 16,
+       .num_classes = preset.generator.num_classes,
+       .seed = 11});
+  const fl::FlConfig fl_config{.total_clients = 3,
+                               .participants_per_round = 3,
+                               .rounds = 4,
+                               .batch_size = 16,
+                               .optimizer = {.lr = 3e-3f},
+                               .eval_every = 2,
+                               .seed = 12};
+  const fl::Simulator simulator(clients, fl_config);
+  const std::vector<fl::EvalSet> evals = {{"test", &split.test}};
+
+  auto run_with = [&](GemmBackend backend) {
+    SetGemmBackend(backend);
+    util::ThreadPool pool(2);
+    core::Fisc fisc;
+    return simulator.Run(fisc, model, evals, &pool).final_model.FlatParams();
+  };
+  const std::vector<float> naive_params = run_with(GemmBackend::kNaive);
+  const std::vector<float> blocked_params = run_with(GemmBackend::kBlocked);
+  ASSERT_EQ(naive_params.size(), blocked_params.size());
+  // Bitwise equality: every MatMul in the MLP training path is covered by the
+  // kernel-level determinism contract, so the whole run must be too.
+  for (std::size_t i = 0; i < naive_params.size(); ++i) {
+    ASSERT_EQ(naive_params[i], blocked_params[i]) << "param " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pardon::tensor

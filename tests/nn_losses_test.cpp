@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "nn/losses.hpp"
 #include "tensor/ops.hpp"
@@ -262,6 +263,33 @@ TEST(PrototypeContrastiveLoss, GradientMatchesNumeric) {
         (2 * epsilon);
     EXPECT_NEAR(numeric, result.grad_embeddings[i], 2e-3f);
   }
+}
+
+// ---- Intentional clamp pins ----------------------------------------------------
+
+TEST(SoftmaxCrossEntropy, LogFloorKeepsUnderflowedProbabilityFinite) {
+  // Logit gap of 200 underflows the target probability to exactly 0 in float
+  // softmax; the 1e-12 floor caps the per-sample loss at -log(1e-12) ~= 27.63
+  // instead of +Inf.
+  Tensor logits({1, 2});
+  logits.At(0, 0) = 0.0f;
+  logits.At(0, 1) = 200.0f;
+  const std::vector<int> labels = {0};
+  const CrossEntropyResult result = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_EQ(result.probabilities.At(0, 0), 0.0f);
+  EXPECT_TRUE(std::isfinite(result.loss));
+  EXPECT_NEAR(result.loss, -std::log(1e-12f), 1e-3f);
+}
+
+TEST(SoftmaxCrossEntropy, LogFloorDoesNotMaskNaNLogits) {
+  Tensor logits({1, 2});
+  logits.At(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  logits.At(0, 1) = 1.0f;
+  const std::vector<int> labels = {0};
+  const CrossEntropyResult result = SoftmaxCrossEntropy(logits, labels);
+  // The floor exists for underflow only: a NaN logit must surface as a NaN
+  // loss, never be clamped into a plausible finite value.
+  EXPECT_TRUE(std::isnan(result.loss));
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // identical to an uninstrumented one.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdint>
 #include <filesystem>
@@ -14,6 +15,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/fedavg.hpp"
@@ -433,9 +435,18 @@ TEST(Trace, ThreadPoolSpansLandInDistinctBuffers) {
   TraceRecorder recorder;
   SetActiveTrace(&recorder);
   util::ThreadPool pool(4);
-  pool.ParallelFor(64, [](std::size_t i) {
+  // Rendezvous: tasks 0 and 1 each wait until both have started, which
+  // forces two DISTINCT workers to hold a task at once. Without it, one fast
+  // worker can drain the whole queue on a loaded 1-core machine and the
+  // thread-count assertion below turns flaky.
+  std::atomic<int> arrivals{0};
+  pool.ParallelFor(64, [&arrivals](std::size_t i) {
     ScopedSpan span("work", "test");
     span.AddArg("i", static_cast<std::int64_t>(i));
+    if (i < 2) {
+      arrivals.fetch_add(1);
+      while (arrivals.load() < 2) std::this_thread::yield();
+    }
   });
   SetActiveTrace(nullptr);
   // ThreadPool itself wraps tasks in "pool.task" spans; count only ours.

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include "tensor/io.hpp"
@@ -364,6 +365,53 @@ TEST(Rng, ForkedStreamsDiffer) {
     if (a.NextU32() == b.NextU32()) ++same;
   }
   EXPECT_LT(same, 5);
+}
+
+// ---- Non-finite handling -------------------------------------------------------
+// Pins the documented clamp semantics of every op that intentionally bounds
+// its input (ops.cpp). Clamps exist to absorb rounding noise, never to hide a
+// NaN: a NaN input must always surface in the output.
+
+TEST(NonFinite, LogFloorsUnderflowButPropagatesNaN) {
+  const Tensor t({3}, {0.0f, 1.0f, std::numeric_limits<float>::quiet_NaN()});
+  const Tensor out = Log(t);
+  // Underflowed-to-zero probability hits the 1e-12 floor, staying finite.
+  EXPECT_NEAR(out[0], std::log(1e-12f), 1e-4f);
+  EXPECT_EQ(out[1], 0.0f);
+  EXPECT_TRUE(std::isnan(out[2]));
+}
+
+TEST(NonFinite, SqrtFlushesNegativesButPropagatesNaN) {
+  const Tensor t({4}, {-1e-6f, 4.0f, std::numeric_limits<float>::quiet_NaN(),
+                       -std::numeric_limits<float>::infinity()});
+  const Tensor out = Sqrt(t);
+  EXPECT_EQ(out[0], 0.0f);  // variance rounding noise flushes to 0
+  EXPECT_EQ(out[1], 2.0f);
+  EXPECT_TRUE(std::isnan(out[2]));
+  EXPECT_EQ(out[3], 0.0f);  // -Inf is caught by the same negative clamp
+}
+
+TEST(NonFinite, SoftmaxRowsPoisonsWholeRowOnNaN) {
+  Tensor logits({2, 3}, {0.1f, 0.2f, 0.3f, 1.0f, 2.0f, 3.0f});
+  logits.At(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  const Tensor probs = SoftmaxRows(logits);
+  double row0_sum = 0.0;
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_FALSE(std::isnan(probs.At(0, c)));
+    row0_sum += probs.At(0, c);
+    // One NaN logit makes the whole row NaN — visible, never renormalized away.
+    EXPECT_TRUE(std::isnan(probs.At(1, c)));
+  }
+  EXPECT_NEAR(row0_sum, 1.0, 1e-5);
+}
+
+TEST(NonFinite, ElementwiseArithmeticPropagatesNaN) {
+  const Tensor a({2}, {1.0f, std::numeric_limits<float>::quiet_NaN()});
+  const Tensor b({2}, {2.0f, 0.0f});
+  // 0 * NaN stays NaN in elementwise ops too, matching the GEMM contract.
+  EXPECT_TRUE(std::isnan(Mul(a, b)[1]));
+  EXPECT_TRUE(std::isnan(Add(a, b)[1]));
+  EXPECT_FALSE(std::isnan(Mul(a, b)[0]));
 }
 
 }  // namespace

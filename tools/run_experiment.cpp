@@ -40,6 +40,10 @@
 //   trace_out = trace.json
 //   metrics_out = metrics.prom
 //   manifest_out = manifest.json
+//
+//   [tensor]                 # optional; PARDON_GEMM / PARDON_GEMM_THREADS win
+//   gemm = blocked           # blocked | naive
+//   gemm_threads = 0         # 0 = hardware concurrency
 // With no --config, runs the PACS default scenario with all methods.
 #include <cstdio>
 #include <fstream>
@@ -48,6 +52,7 @@
 #include "experiment.hpp"
 #include "fl/fault.hpp"
 #include "obs/session.hpp"
+#include "tensor/gemm.hpp"
 #include "util/config.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
@@ -97,6 +102,7 @@ int main(int argc, char** argv) {
   if (flags.Has("config")) {
     config = util::Config::Load(flags.GetString("config", ""));
   }
+  tensor::ApplyGemmConfig(config);
 
   // Dataset.
   const std::string preset_name = config.GetString("dataset.preset", "pacs");
