@@ -13,6 +13,7 @@
 #include "data/domain_generator.hpp"
 #include "data/partition.hpp"
 #include "fl/aggregate.hpp"
+#include "fl/client_data.hpp"
 #include "fl/simulator.hpp"
 #include "nn/conv.hpp"
 #include "obs/session.hpp"
@@ -289,6 +290,58 @@ void BM_RoundLoop_ObsOn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoundLoop_ObsOn)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------- event-engine scale
+//
+// One full FedAvg round over a lazily sharded 100k-client population with
+// K=100 participants and streaming aggregation. The acceptance bar from the
+// event-engine change: peak resident updates stay at the inflight cap (8,
+// reported as a counter), not K, and no resident per-client vector exists.
+// The shard cache is shared across iterations, so after the first warm-up
+// iteration this measures the steady-state cost of a round at scale.
+void BM_RoundLoop_Streaming_100k(benchmark::State& state) {
+  pardon::fl::ShardedSyntheticConfig data_config;
+  data_config.generator.num_domains = 2;
+  data_config.generator.num_classes = 3;
+  data_config.generator.shape = {.channels = 1, .height = 2, .width = 2};
+  data_config.generator.seed = 41;
+  data_config.num_clients = 100'000;
+  data_config.samples_per_client = 8;
+  data_config.shard_size = 64;
+  data_config.max_cached_shards = 4;
+  data_config.seed = 29;
+  const auto provider =
+      std::make_shared<pardon::fl::ShardedSyntheticClientData>(data_config);
+
+  const pardon::nn::MlpClassifier model({
+      .input_dim = data_config.generator.shape.FlatDim(),
+      .hidden = {8},
+      .embed_dim = 4,
+      .num_classes = 3,
+      .seed = 13,
+  });
+  pardon::fl::FlConfig fl_config{.total_clients = 100'000,
+                                 .participants_per_round = 100,
+                                 .rounds = 1,
+                                 .batch_size = 8,
+                                 .optimizer = {.lr = 3e-3f},
+                                 .eval_every = 0,
+                                 .seed = 123};
+  fl_config.aggregation = pardon::fl::AggregationMode::kStreaming;
+  fl_config.max_inflight_updates = 8;
+
+  const pardon::fl::Simulator simulator(provider, fl_config);
+  pardon::baselines::FedAvg algorithm;
+  std::int64_t peak = 0;
+  for (auto _ : state) {
+    const pardon::fl::SimulationResult result =
+        simulator.Run(algorithm, model, {});
+    peak = result.peak_resident_updates;
+    benchmark::DoNotOptimize(result.costs.local_train_seconds);
+  }
+  state.counters["peak_resident_updates"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_RoundLoop_Streaming_100k)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

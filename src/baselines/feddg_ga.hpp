@@ -37,6 +37,10 @@ class FedDgGa : public fl::Algorithm {
                                std::span<const int> client_ids,
                                int round) override;
 
+  // Generalization-adjusted weights are recomputed from the whole cohort's
+  // loss gaps each round, so the batched path stays.
+  bool SupportsStreamingAggregation() const override { return false; }
+
   // Current per-client aggregation weight (defaults to 1 before any update).
   double ClientWeight(int client_id) const;
 

@@ -31,6 +31,10 @@ class FedGma : public fl::Algorithm {
                                std::span<const int> client_ids,
                                int round) override;
 
+  // Masked gradient aggregation needs every delta at once to compute sign
+  // agreement, so the batched path stays.
+  bool SupportsStreamingAggregation() const override { return false; }
+
  private:
   Options options_;
   fl::FlConfig config_;

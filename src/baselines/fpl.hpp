@@ -36,6 +36,10 @@ class Fpl : public fl::Algorithm {
                                std::span<const int> client_ids,
                                int round) override;
 
+  // Server-side FINCH clustering consumes all client prototypes together,
+  // so the batched path stays.
+  bool SupportsStreamingAggregation() const override { return false; }
+
   // Current global cluster prototypes ([P, D]; empty before round 2).
   const tensor::Tensor& prototypes() const { return prototypes_; }
   const std::vector<int>& prototype_classes() const {

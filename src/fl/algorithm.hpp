@@ -38,6 +38,17 @@ class Algorithm {
                                        std::span<const ClientUpdate> updates,
                                        std::span<const int> client_ids,
                                        int round);
+
+  // Capability flag for the simulator's constant-memory streaming path.
+  // Returning true (the default) promises two things: Aggregate is the
+  // inherited sample-weighted FedAvg, and TrainClient reports num_samples
+  // equal to its dataset's size(). Under that contract the server can fold
+  // each delivered update into a running weighted sum whose total weight is
+  // known before any update exists, and the result is bitwise identical to
+  // the batched path. Methods that override Aggregate (delta-, loss- or
+  // prototype-weighted schemes) must override this to false so the simulator
+  // keeps buffering updates for them.
+  virtual bool SupportsStreamingAggregation() const { return true; }
 };
 
 }  // namespace pardon::fl

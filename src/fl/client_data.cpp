@@ -1,0 +1,110 @@
+#include "fl/client_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace pardon::fl {
+
+InMemoryClientData::InMemoryClientData(std::vector<data::Dataset> clients)
+    : clients_(std::move(clients)) {}
+
+int InMemoryClientData::NumClients() const {
+  return static_cast<int>(clients_.size());
+}
+
+std::int64_t InMemoryClientData::ClientSize(int client) const {
+  return clients_.at(static_cast<std::size_t>(client)).size();
+}
+
+std::shared_ptr<const data::Dataset> InMemoryClientData::Get(int client) {
+  // Aliasing handle into the resident vector: no copy, no ownership — the
+  // provider outlives every round that borrows from it.
+  return std::shared_ptr<const data::Dataset>(
+      std::shared_ptr<const void>(),
+      &clients_.at(static_cast<std::size_t>(client)));
+}
+
+ShardedSyntheticClientData::ShardedSyntheticClientData(
+    ShardedSyntheticConfig config)
+    : config_(std::move(config)), generator_(config_.generator) {
+  if (config_.num_clients <= 0) {
+    throw std::invalid_argument(
+        "ShardedSyntheticClientData: non-positive num_clients");
+  }
+  if (config_.samples_per_client <= 0) {
+    throw std::invalid_argument(
+        "ShardedSyntheticClientData: non-positive samples_per_client");
+  }
+  if (config_.shard_size <= 0 || config_.max_cached_shards <= 0) {
+    throw std::invalid_argument(
+        "ShardedSyntheticClientData: non-positive shard/cache size");
+  }
+  if (config_.size_longtail_alpha < 0.0) {
+    throw std::invalid_argument(
+        "ShardedSyntheticClientData: negative size_longtail_alpha");
+  }
+}
+
+std::int64_t ShardedSyntheticClientData::ClientSize(int client) const {
+  if (client < 0 || client >= config_.num_clients) {
+    throw std::out_of_range("ShardedSyntheticClientData: client id");
+  }
+  if (config_.size_longtail_alpha == 0.0) return config_.samples_per_client;
+  // Zipf law over client rank — a closed form, so size queries never touch
+  // the generator.
+  const double scale = std::pow(static_cast<double>(client) + 1.0,
+                                config_.size_longtail_alpha);
+  const auto count = static_cast<std::int64_t>(
+      static_cast<double>(config_.samples_per_client) / scale);
+  return count > 1 ? count : 1;
+}
+
+std::shared_ptr<const data::Dataset> ShardedSyntheticClientData::Get(
+    int client) {
+  if (client < 0 || client >= config_.num_clients) {
+    throw std::out_of_range("ShardedSyntheticClientData: client id");
+  }
+  const int shard_id = client / config_.shard_size;
+  const Shard& shard = EnsureShard(shard_id);
+  return shard[static_cast<std::size_t>(client % config_.shard_size)];
+}
+
+const ShardedSyntheticClientData::Shard&
+ShardedSyntheticClientData::EnsureShard(int shard_id) {
+  const auto hit = index_.find(shard_id);
+  if (hit != index_.end()) {
+    cache_.splice(cache_.begin(), cache_, hit->second);
+    return hit->second->second;
+  }
+
+  const int begin = shard_id * config_.shard_size;
+  const int end = std::min(begin + config_.shard_size, config_.num_clients);
+  Shard shard;
+  shard.reserve(static_cast<std::size_t>(end - begin));
+  for (int client = begin; client < end; ++client) {
+    // Per-client seeding (not per-shard) keeps the data a pure function of
+    // (seed, client id): resizing shards or evicting and regenerating a
+    // shard cannot change any sample.
+    tensor::Pcg32 rng(
+        tensor::MixSeeds(config_.seed, static_cast<std::uint64_t>(client)),
+        /*stream=*/0x73686472ULL);
+    const int domain = client % config_.generator.num_domains;
+    shard.push_back(std::make_shared<data::Dataset>(
+        generator_.GenerateDomain(domain, ClientSize(client), rng)));
+  }
+  ++shards_generated_;
+
+  cache_.emplace_front(shard_id, std::move(shard));
+  index_[shard_id] = cache_.begin();
+  if (static_cast<int>(cache_.size()) > config_.max_cached_shards) {
+    index_.erase(cache_.back().first);
+    cache_.pop_back();
+    ++shard_evictions_;
+  }
+  return cache_.front().second;
+}
+
+}  // namespace pardon::fl

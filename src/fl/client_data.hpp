@@ -1,0 +1,112 @@
+// Client dataset access for the simulator, decoupled from eager storage.
+//
+// The round loop never needs all N client datasets at once — it needs O(1)
+// size queries for sampling and weighting, plus the K sampled clients' data
+// for one round. A ClientDataProvider exposes exactly that, so a 100k-1M
+// client population (paper Fig. 5 / Table 7 scale, IWildCam's 323-domain
+// long tail) can be served from lazily generated shards instead of resident
+// vectors. Providers are driven from the simulator's scheduler thread only;
+// implementations need not be thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/domain_generator.hpp"
+
+namespace pardon::fl {
+
+class ClientDataProvider {
+ public:
+  virtual ~ClientDataProvider() = default;
+
+  virtual int NumClients() const = 0;
+
+  // Sample count of one client WITHOUT materializing its data — O(1). The
+  // sampler's size weighting and the streaming pre-pass (which must know the
+  // round's total weight before the first update folds) both rely on this.
+  virtual std::int64_t ClientSize(int client) const = 0;
+
+  // Materializes one client's dataset. The data stays valid while the handle
+  // is held, and repeated calls for the same client return bitwise identical
+  // samples regardless of cache state or call order.
+  virtual std::shared_ptr<const data::Dataset> Get(int client) = 0;
+
+  // The eagerly-stored backing vector, or nullptr for lazy providers. Feeds
+  // FlContext::client_data so Setup-heavy algorithms keep working on
+  // in-memory populations.
+  virtual const std::vector<data::Dataset>* AllData() const { return nullptr; }
+};
+
+// The classic eager population: one resident Dataset per client.
+class InMemoryClientData : public ClientDataProvider {
+ public:
+  explicit InMemoryClientData(std::vector<data::Dataset> clients);
+
+  int NumClients() const override;
+  std::int64_t ClientSize(int client) const override;
+  std::shared_ptr<const data::Dataset> Get(int client) override;
+  const std::vector<data::Dataset>* AllData() const override {
+    return &clients_;
+  }
+
+ private:
+  std::vector<data::Dataset> clients_;
+};
+
+struct ShardedSyntheticConfig {
+  data::GeneratorConfig generator{};
+  int num_clients = 0;
+  // Samples per client before the long tail is applied.
+  std::int64_t samples_per_client = 16;
+  // Zipf exponent over client ranks: client i holds
+  // max(1, samples_per_client / (i+1)^alpha) samples. 0 keeps sizes uniform;
+  // a positive value reproduces IWildCam-style long-tailed populations.
+  double size_longtail_alpha = 0.0;
+  // Clients generated together per shard, and how many shards stay cached.
+  // Peak dataset memory is O(shard_size * max_cached_shards), independent
+  // of num_clients.
+  int shard_size = 256;
+  int max_cached_shards = 4;
+  std::uint64_t seed = 17;
+};
+
+// Lazily generated synthetic population: client i's dataset is synthesized
+// on demand from the DomainGenerator, seeded by MixSeeds(seed, i) and
+// assigned to domain (i mod num_domains). Generation is per-client
+// deterministic, so eviction and regeneration cannot change the data. Shards
+// group neighboring clients so a K-of-N round touching a contiguous id range
+// amortizes generation; an LRU cache bounds residency.
+class ShardedSyntheticClientData : public ClientDataProvider {
+ public:
+  explicit ShardedSyntheticClientData(ShardedSyntheticConfig config);
+
+  int NumClients() const override { return config_.num_clients; }
+  std::int64_t ClientSize(int client) const override;
+  std::shared_ptr<const data::Dataset> Get(int client) override;
+
+  const ShardedSyntheticConfig& config() const { return config_; }
+  // Cache behavior, for tests and the scaling bench.
+  std::int64_t shards_generated() const { return shards_generated_; }
+  std::int64_t shard_evictions() const { return shard_evictions_; }
+
+ private:
+  using Shard = std::vector<std::shared_ptr<const data::Dataset>>;
+
+  const Shard& EnsureShard(int shard_id);
+
+  ShardedSyntheticConfig config_;
+  data::DomainGenerator generator_;
+  // LRU over shards: most recently used at the front.
+  std::list<std::pair<int, Shard>> cache_;
+  std::unordered_map<int, std::list<std::pair<int, Shard>>::iterator> index_;
+  std::int64_t shards_generated_ = 0;
+  std::int64_t shard_evictions_ = 0;
+};
+
+}  // namespace pardon::fl

@@ -1,0 +1,28 @@
+#include "fl/event_engine.hpp"
+
+#include <stdexcept>
+
+namespace pardon::fl {
+
+void EventQueue::Schedule(double time, EventType type, int client, int slot) {
+  if (time < now_) {
+    throw std::logic_error("EventQueue: cannot schedule into the past");
+  }
+  heap_.push(ClientEvent{.time = time,
+                         .seq = next_seq_++,
+                         .type = type,
+                         .client = client,
+                         .slot = slot});
+}
+
+ClientEvent EventQueue::PopNext() {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue: pop from empty queue");
+  }
+  ClientEvent event = heap_.top();
+  heap_.pop();
+  now_ = event.time;
+  return event;
+}
+
+}  // namespace pardon::fl

@@ -64,8 +64,11 @@ std::vector<int> ClientSampler::SampleImpl(
   if (strategy_ == SamplingStrategy::kRoundRobin) {
     // Scan forward from the rotation start, skipping no-shows, until K
     // available clients are found (or the whole ring has been scanned).
-    const int start =
-        ((round - 1) * participants_) % total_clients_;
+    // The rotation offset is computed in 64-bit: round * participants reaches
+    // 2^31 well inside production schedules (e.g. 30k rounds x 100k clients).
+    const int start = static_cast<int>(
+        (static_cast<std::int64_t>(round - 1) * participants_) %
+        total_clients_);
     for (int offset = 0;
          offset < total_clients_ &&
          static_cast<int>(selected.size()) < participants_;

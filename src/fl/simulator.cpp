@@ -1,9 +1,14 @@
 #include "fl/simulator.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "fl/aggregate.hpp"
 #include "fl/comm.hpp"
+#include "fl/event_engine.hpp"
 #include "fl/fault.hpp"
 #include "metrics/evaluation.hpp"
 #include "obs/metrics.hpp"
@@ -37,7 +42,10 @@ FaultPlan EffectiveFaultPlan(const FlConfig& config) {
 // injector corrupt attempts, retry with exponential backoff up to
 // plan.max_retries. Returns the update as decoded from the wire (bitwise
 // equal to the input — the codec is lossless), or nullopt when every attempt
-// arrived corrupted. Accounting goes to `costs`.
+// arrived corrupted. Accounting goes to `costs`. The retry backoff is
+// simulated latency charged to the cost breakdown, NOT event-time delay:
+// recovered corruption must leave the run bitwise identical to a clean one,
+// so it cannot reorder deliveries.
 std::optional<ClientUpdate> DeliverThroughLossyChannel(
     const ClientUpdate& update, const FaultInjector& injector, int round,
     int client, CostBreakdown& costs) {
@@ -83,17 +91,62 @@ std::optional<ClientUpdate> DeliverThroughLossyChannel(
   return std::nullopt;
 }
 
+// The schedule-time outcome of one participant's round, decided before any
+// training happens. Every field is a pure function of (seed, round, client),
+// which is what lets the streaming pre-pass announce the round's total
+// aggregation weight before the first update exists.
+struct ClientFate {
+  bool dropped = false;
+  bool straggler = false;
+  bool survives_corruption = true;
+};
+
+// Whether at least one transmission attempt escapes corruption — the
+// content-independent prediction behind ClientFate::survives_corruption.
+// Must agree with DeliverThroughLossyChannel, which loses an attempt exactly
+// when the injector corrupts it (the CRC frame catches injected byte flips);
+// the delivery loop cross-checks the prediction against the actual channel
+// outcome and throws on divergence.
+bool SurvivesCorruption(const FaultInjector& injector, int round, int client) {
+  if (injector.plan().corruption <= 0.0) return true;
+  for (int attempt = 0; attempt <= injector.plan().max_retries; ++attempt) {
+    if (!injector.CorruptsTransmission(round, client, attempt)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Simulator::Simulator(std::vector<data::Dataset> client_data, FlConfig config)
-    : client_data_(std::move(client_data)), config_(config) {
-  if (static_cast<int>(client_data_.size()) != config_.total_clients) {
+    : Simulator(std::make_shared<InMemoryClientData>(std::move(client_data)),
+                std::move(config)) {}
+
+Simulator::Simulator(std::shared_ptr<ClientDataProvider> provider,
+                     FlConfig config)
+    : provider_(std::move(provider)), config_(std::move(config)) {
+  if (provider_ == nullptr) {
+    throw std::invalid_argument("Simulator: null client data provider");
+  }
+  if (provider_->NumClients() != config_.total_clients) {
     throw std::invalid_argument(
         "Simulator: client_data size must equal total_clients");
   }
   if (config_.participants_per_round <= 0 || config_.rounds <= 0) {
     throw std::invalid_argument("Simulator: non-positive rounds/participants");
   }
+  if (config_.max_inflight_updates <= 0) {
+    throw std::invalid_argument(
+        "Simulator: non-positive max_inflight_updates");
+  }
+}
+
+const std::vector<data::Dataset>& Simulator::client_data() const {
+  const std::vector<data::Dataset>* all = provider_->AllData();
+  if (all == nullptr) {
+    throw std::logic_error(
+        "Simulator::client_data: lazy provider has no eager backing store");
+  }
+  return *all;
 }
 
 SimulationResult Simulator::Run(Algorithm& algorithm,
@@ -103,7 +156,29 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
   SimulationResult result{.final_model = initial_model.Clone(),
                           .recorder = {},
                           .costs = {},
-                          .final_accuracy = {}};
+                          .final_accuracy = {},
+                          .peak_resident_updates = 0};
+
+  // Resolve the update-consumption mode once per run. Streaming folds each
+  // delivery into a running weighted sum (peak updates = O(chunk)); the
+  // materialized path buffers survivors for a batched Aggregate (peak = K).
+  const bool streaming = [&] {
+    switch (config_.aggregation) {
+      case AggregationMode::kStreaming:
+        if (!algorithm.SupportsStreamingAggregation()) {
+          throw std::invalid_argument(
+              "Simulator: " + algorithm.Name() +
+              " needs batched aggregation "
+              "(SupportsStreamingAggregation() is false)");
+        }
+        return true;
+      case AggregationMode::kMaterialized:
+        return false;
+      case AggregationMode::kAuto:
+      default:
+        return algorithm.SupportsStreamingAggregation();
+    }
+  }();
 
   obs::ScopedSpan run_span("fl.run", "fl");
   if (run_span.active()) {
@@ -112,10 +187,11 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
     run_span.AddArg("clients", std::int64_t{config_.total_clients});
   }
 
-  FlContext context{.client_data = &client_data_,
+  FlContext context{.client_data = provider_->AllData(),
                     .initial_model = &initial_model,
                     .config = config_,
-                    .pool = pool};
+                    .pool = pool,
+                    .data_provider = provider_.get()};
   {
     obs::ScopedSpan span("fl.setup", "fl");
     const util::Stopwatch watch;
@@ -127,9 +203,9 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
 
   std::vector<std::int64_t> client_sizes;
   if (config_.sampling == SamplingStrategy::kWeightedBySize) {
-    client_sizes.reserve(client_data_.size());
-    for (const data::Dataset& dataset : client_data_) {
-      client_sizes.push_back(dataset.size());
+    client_sizes.reserve(static_cast<std::size_t>(config_.total_clients));
+    for (int client = 0; client < config_.total_clients; ++client) {
+      client_sizes.push_back(provider_->ClientSize(client));
     }
   }
   ClientSampler sampler(config_.total_clients, config_.participants_per_round,
@@ -194,131 +270,249 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
         participants = sampler.Sample(round);
       }
     }
-    std::vector<ClientUpdate> updates(participants.size());
+
+    // Schedule the round on the virtual clock: one train event per
+    // participant at t=0; finishing training schedules the delivery, delayed
+    // by the plan's straggler latency when the client straggles (dropped
+    // updates never reach the server, so their timing is moot and stays 0).
+    // Draining the queue yields the deliveries in event-time order — with
+    // zero faults that is exactly the participants order.
+    EventQueue queue;
+    std::vector<ClientFate> fates(participants.size());
+    for (std::size_t k = 0; k < participants.size(); ++k) {
+      queue.Schedule(0.0, EventType::kTrain, participants[k],
+                     static_cast<int>(k));
+    }
+    std::vector<ClientEvent> deliveries;
+    deliveries.reserve(participants.size());
+    while (!queue.Empty()) {
+      const ClientEvent event = queue.PopNext();
+      if (event.type == EventType::kTrain) {
+        ClientFate& fate = fates[static_cast<std::size_t>(event.slot)];
+        if (injector.Enabled()) {
+          fate.dropped = injector.DropsUpdate(round, event.client);
+          fate.straggler =
+              !fate.dropped && injector.IsStraggler(round, event.client);
+          fate.survives_corruption =
+              SurvivesCorruption(injector, round, event.client);
+        }
+        queue.Schedule(
+            event.time +
+                (fate.straggler ? plan.straggler_delay_seconds : 0.0),
+            EventType::kDeliver, event.client, event.slot);
+      } else {
+        deliveries.push_back(event);
+      }
+    }
+    const double round_makespan = queue.Now();
 
     // Deterministic per-(round, client) RNG forks, independent of thread
-    // scheduling.
+    // scheduling and of delivery order: Fork mutates the parent, so forking
+    // happens upfront in participants order on the scheduler thread.
     std::vector<tensor::Pcg32> rngs;
     rngs.reserve(participants.size());
     for (const int client : participants) {
-      rngs.push_back(root_rng.Fork(
-          (static_cast<std::uint64_t>(round) << 20) ^
-          static_cast<std::uint64_t>(client)));
+      rngs.push_back(root_rng.Fork(ClientForkSalt(round, client)));
     }
 
     result.final_model.SetFlatParams(global_params);
     const nn::MlpClassifier& global_model = result.final_model;
 
-    const util::Stopwatch train_watch;
-    const auto train_one = [&](std::size_t k) {
-      const int client = participants[k];
-      obs::ScopedSpan span("fl.train_client", "fl");
-      if (span.active()) {
-        span.AddArg("round", std::int64_t{round});
-        span.AddArg("client", std::int64_t{client});
+    // Streaming pre-pass: the total aggregation weight over predicted
+    // survivors, summed in delivery order — the same additions in the same
+    // order as FedAvg's own total over the materialized survivor batch, so
+    // the normalized fold below is bitwise identical to the batched path.
+    std::optional<StreamingWeightedSum> stream;
+    if (streaming) {
+      double total_weight = 0.0;
+      std::size_t survivors = 0;
+      for (const ClientEvent& event : deliveries) {
+        const ClientFate& fate = fates[static_cast<std::size_t>(event.slot)];
+        if (fate.dropped || !fate.survives_corruption) continue;
+        total_weight += static_cast<double>(provider_->ClientSize(event.client));
+        ++survivors;
       }
-      updates[k] = algorithm.TrainClient(client,
-                                         client_data_[static_cast<std::size_t>(client)],
-                                         global_model, round, rngs[k]);
-    };
-    {
-      obs::ScopedSpan span("fl.local_train", "fl");
-      if (span.active()) {
-        span.AddArg("round", std::int64_t{round});
-        span.AddArg("participants",
-                    static_cast<std::int64_t>(participants.size()));
-      }
-      if (pool != nullptr) {
-        pool->ParallelFor(participants.size(), train_one);
-      } else {
-        for (std::size_t k = 0; k < participants.size(); ++k) train_one(k);
+      if (survivors > 0) {
+        // Throws on a zero total exactly where WeightedAverage would.
+        stream.emplace(global_params.size(), total_weight);
       }
     }
-    // Per-client measured seconds when available; wall time as fallback.
+
+    // Delivery through the fault model: dropout loses trained updates,
+    // stragglers deliver late (reordering the fold), corruption triggers
+    // bounded retry-with-backoff; decisions are deterministic per (seed,
+    // round, client). Updates are trained in chunks of at most
+    // max_inflight_updates deliveries (the whole round at once on the
+    // materialized path) and consumed in delivery order: streamed into the
+    // running sum and freed, or buffered for the batched Aggregate.
+    std::vector<ClientUpdate> delivered;
+    std::vector<int> delivered_ids;
     double round_train_seconds = 0.0;
-    for (const ClientUpdate& u : updates) {
-      round_train_seconds += u.train_seconds;
-      if (obs::MetricsOn() && u.train_seconds > 0.0) {
-        obs::ObserveLatency("pardon_fl_client_train_seconds", u.train_seconds);
+    double fold_seconds = 0.0;
+    const util::Stopwatch train_watch;
+    const std::size_t chunk_cap =
+        streaming ? static_cast<std::size_t>(config_.max_inflight_updates)
+                  : std::max<std::size_t>(deliveries.size(), 1);
+    std::vector<std::shared_ptr<const data::Dataset>> chunk_data;
+    std::vector<ClientUpdate> chunk_updates;
+    for (std::size_t base = 0; base < deliveries.size(); base += chunk_cap) {
+      const std::size_t count = std::min(chunk_cap, deliveries.size() - base);
+      chunk_data.assign(count, nullptr);
+      chunk_updates.assign(count, ClientUpdate{});
+      // Datasets materialize on the scheduler thread: lazy providers are not
+      // thread-safe, and shard generation must stay deterministic.
+      for (std::size_t i = 0; i < count; ++i) {
+        chunk_data[i] = provider_->Get(deliveries[base + i].client);
+      }
+      const auto resident =
+          static_cast<std::int64_t>(count + delivered.size());
+      result.peak_resident_updates =
+          std::max(result.peak_resident_updates, resident);
+
+      const auto train_one = [&](std::size_t i) {
+        const ClientEvent& event = deliveries[base + i];
+        obs::ScopedSpan span("fl.train_client", "fl");
+        if (span.active()) {
+          span.AddArg("round", std::int64_t{round});
+          span.AddArg("client", std::int64_t{event.client});
+        }
+        chunk_updates[i] = algorithm.TrainClient(
+            event.client, *chunk_data[i], global_model, round,
+            rngs[static_cast<std::size_t>(event.slot)]);
+      };
+      {
+        obs::ScopedSpan span("fl.local_train", "fl");
+        if (span.active()) {
+          span.AddArg("round", std::int64_t{round});
+          span.AddArg("participants", static_cast<std::int64_t>(count));
+        }
+        if (pool != nullptr) {
+          pool->ParallelFor(count, train_one);
+        } else {
+          for (std::size_t i = 0; i < count; ++i) train_one(i);
+        }
+      }
+
+      std::optional<obs::ScopedSpan> deliver_span;
+      if (injector.Enabled()) {
+        deliver_span.emplace("fl.deliver", "fl");
+        if (deliver_span->active()) {
+          deliver_span->AddArg("round", std::int64_t{round});
+        }
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const ClientEvent& event = deliveries[base + i];
+        ClientUpdate& update = chunk_updates[i];
+        // Per-client measured seconds when available; wall time as fallback
+        // (after the loop).
+        round_train_seconds += update.train_seconds;
+        if (obs::MetricsOn() && update.train_seconds > 0.0) {
+          obs::ObserveLatency("pardon_fl_client_train_seconds",
+                              update.train_seconds);
+        }
+        const ClientFate& fate = fates[static_cast<std::size_t>(event.slot)];
+        if (injector.Enabled()) {
+          if (fate.dropped) {
+            ++result.costs.dropped_updates;
+            obs::IncCounter("pardon_fl_dropped_updates_total");
+            if (obs::TraceOn()) {
+              obs::TraceInstant(
+                  "fault.drop", "fault",
+                  obs::JsonKv("round", std::int64_t{round}) + "," +
+                      obs::JsonKv("client", std::int64_t{event.client}));
+            }
+            continue;
+          }
+          if (fate.straggler) {
+            ++result.costs.straggler_events;
+            result.costs.straggler_delay_seconds +=
+                plan.straggler_delay_seconds;
+            obs::IncCounter("pardon_fl_straggler_events_total");
+            obs::AddCounter("pardon_fl_straggler_delay_seconds",
+                            plan.straggler_delay_seconds);
+            if (obs::TraceOn()) {
+              obs::TraceInstant(
+                  "fault.straggler", "fault",
+                  obs::JsonKv("round", std::int64_t{round}) + "," +
+                      obs::JsonKv("client", std::int64_t{event.client}));
+            }
+          }
+          if (plan.corruption > 0.0) {
+            std::optional<ClientUpdate> arrived = DeliverThroughLossyChannel(
+                update, injector, round, event.client, result.costs);
+            if (arrived.has_value() != fate.survives_corruption) {
+              throw std::logic_error(
+                  "Simulator: corruption outcome diverged from the schedule "
+                  "prediction");
+            }
+            if (!arrived.has_value()) continue;
+            update = std::move(*arrived);
+          }
+        }
+        if (stream.has_value()) {
+          const std::int64_t expected = provider_->ClientSize(event.client);
+          if (update.num_samples != expected) {
+            throw std::logic_error(
+                "Simulator: streaming aggregation requires TrainClient to "
+                "report num_samples == dataset size; override "
+                "SupportsStreamingAggregation() to false to keep the batched "
+                "path");
+          }
+          const util::Stopwatch fold_watch;
+          stream->Add(update.params, static_cast<double>(expected));
+          fold_seconds += fold_watch.ElapsedSeconds();
+          update = ClientUpdate{};  // folded — free it immediately
+        } else {
+          delivered.push_back(std::move(update));
+          delivered_ids.push_back(event.client);
+        }
       }
     }
     if (round_train_seconds == 0.0) {
       round_train_seconds = train_watch.ElapsedSeconds();
     }
     result.costs.local_train_seconds += round_train_seconds;
-    result.costs.client_rounds += static_cast<std::int64_t>(participants.size());
+    result.costs.client_rounds +=
+        static_cast<std::int64_t>(participants.size());
     obs::AddCounter("pardon_fl_local_train_seconds", round_train_seconds);
     obs::AddCounter("pardon_fl_client_rounds_total",
                     static_cast<double>(participants.size()));
+    // Simulated round makespan: the virtual clock after the last delivery.
+    result.costs.event_time_seconds += round_makespan;
+    obs::AddCounter("pardon_fl_event_time_seconds", round_makespan);
 
-    // Delivery through the fault model: dropout loses trained updates,
-    // stragglers charge simulated delay, corruption triggers bounded
-    // retry-with-backoff; decisions are deterministic per (seed, round,
-    // client). Aggregation degrades gracefully to whatever arrived (FedAvg
-    // weights survivors by their data sizes); if every update is lost the
-    // round is skipped.
-    std::vector<ClientUpdate> delivered;
-    std::vector<int> delivered_ids;
-    if (injector.Enabled()) {
-      obs::ScopedSpan span("fl.deliver", "fl");
-      if (span.active()) span.AddArg("round", std::int64_t{round});
-      delivered.reserve(updates.size());
-      delivered_ids.reserve(updates.size());
-      for (std::size_t k = 0; k < updates.size(); ++k) {
-        const int client = participants[k];
-        if (injector.DropsUpdate(round, client)) {
-          ++result.costs.dropped_updates;
-          obs::IncCounter("pardon_fl_dropped_updates_total");
-          if (obs::TraceOn()) {
-            obs::TraceInstant("fault.drop", "fault",
-                              obs::JsonKv("round", std::int64_t{round}) + "," +
-                                  obs::JsonKv("client", std::int64_t{client}));
-          }
-          continue;
-        }
-        if (injector.IsStraggler(round, client)) {
-          ++result.costs.straggler_events;
-          result.costs.straggler_delay_seconds +=
-              plan.straggler_delay_seconds;
-          obs::IncCounter("pardon_fl_straggler_events_total");
-          obs::AddCounter("pardon_fl_straggler_delay_seconds",
-                          plan.straggler_delay_seconds);
-          if (obs::TraceOn()) {
-            obs::TraceInstant("fault.straggler", "fault",
-                              obs::JsonKv("round", std::int64_t{round}) + "," +
-                                  obs::JsonKv("client", std::int64_t{client}));
-          }
-        }
-        if (plan.corruption > 0.0) {
-          std::optional<ClientUpdate> arrived = DeliverThroughLossyChannel(
-              updates[k], injector, round, client, result.costs);
-          if (!arrived.has_value()) continue;
-          updates[k] = std::move(*arrived);
-        }
-        delivered.push_back(std::move(updates[k]));
-        delivered_ids.push_back(client);
-      }
-    } else {
-      delivered = std::move(updates);
-      delivered_ids = participants;
-    }
-
-    if (!delivered.empty()) {
+    if (stream.has_value() || !delivered.empty()) {
       obs::ScopedSpan span("fl.aggregate", "fl");
       if (span.active()) {
         span.AddArg("round", std::int64_t{round});
-        span.AddArg("updates", static_cast<std::int64_t>(delivered.size()));
+        span.AddArg("updates",
+                    static_cast<std::int64_t>(stream.has_value()
+                                                  ? stream->folded()
+                                                  : delivered.size()));
       }
-      const util::Stopwatch watch;
-      global_params =
-          algorithm.Aggregate(global_params, delivered, delivered_ids, round);
-      const double elapsed = watch.ElapsedSeconds();
-      result.costs.aggregate_seconds += elapsed;
-      ++result.costs.aggregate_rounds;
-      obs::AddCounter("pardon_fl_aggregate_seconds", elapsed);
-      obs::IncCounter("pardon_fl_aggregate_rounds_total");
-      if (obs::MetricsOn()) {
-        obs::ObserveLatency("pardon_fl_aggregate_latency_seconds", elapsed);
+      if (stream.has_value()) {
+        const util::Stopwatch watch;
+        global_params = stream->Finish();
+        const double elapsed = fold_seconds + watch.ElapsedSeconds();
+        result.costs.aggregate_seconds += elapsed;
+        ++result.costs.aggregate_rounds;
+        obs::AddCounter("pardon_fl_aggregate_seconds", elapsed);
+        obs::IncCounter("pardon_fl_aggregate_rounds_total");
+        if (obs::MetricsOn()) {
+          obs::ObserveLatency("pardon_fl_aggregate_latency_seconds", elapsed);
+        }
+      } else {
+        const util::Stopwatch watch;
+        global_params = algorithm.Aggregate(global_params, delivered,
+                                            delivered_ids, round);
+        const double elapsed = watch.ElapsedSeconds();
+        result.costs.aggregate_seconds += elapsed;
+        ++result.costs.aggregate_rounds;
+        obs::AddCounter("pardon_fl_aggregate_seconds", elapsed);
+        obs::IncCounter("pardon_fl_aggregate_rounds_total");
+        if (obs::MetricsOn()) {
+          obs::ObserveLatency("pardon_fl_aggregate_latency_seconds", elapsed);
+        }
       }
     } else {
       ++result.costs.skipped_rounds;
@@ -329,6 +523,7 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
       }
     }
 
+    bool reached_target = false;
     const bool last_round = round == config_.rounds;
     if (last_round ||
         (config_.eval_every > 0 && round % config_.eval_every == 0)) {
@@ -341,13 +536,21 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
               config_.target_accuracy) {
         PARDON_LOG_DEBUG << algorithm.Name() << " reached target accuracy at "
                          << "round " << round;
-        break;
+        reached_target = true;
       }
     }
+    // The round latency lands in the histogram BEFORE any early stop: the
+    // final, target-reaching round used to be the one observation dropped.
     if (obs::MetricsOn()) {
       obs::ObserveLatency("pardon_fl_round_seconds",
                           round_watch.ElapsedSeconds());
     }
+    if (reached_target) break;
+  }
+
+  if (obs::MetricsOn()) {
+    obs::SetGauge("pardon_fl_peak_resident_updates",
+                  static_cast<double>(result.peak_resident_updates));
   }
 
   result.final_model.SetFlatParams(global_params);

@@ -1,12 +1,17 @@
-// The FL round loop: sample K clients, train them in parallel on a thread
-// pool, aggregate, evaluate — repeated for the configured number of rounds,
-// with wall-clock cost accounting per phase (paper Table 8 structure).
+// The FL round loop as a discrete-event engine: sample K clients, schedule
+// their train/deliver events on a virtual clock, train in bounded chunks,
+// and consume updates as they are delivered — streaming them into a
+// constant-memory weighted sum when the algorithm allows, buffering them for
+// batched Aggregate otherwise — with wall-clock cost accounting per phase
+// (paper Table 8 structure) plus the simulated event-time makespan.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fl/algorithm.hpp"
+#include "fl/client_data.hpp"
 #include "fl/sampler.hpp"
 #include "fl/types.hpp"
 #include "metrics/recorder.hpp"
@@ -25,12 +30,21 @@ struct SimulationResult {
   CostBreakdown costs;
   // Final-round accuracy per eval set, in input order.
   std::vector<double> final_accuracy;
+  // High-water mark of ClientUpdates resident on the server at once:
+  // bounded by config.max_inflight_updates on the streaming path, K on the
+  // materialized path.
+  std::int64_t peak_resident_updates = 0;
 };
 
 class Simulator {
  public:
   // `client_data` has one dataset per client id (size == config.total_clients).
   Simulator(std::vector<data::Dataset> client_data, FlConfig config);
+
+  // Lazily served population (e.g. ShardedSyntheticClientData) — the form
+  // that scales to 100k-1M clients. provider->NumClients() must equal
+  // config.total_clients.
+  Simulator(std::shared_ptr<ClientDataProvider> provider, FlConfig config);
 
   // Runs the algorithm from `initial_model`, evaluating on `eval_sets` every
   // config.eval_every rounds and at the end. `pool` may be null (serial).
@@ -40,10 +54,12 @@ class Simulator {
                        util::ThreadPool* pool = nullptr) const;
 
   const FlConfig& config() const { return config_; }
-  const std::vector<data::Dataset>& client_data() const { return client_data_; }
+  // The eager backing store; throws std::logic_error for lazy providers
+  // (which have no resident vector to expose).
+  const std::vector<data::Dataset>& client_data() const;
 
  private:
-  std::vector<data::Dataset> client_data_;
+  std::shared_ptr<ClientDataProvider> provider_;
   FlConfig config_;
 };
 

@@ -18,6 +18,21 @@ class ThreadPool;
 
 namespace pardon::fl {
 
+class ClientDataProvider;
+
+// How the server consumes delivered updates (see fl/event_engine.hpp for the
+// round engine that drives this).
+enum class AggregationMode {
+  // Streaming when the algorithm supports it, materialized otherwise.
+  kAuto,
+  // Fold each update into a constant-memory running weighted sum the moment
+  // it is delivered; requires Algorithm::SupportsStreamingAggregation().
+  // Bitwise identical to kMaterialized for the same config and seed.
+  kStreaming,
+  // Buffer every surviving update and hand the batch to Algorithm::Aggregate.
+  kMaterialized,
+};
+
 struct FlConfig {
   int total_clients = 10;        // N
   int participants_per_round = 5;  // K (sampled uniformly without replacement)
@@ -36,6 +51,14 @@ struct FlConfig {
   // retry, stragglers); see fl/fault.hpp. An all-zero plan leaves the run
   // bitwise identical to one without fault injection.
   FaultPlan faults{};
+  // Server-side update consumption policy; kAuto resolves per algorithm.
+  AggregationMode aggregation = AggregationMode::kAuto;
+  // Upper bound on ClientUpdates resident at once on the streaming path:
+  // deliveries are trained in chunks of this many and folded immediately, so
+  // peak update memory is O(max_inflight_updates) regardless of K. The chunk
+  // boundaries are fixed by this value alone, keeping runs bitwise invariant
+  // across thread pools. Must be positive.
+  int max_inflight_updates = 32;
   // Evaluate every `eval_every` rounds (and always at the final round);
   // 0 disables intermediate evaluation.
   int eval_every = 5;
@@ -81,6 +104,9 @@ struct CostBreakdown {
   double retry_backoff_seconds = 0.0;
   std::int64_t updates_lost_to_corruption = 0;  // retries exhausted
   std::int64_t skipped_rounds = 0;      // rounds where no update survived
+  // Summed simulated round makespans: the event engine's virtual clock at the
+  // last delivery of each round (0 when nothing delays delivery).
+  double event_time_seconds = 0.0;
 
   // Total simulated latency the fault schedule added on top of measured time.
   double SimulatedFaultSeconds() const {
@@ -100,6 +126,9 @@ struct CostBreakdown {
 
 // Read-only view handed to Algorithm::Setup before round 1.
 struct FlContext {
+  // Eagerly-stored per-client datasets, or nullptr when the population is
+  // served lazily (see `data_provider`). Setup-heavy algorithms that sweep
+  // every client's data (FISC, CCST) require this and reject lazy runs.
   const std::vector<data::Dataset>* client_data = nullptr;
   const nn::MlpClassifier* initial_model = nullptr;
   FlConfig config;
@@ -107,6 +136,11 @@ struct FlContext {
   // (e.g. FISC's style-transfer cache build). May be null (run serially);
   // only valid for the duration of Setup.
   util::ThreadPool* pool = nullptr;
+  // The simulator's client data source (always set by the simulator; null
+  // only when a caller builds a bare context). Unlike client_data this is
+  // available for lazily generated populations too — O(1) ClientSize queries
+  // stay cheap at N = 10^6.
+  const ClientDataProvider* data_provider = nullptr;
 };
 
 }  // namespace pardon::fl

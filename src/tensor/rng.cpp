@@ -5,6 +5,19 @@
 
 namespace pardon::tensor {
 
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t MixSeeds(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t mixed = SplitMix64(a);
+  return SplitMix64(mixed ^ (b + 0x9e3779b97f4a7c15ULL + (mixed << 6) +
+                             (mixed >> 2)));
+}
+
 Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
     : state_(0u), inc_((stream << 1u) | 1u) {
   NextU32();

@@ -11,6 +11,16 @@
 
 namespace pardon::tensor {
 
+// SplitMix64 finalizer (Steele, Lea & Flood): a bijective 64-bit mixer with
+// full avalanche — every input bit affects every output bit.
+std::uint64_t SplitMix64(std::uint64_t x);
+
+// Combines two 64-bit values into one salt/seed. Unlike shift-xor packing
+// ((a << k) ^ b), structured pairs — small counters crossed with ids that
+// exceed the shift width — cannot cancel each other out, because each input
+// is avalanched before it meets the other.
+std::uint64_t MixSeeds(std::uint64_t a, std::uint64_t b);
+
 class Pcg32 {
  public:
   explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,

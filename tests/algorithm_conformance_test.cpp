@@ -12,6 +12,10 @@
 //      weights are correctly-rounded quotients of equal real numbers).
 //   4. Bounded degradation under 30% injected dropout via the FaultPlan
 //      machinery, and determinism of the faulted run.
+//   5. Event-engine mode agreement: streaming aggregation (when the method
+//      supports it) is bitwise identical to the materialized path, kAuto
+//      resolves to one of the two, and forcing streaming onto a
+//      batched-only method is rejected.
 //
 // Adding a new Algorithm to the suite is one line in ConformanceMethods()
 // (see docs/TESTING.md).
@@ -20,6 +24,7 @@
 #include <cctype>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "baselines/ccst.hpp"
@@ -218,6 +223,42 @@ TEST_P(AlgorithmConformanceTest, BoundedDegradationUnderThirtyPctDropout) {
   const SimulationResult repeat = world.Run(*repeat_algo, faulted);
   EXPECT_EQ(lossy.final_model.FlatParams(), repeat.final_model.FlatParams());
   EXPECT_EQ(lossy.costs.dropped_updates, repeat.costs.dropped_updates);
+}
+
+TEST_P(AlgorithmConformanceTest, StreamingMatchesMaterializedOnEventPath) {
+  const ConformanceWorld& world = ConformanceWorld::Get();
+
+  FlConfig materialized_cfg = world.fl_config;
+  materialized_cfg.aggregation = AggregationMode::kMaterialized;
+  const auto materialized_algo = GetParam().make();
+  const SimulationResult materialized =
+      world.Run(*materialized_algo, materialized_cfg);
+
+  FlConfig streaming_cfg = world.fl_config;
+  streaming_cfg.aggregation = AggregationMode::kStreaming;
+  streaming_cfg.max_inflight_updates = 2;
+  const auto streaming_algo = GetParam().make();
+  if (streaming_algo->SupportsStreamingAggregation()) {
+    const SimulationResult streamed =
+        world.Run(*streaming_algo, streaming_cfg);
+    EXPECT_EQ(streamed.final_model.FlatParams(),
+              materialized.final_model.FlatParams())
+        << GetParam().name;
+    EXPECT_EQ(streamed.final_accuracy, materialized.final_accuracy);
+    // Constant-memory claim: never more than the inflight cap resident.
+    EXPECT_LE(streamed.peak_resident_updates, 2) << GetParam().name;
+  } else {
+    EXPECT_THROW(world.Run(*streaming_algo, streaming_cfg),
+                 std::invalid_argument)
+        << GetParam().name;
+  }
+
+  // kAuto must resolve to a mode whose result the explicit modes reproduce.
+  const auto auto_algo = GetParam().make();
+  const SimulationResult via_auto = world.Run(*auto_algo, world.fl_config);
+  EXPECT_EQ(via_auto.final_model.FlatParams(),
+            materialized.final_model.FlatParams())
+      << GetParam().name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

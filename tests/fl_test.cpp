@@ -198,6 +198,36 @@ TEST(ClientSampler, RoundRobinRotatesDeterministically) {
   EXPECT_EQ(seen.size(), 10u);
 }
 
+TEST(ClientSampler, RoundRobinRotationSurvivesProductionRoundCounts) {
+  // Regression: the rotation start used to be computed in 32-bit —
+  // (round - 1) * participants wraps past 2^31 at production round x cohort
+  // scales, turning the start negative and the selection into garbage ids.
+  const ClientSampler small(7, 3, 7, SamplingStrategy::kRoundRobin);
+  // (10^9 - 1) * 3 = 2,999,999,997 — far past INT_MAX; mod 7 it is 1.
+  EXPECT_EQ(small.Sample(1'000'000'000), (std::vector<int>{1, 2, 3}));
+
+  // Production-shaped ring: K = N - 1 leaves exactly the client just before
+  // the rotation start unselected.
+  const int total = 100'001;
+  const int participants = 100'000;
+  const int round = 30'000;
+  const ClientSampler sampler(total, participants, 7,
+                              SamplingStrategy::kRoundRobin);
+  const std::vector<int> selected = sampler.Sample(round);
+  ASSERT_EQ(selected.size(), static_cast<std::size_t>(participants));
+  std::vector<bool> present(static_cast<std::size_t>(total), false);
+  for (const int id : selected) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, total);
+    present[static_cast<std::size_t>(id)] = true;
+  }
+  const std::int64_t start =
+      (static_cast<std::int64_t>(round - 1) * participants) % total;
+  const auto missing =
+      static_cast<std::size_t>((start + total - 1) % total);
+  EXPECT_FALSE(present[missing]);
+}
+
 TEST(ClientSampler, WeightedBySizeFavorsLargeClients) {
   std::vector<std::int64_t> sizes(10, 1);
   sizes[3] = 1000;  // one huge client

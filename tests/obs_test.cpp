@@ -576,7 +576,33 @@ TEST(ObsCrossCheck, RegistryCountersMatchCostBreakdownExactly) {
             static_cast<double>(costs.updates_lost_to_corruption));
   EXPECT_EQ(counter("pardon_fl_skipped_rounds_total"),
             static_cast<double>(costs.skipped_rounds));
+  EXPECT_EQ(counter("pardon_fl_event_time_seconds"),
+            costs.event_time_seconds);
+  // The straggler schedule above delays deliveries, so the simulated
+  // makespan must be visible in event time.
+  EXPECT_GT(costs.event_time_seconds, 0.0);
   EXPECT_EQ(counter("pardon_fl_rounds_total"), 10.0);
+}
+
+// Regression: the round-latency histogram must include the final round even
+// when the target-accuracy early stop ends the run — the loop used to
+// `break` before the observation, dropping exactly the round that reached
+// the target.
+TEST(ObsCrossCheck, EarlyStoppedRunObservesEveryRoundLatency) {
+  const SimFixture fixture;
+  MetricsRegistry registry;
+  SetActiveMetrics(&registry);
+  fl::FlConfig config = fixture.base_config;
+  config.eval_every = 1;
+  config.target_accuracy = 1e-9;  // the first evaluation stops the run
+  fixture.Run(config);
+  SetActiveMetrics(nullptr);
+
+  EXPECT_EQ(registry.CounterValue("pardon_fl_rounds_total"), 1.0);
+  const Histogram* hist = registry.FindHistogram("pardon_fl_round_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(static_cast<double>(hist->Count()),
+            registry.CounterValue("pardon_fl_rounds_total"));
 }
 
 // ------------------------------------------------------ obs-off determinism
