@@ -42,6 +42,9 @@ fl::FlConfig MakeFlConfig(const Scenario& scenario) {
       .faults = scenario.faults,
       .eval_every = scenario.eval_every,
       .seed = scenario.seed,
+      .checkpoint_every = scenario.checkpoint_every,
+      .checkpoint_dir = scenario.checkpoint_dir,
+      .resume_latest = scenario.resume,
   };
 }
 

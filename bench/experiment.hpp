@@ -54,6 +54,12 @@ struct Scenario {
   float learning_rate = 3e-3f;
   int eval_every = 5;
   std::uint64_t seed = 1;
+  // Checkpoint/resume (see fl/sim_checkpoint.hpp). Saving is keyed per
+  // (method, seed), so one directory serves a multi-method sweep; resume
+  // restarts each method from its own latest checkpoint.
+  int checkpoint_every = 0;
+  std::string checkpoint_dir = "";
+  bool resume = false;
 };
 
 struct ScenarioRun {

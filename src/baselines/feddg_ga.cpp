@@ -5,6 +5,7 @@
 
 #include "fl/aggregate.hpp"
 #include "fl/local_training.hpp"
+#include "fl/sim_checkpoint.hpp"
 
 namespace pardon::baselines {
 
@@ -61,6 +62,32 @@ std::vector<float> FedDgGa::Aggregate(std::span<const float> /*global_params*/,
     round_weights[k] = w * static_cast<double>(updates[k].num_samples);
   }
   return fl::WeightedAverage(updates, round_weights);
+}
+
+std::vector<std::uint8_t> FedDgGa::SaveRoundState() const {
+  if (weights_.empty()) return {};
+  fl::ByteWriter w;
+  w.WriteU32(static_cast<std::uint32_t>(weights_.size()));
+  for (const auto& [client, weight] : weights_) {  // std::map: sorted, stable
+    w.WriteI32(client);
+    w.WriteF64(weight);
+  }
+  return w.Take();
+}
+
+void FedDgGa::LoadRoundState(std::span<const std::uint8_t> state) {
+  weights_.clear();
+  if (state.empty()) return;
+  fl::ByteReader r(state);
+  const std::uint32_t count = r.ReadU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const int client = r.ReadI32();
+    const double weight = r.ReadF64();
+    if (!weights_.emplace(client, weight).second) {
+      throw fl::CheckpointError("FedDG-GA state: duplicate client id");
+    }
+  }
+  r.ExpectEnd();
 }
 
 }  // namespace pardon::baselines

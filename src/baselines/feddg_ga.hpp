@@ -41,6 +41,11 @@ class FedDgGa : public fl::Algorithm {
   // loss gaps each round, so the batched path stays.
   bool SupportsStreamingAggregation() const override { return false; }
 
+  // Cross-round state: the per-client adjusted weights. Serialized for
+  // checkpoint/resume.
+  std::vector<std::uint8_t> SaveRoundState() const override;
+  void LoadRoundState(std::span<const std::uint8_t> state) override;
+
   // Current per-client aggregation weight (defaults to 1 before any update).
   double ClientWeight(int client_id) const;
 

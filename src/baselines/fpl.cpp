@@ -1,8 +1,10 @@
 #include "baselines/fpl.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "clustering/finch.hpp"
+#include "fl/sim_checkpoint.hpp"
 #include "fl/aggregate.hpp"
 #include "fl/local_training.hpp"
 #include "nn/losses.hpp"
@@ -105,6 +107,47 @@ std::vector<float> Fpl::Aggregate(std::span<const float> /*global_params*/,
     prototype_classes_ = std::move(proto_classes);
   }
   return fl::FedAvg(updates);
+}
+
+std::vector<std::uint8_t> Fpl::SaveRoundState() const {
+  if (prototypes_.size() == 0) return {};  // round 1: nothing to carry over
+  fl::ByteWriter w;
+  w.WriteI64(prototypes_.dim(0));
+  w.WriteI64(prototypes_.dim(1));
+  w.WriteF32Vector({prototypes_.data(),
+                    static_cast<std::size_t>(prototypes_.size())});
+  w.WriteU32(static_cast<std::uint32_t>(prototype_classes_.size()));
+  for (const int y : prototype_classes_) w.WriteI32(y);
+  return w.Take();
+}
+
+void Fpl::LoadRoundState(std::span<const std::uint8_t> state) {
+  if (state.empty()) {
+    prototypes_ = tensor::Tensor();
+    prototype_classes_.clear();
+    return;
+  }
+  fl::ByteReader r(state);
+  const std::int64_t rows = r.ReadI64();
+  const std::int64_t dim = r.ReadI64();
+  if (rows <= 0 || dim <= 0) {
+    throw fl::CheckpointError("FPL state: non-positive prototype shape");
+  }
+  const std::vector<float> data = r.ReadF32Vector();
+  if (static_cast<std::int64_t>(data.size()) != rows * dim) {
+    throw fl::CheckpointError("FPL state: prototype data/shape mismatch");
+  }
+  const std::uint32_t num_classes = r.ReadU32();
+  if (num_classes != static_cast<std::uint32_t>(rows)) {
+    throw fl::CheckpointError("FPL state: class-id count != prototype rows");
+  }
+  std::vector<int> classes(num_classes);
+  for (auto& y : classes) y = r.ReadI32();
+  r.ExpectEnd();
+  tensor::Tensor protos({rows, dim});
+  std::copy(data.begin(), data.end(), protos.data());
+  prototypes_ = std::move(protos);
+  prototype_classes_ = std::move(classes);
 }
 
 }  // namespace pardon::baselines

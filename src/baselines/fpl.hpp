@@ -40,6 +40,11 @@ class Fpl : public fl::Algorithm {
   // so the batched path stays.
   bool SupportsStreamingAggregation() const override { return false; }
 
+  // Cross-round state: the cluster prototypes the next round contrasts
+  // against. Serialized for checkpoint/resume.
+  std::vector<std::uint8_t> SaveRoundState() const override;
+  void LoadRoundState(std::span<const std::uint8_t> state) override;
+
   // Current global cluster prototypes ([P, D]; empty before round 2).
   const tensor::Tensor& prototypes() const { return prototypes_; }
   const std::vector<int>& prototype_classes() const {

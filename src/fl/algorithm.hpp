@@ -7,8 +7,10 @@
 // training (the simulator establishes a barrier between phases).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "fl/types.hpp"
 #include "tensor/rng.hpp"
@@ -38,6 +40,17 @@ class Algorithm {
                                        std::span<const ClientUpdate> updates,
                                        std::span<const int> client_ids,
                                        int round);
+
+  // Serialized cross-round server state for checkpoint/resume — everything
+  // Aggregate mutates that the next round reads (FPL's cluster prototypes,
+  // FedDG-GA's adjusted weights). State rebuilt deterministically by Setup
+  // does NOT belong here; stateless methods keep the empty default. The two
+  // calls must round-trip: LoadRoundState(SaveRoundState()) after Setup puts
+  // the method in the exact state it saved from.
+  virtual std::vector<std::uint8_t> SaveRoundState() const { return {}; }
+  // Throws fl::CheckpointError if `state` is non-empty for a method that
+  // saves none (a checkpoint/method mismatch), or if it cannot be parsed.
+  virtual void LoadRoundState(std::span<const std::uint8_t> state);
 
   // Capability flag for the simulator's constant-memory streaming path.
   // Returning true (the default) promises two things: Aggregate is the

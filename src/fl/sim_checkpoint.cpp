@@ -1,0 +1,523 @@
+#include "fl/sim_checkpoint.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <type_traits>
+
+#include "fl/comm.hpp"
+#include "tensor/io.hpp"
+
+namespace pardon::fl {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'S', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+// Header = magic + u32 version + u64 payload_size; trailer = u32 CRC.
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+constexpr std::size_t kTrailerSize = 4;
+// No legitimate field approaches these; they bound what a CRC-colliding
+// corruption could ask the parser to allocate.
+constexpr std::uint32_t kMaxStringLength = 1u << 16;
+constexpr std::uint32_t kMaxSeriesCount = 1u << 16;
+
+template <typename T>
+T LoadPodAt(std::span<const std::uint8_t> bytes, std::size_t offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+std::string SanitizeAlgorithmName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out;
+}
+
+void WriteFaultPlan(ByteWriter& w, const FaultPlan& plan) {
+  w.WriteF64(plan.unavailability);
+  w.WriteF64(plan.dropout);
+  w.WriteF64(plan.corruption);
+  w.WriteI32(plan.max_retries);
+  w.WriteF64(plan.retry_backoff_seconds);
+  w.WriteF64(plan.straggler_fraction);
+  w.WriteF64(plan.straggler_delay_seconds);
+  w.WriteU64(plan.salt);
+}
+
+FaultPlan ReadFaultPlan(ByteReader& r) {
+  FaultPlan plan;
+  plan.unavailability = r.ReadF64();
+  plan.dropout = r.ReadF64();
+  plan.corruption = r.ReadF64();
+  plan.max_retries = r.ReadI32();
+  plan.retry_backoff_seconds = r.ReadF64();
+  plan.straggler_fraction = r.ReadF64();
+  plan.straggler_delay_seconds = r.ReadF64();
+  plan.salt = r.ReadU64();
+  return plan;
+}
+
+void WriteConfig(ByteWriter& w, const FlConfig& config) {
+  w.WriteU64(config.seed);
+  w.WriteI32(config.total_clients);
+  w.WriteI32(config.participants_per_round);
+  w.WriteI32(config.rounds);
+  w.WriteI32(config.local_epochs);
+  w.WriteI32(config.batch_size);
+  w.WriteU8(static_cast<std::uint8_t>(config.sampling));
+  w.WriteU8(static_cast<std::uint8_t>(config.optimizer.kind));
+  w.WriteF32(config.optimizer.lr);
+  w.WriteF32(config.optimizer.momentum);
+  w.WriteF32(config.optimizer.weight_decay);
+  w.WriteF64(config.client_dropout);
+  WriteFaultPlan(w, config.faults);
+  w.WriteU8(static_cast<std::uint8_t>(config.aggregation));
+  w.WriteI32(config.max_inflight_updates);
+  w.WriteI32(config.eval_every);
+  w.WriteF64(config.target_accuracy);
+}
+
+FlConfig ReadConfig(ByteReader& r) {
+  FlConfig config;
+  config.seed = r.ReadU64();
+  config.total_clients = r.ReadI32();
+  config.participants_per_round = r.ReadI32();
+  config.rounds = r.ReadI32();
+  config.local_epochs = r.ReadI32();
+  config.batch_size = r.ReadI32();
+  config.sampling = static_cast<SamplingStrategy>(r.ReadU8());
+  config.optimizer.kind = static_cast<nn::OptimizerOptions::Kind>(r.ReadU8());
+  config.optimizer.lr = r.ReadF32();
+  config.optimizer.momentum = r.ReadF32();
+  config.optimizer.weight_decay = r.ReadF32();
+  config.client_dropout = r.ReadF64();
+  config.faults = ReadFaultPlan(r);
+  config.aggregation = static_cast<AggregationMode>(r.ReadU8());
+  config.max_inflight_updates = r.ReadI32();
+  config.eval_every = r.ReadI32();
+  config.target_accuracy = r.ReadF64();
+  return config;
+}
+
+void WriteCosts(ByteWriter& w, const CostBreakdown& costs) {
+  w.WriteF64(costs.one_time_seconds);
+  w.WriteF64(costs.local_train_seconds);
+  w.WriteI64(costs.client_rounds);
+  w.WriteF64(costs.aggregate_seconds);
+  w.WriteI64(costs.aggregate_rounds);
+  w.WriteI64(costs.no_show_clients);
+  w.WriteI64(costs.dropped_updates);
+  w.WriteI64(costs.straggler_events);
+  w.WriteF64(costs.straggler_delay_seconds);
+  w.WriteI64(costs.corrupted_messages);
+  w.WriteI64(costs.retransmissions);
+  w.WriteF64(costs.retry_backoff_seconds);
+  w.WriteI64(costs.updates_lost_to_corruption);
+  w.WriteI64(costs.skipped_rounds);
+  w.WriteF64(costs.event_time_seconds);
+}
+
+CostBreakdown ReadCosts(ByteReader& r) {
+  CostBreakdown costs;
+  costs.one_time_seconds = r.ReadF64();
+  costs.local_train_seconds = r.ReadF64();
+  costs.client_rounds = r.ReadI64();
+  costs.aggregate_seconds = r.ReadF64();
+  costs.aggregate_rounds = r.ReadI64();
+  costs.no_show_clients = r.ReadI64();
+  costs.dropped_updates = r.ReadI64();
+  costs.straggler_events = r.ReadI64();
+  costs.straggler_delay_seconds = r.ReadF64();
+  costs.corrupted_messages = r.ReadI64();
+  costs.retransmissions = r.ReadI64();
+  costs.retry_backoff_seconds = r.ReadF64();
+  costs.updates_lost_to_corruption = r.ReadI64();
+  costs.skipped_rounds = r.ReadI64();
+  costs.event_time_seconds = r.ReadF64();
+  return costs;
+}
+
+template <typename T>
+void CheckField(const char* name, const T& saved, const T& run) {
+  if (saved != run) {
+    throw CheckpointError(std::string("resume config mismatch on '") + name +
+                          "' — the checkpoint belongs to a different run");
+  }
+}
+
+}  // namespace
+
+// -- byte codec --------------------------------------------------------------
+
+namespace {
+template <typename T>
+void AppendPod(std::vector<std::uint8_t>& bytes, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t offset = bytes.size();
+  bytes.resize(offset + sizeof(T));
+  std::memcpy(bytes.data() + offset, &value, sizeof(T));
+}
+}  // namespace
+
+void ByteWriter::WriteU8(std::uint8_t v) { AppendPod(bytes_, v); }
+void ByteWriter::WriteU32(std::uint32_t v) { AppendPod(bytes_, v); }
+void ByteWriter::WriteU64(std::uint64_t v) { AppendPod(bytes_, v); }
+void ByteWriter::WriteI32(std::int32_t v) { AppendPod(bytes_, v); }
+void ByteWriter::WriteI64(std::int64_t v) { AppendPod(bytes_, v); }
+void ByteWriter::WriteF32(float v) { AppendPod(bytes_, v); }
+void ByteWriter::WriteF64(double v) { AppendPod(bytes_, v); }
+
+void ByteWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<std::uint32_t>(s.size()));
+  const std::size_t offset = bytes_.size();
+  bytes_.resize(offset + s.size());
+  std::memcpy(bytes_.data() + offset, s.data(), s.size());
+}
+
+void ByteWriter::WriteF32Vector(std::span<const float> v) {
+  WriteU64(v.size());
+  const std::size_t offset = bytes_.size();
+  bytes_.resize(offset + v.size() * sizeof(float));
+  std::memcpy(bytes_.data() + offset, v.data(), v.size() * sizeof(float));
+}
+
+void ByteWriter::WriteBytes(std::span<const std::uint8_t> v) {
+  WriteU64(v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void ByteReader::Require(std::size_t count) const {
+  if (count > bytes_.size() - offset_) {
+    throw CheckpointError("truncated payload (needed " +
+                          std::to_string(count) + " bytes, " +
+                          std::to_string(bytes_.size() - offset_) +
+                          " remain)");
+  }
+}
+
+namespace {
+template <typename T>
+T TakePod(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  T value{};
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+}  // namespace
+
+std::uint8_t ByteReader::ReadU8() {
+  Require(sizeof(std::uint8_t));
+  return TakePod<std::uint8_t>(bytes_, offset_);
+}
+std::uint32_t ByteReader::ReadU32() {
+  Require(sizeof(std::uint32_t));
+  return TakePod<std::uint32_t>(bytes_, offset_);
+}
+std::uint64_t ByteReader::ReadU64() {
+  Require(sizeof(std::uint64_t));
+  return TakePod<std::uint64_t>(bytes_, offset_);
+}
+std::int32_t ByteReader::ReadI32() {
+  Require(sizeof(std::int32_t));
+  return TakePod<std::int32_t>(bytes_, offset_);
+}
+std::int64_t ByteReader::ReadI64() {
+  Require(sizeof(std::int64_t));
+  return TakePod<std::int64_t>(bytes_, offset_);
+}
+float ByteReader::ReadF32() {
+  Require(sizeof(float));
+  return TakePod<float>(bytes_, offset_);
+}
+double ByteReader::ReadF64() {
+  Require(sizeof(double));
+  return TakePod<double>(bytes_, offset_);
+}
+
+std::string ByteReader::ReadString() {
+  const std::uint32_t length = ReadU32();
+  if (length > kMaxStringLength) {
+    throw CheckpointError("implausible string length");
+  }
+  Require(length);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + offset_),
+                length);
+  offset_ += length;
+  return s;
+}
+
+std::vector<float> ByteReader::ReadF32Vector() {
+  const std::uint64_t count = ReadU64();
+  // Divide, never multiply: a corrupted count cannot overflow the check.
+  if (count > remaining() / sizeof(float)) {
+    throw CheckpointError("implausible float vector length");
+  }
+  std::vector<float> v(static_cast<std::size_t>(count));
+  std::memcpy(v.data(), bytes_.data() + offset_, v.size() * sizeof(float));
+  offset_ += v.size() * sizeof(float);
+  return v;
+}
+
+std::vector<std::uint8_t> ByteReader::ReadBytes() {
+  const std::uint64_t count = ReadU64();
+  if (count > remaining()) {
+    throw CheckpointError("implausible byte blob length");
+  }
+  std::vector<std::uint8_t> v(bytes_.begin() + static_cast<std::ptrdiff_t>(offset_),
+                              bytes_.begin() +
+                                  static_cast<std::ptrdiff_t>(offset_ + count));
+  offset_ += static_cast<std::size_t>(count);
+  return v;
+}
+
+void ByteReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    throw CheckpointError("trailing bytes after payload (" +
+                          std::to_string(remaining()) + ")");
+  }
+}
+
+// -- checkpoint serialization ------------------------------------------------
+
+std::vector<std::uint8_t> SerializeSimCheckpoint(const SimCheckpoint& ckpt) {
+  ByteWriter payload;
+  WriteConfig(payload, ckpt.config);
+  payload.WriteString(ckpt.algorithm);
+  payload.WriteI32(ckpt.round);
+  payload.WriteF32Vector(ckpt.global_params);
+  payload.WriteU64(ckpt.root_rng.state);
+  payload.WriteU64(ckpt.root_rng.inc);
+  payload.WriteU8(ckpt.root_rng.has_cached_gaussian ? 1 : 0);
+  payload.WriteF32(ckpt.root_rng.cached_gaussian);
+  payload.WriteBytes(ckpt.algorithm_state);
+  WriteCosts(payload, ckpt.costs);
+  payload.WriteI64(ckpt.peak_resident_updates);
+  const std::vector<std::string> series = ckpt.recorder.SeriesNames();
+  payload.WriteU32(static_cast<std::uint32_t>(series.size()));
+  for (const std::string& name : series) {
+    payload.WriteString(name);
+    const std::vector<int> rounds = ckpt.recorder.Rounds(name);
+    const std::vector<double> values = ckpt.recorder.Values(name);
+    payload.WriteU32(static_cast<std::uint32_t>(rounds.size()));
+    for (std::size_t i = 0; i < rounds.size(); ++i) {
+      payload.WriteI32(rounds[i]);
+      payload.WriteF64(values[i]);
+    }
+  }
+
+  const std::vector<std::uint8_t> body = payload.Take();
+  ByteWriter file;
+  file.WriteU8(static_cast<std::uint8_t>(kMagic[0]));
+  file.WriteU8(static_cast<std::uint8_t>(kMagic[1]));
+  file.WriteU8(static_cast<std::uint8_t>(kMagic[2]));
+  file.WriteU8(static_cast<std::uint8_t>(kMagic[3]));
+  file.WriteU32(kVersion);
+  file.WriteU64(body.size());
+  std::vector<std::uint8_t> bytes = file.Take();
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  AppendPod(bytes, Crc32(body));
+  return bytes;
+}
+
+SimCheckpoint ParseSimCheckpoint(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize + kTrailerSize) {
+    throw CheckpointError("file too short for header (" +
+                          std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw CheckpointError("bad magic (not a simulator checkpoint)");
+  }
+  const auto version = LoadPodAt<std::uint32_t>(bytes, 4);
+  if (version != kVersion) {
+    throw CheckpointError("unsupported version " + std::to_string(version) +
+                          " (expected " + std::to_string(kVersion) + ")");
+  }
+  const auto payload_size = LoadPodAt<std::uint64_t>(bytes, 8);
+  if (payload_size != bytes.size() - kHeaderSize - kTrailerSize) {
+    throw CheckpointError(
+        "payload size mismatch (header says " + std::to_string(payload_size) +
+        ", file holds " +
+        std::to_string(bytes.size() - kHeaderSize - kTrailerSize) + ")");
+  }
+  const std::span<const std::uint8_t> payload =
+      bytes.subspan(kHeaderSize, static_cast<std::size_t>(payload_size));
+  const auto stored_crc =
+      LoadPodAt<std::uint32_t>(bytes, bytes.size() - kTrailerSize);
+  if (Crc32(payload) != stored_crc) {
+    throw CheckpointError("CRC-32 mismatch (corrupted payload)");
+  }
+
+  ByteReader r(payload);
+  SimCheckpoint ckpt;
+  ckpt.config = ReadConfig(r);
+  ckpt.algorithm = r.ReadString();
+  ckpt.round = r.ReadI32();
+  ckpt.global_params = r.ReadF32Vector();
+  ckpt.root_rng.state = r.ReadU64();
+  ckpt.root_rng.inc = r.ReadU64();
+  ckpt.root_rng.has_cached_gaussian = r.ReadU8() != 0;
+  ckpt.root_rng.cached_gaussian = r.ReadF32();
+  ckpt.algorithm_state = r.ReadBytes();
+  ckpt.costs = ReadCosts(r);
+  ckpt.peak_resident_updates = r.ReadI64();
+  const std::uint32_t num_series = r.ReadU32();
+  if (num_series > kMaxSeriesCount) {
+    throw CheckpointError("implausible recorder series count");
+  }
+  for (std::uint32_t s = 0; s < num_series; ++s) {
+    const std::string name = r.ReadString();
+    const std::uint32_t count = r.ReadU32();
+    if (count > kMaxSeriesCount) {
+      throw CheckpointError("implausible recorder entry count");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::int32_t round = r.ReadI32();
+      const double value = r.ReadF64();
+      ckpt.recorder.Record(name, round, value);
+    }
+  }
+  r.ExpectEnd();
+  if (ckpt.round < 0) throw CheckpointError("negative round index");
+  return ckpt;
+}
+
+void SaveSimCheckpoint(const std::string& path, const SimCheckpoint& ckpt) {
+  tensor::AtomicWriteFile(path, SerializeSimCheckpoint(ckpt));
+}
+
+SimCheckpoint LoadSimCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("cannot open " + path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return ParseSimCheckpoint(bytes);
+}
+
+void ValidateForResume(const SimCheckpoint& ckpt, const FlConfig& config,
+                       const std::string& algorithm_name,
+                       std::size_t param_count) {
+  if (ckpt.algorithm != algorithm_name) {
+    throw CheckpointError("algorithm mismatch (checkpoint '" + ckpt.algorithm +
+                          "' vs run '" + algorithm_name + "')");
+  }
+  if (ckpt.global_params.size() != param_count) {
+    throw CheckpointError(
+        "model parameter count mismatch (checkpoint " +
+        std::to_string(ckpt.global_params.size()) + " vs run " +
+        std::to_string(param_count) + " — model architecture differs)");
+  }
+  const FlConfig& saved = ckpt.config;
+  CheckField("seed", saved.seed, config.seed);
+  CheckField("total_clients", saved.total_clients, config.total_clients);
+  CheckField("participants_per_round", saved.participants_per_round,
+             config.participants_per_round);
+  CheckField("rounds", saved.rounds, config.rounds);
+  CheckField("local_epochs", saved.local_epochs, config.local_epochs);
+  CheckField("batch_size", saved.batch_size, config.batch_size);
+  CheckField("sampling", static_cast<int>(saved.sampling),
+             static_cast<int>(config.sampling));
+  CheckField("optimizer.kind", static_cast<int>(saved.optimizer.kind),
+             static_cast<int>(config.optimizer.kind));
+  CheckField("optimizer.lr", saved.optimizer.lr, config.optimizer.lr);
+  CheckField("optimizer.momentum", saved.optimizer.momentum,
+             config.optimizer.momentum);
+  CheckField("optimizer.weight_decay", saved.optimizer.weight_decay,
+             config.optimizer.weight_decay);
+  CheckField("client_dropout", saved.client_dropout, config.client_dropout);
+  CheckField("faults.unavailability", saved.faults.unavailability,
+             config.faults.unavailability);
+  CheckField("faults.dropout", saved.faults.dropout, config.faults.dropout);
+  CheckField("faults.corruption", saved.faults.corruption,
+             config.faults.corruption);
+  CheckField("faults.max_retries", saved.faults.max_retries,
+             config.faults.max_retries);
+  CheckField("faults.retry_backoff_seconds",
+             saved.faults.retry_backoff_seconds,
+             config.faults.retry_backoff_seconds);
+  CheckField("faults.straggler_fraction", saved.faults.straggler_fraction,
+             config.faults.straggler_fraction);
+  CheckField("faults.straggler_delay_seconds",
+             saved.faults.straggler_delay_seconds,
+             config.faults.straggler_delay_seconds);
+  CheckField("faults.salt", saved.faults.salt, config.faults.salt);
+  CheckField("aggregation", static_cast<int>(saved.aggregation),
+             static_cast<int>(config.aggregation));
+  CheckField("max_inflight_updates", saved.max_inflight_updates,
+             config.max_inflight_updates);
+  CheckField("eval_every", saved.eval_every, config.eval_every);
+  CheckField("target_accuracy", saved.target_accuracy,
+             config.target_accuracy);
+  if (ckpt.round > config.rounds) {
+    throw CheckpointError("checkpoint round " + std::to_string(ckpt.round) +
+                          " exceeds the run's " +
+                          std::to_string(config.rounds) + " rounds");
+  }
+}
+
+std::string CheckpointFileName(const std::string& algorithm,
+                               std::uint64_t seed, int round) {
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), "_s%llu_r%06d.ckpt",
+                static_cast<unsigned long long>(seed), round);
+  return "sim_" + SanitizeAlgorithmName(algorithm) + suffix;
+}
+
+std::optional<std::string> FindLatestCheckpoint(const std::string& dir,
+                                                const std::string& algorithm,
+                                                std::uint64_t seed) {
+  char prefix_suffix[64];
+  std::snprintf(prefix_suffix, sizeof(prefix_suffix), "_s%llu_r",
+                static_cast<unsigned long long>(seed));
+  const std::string prefix =
+      "sim_" + SanitizeAlgorithmName(algorithm) + prefix_suffix;
+  const std::string extension = ".ckpt";
+
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return std::nullopt;
+
+  int best_round = -1;
+  std::string best_path;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + extension.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - extension.size(), extension.size(),
+                     extension) != 0) {
+      continue;  // skips "*.ckpt.tmp" leftovers from interrupted saves
+    }
+    const std::string digits = name.substr(
+        prefix.size(), name.size() - prefix.size() - extension.size());
+    if (digits.empty()) continue;
+    int round = 0;
+    bool numeric = true;
+    for (const char c : digits) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        numeric = false;
+        break;
+      }
+      round = round * 10 + (c - '0');
+      if (round > 1'000'000'000) {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) continue;
+    if (round > best_round) {
+      best_round = round;
+      best_path = entry.path().string();
+    }
+  }
+  if (best_round < 0) return std::nullopt;
+  return best_path;
+}
+
+}  // namespace pardon::fl

@@ -1,0 +1,151 @@
+// Full-simulator checkpoint/resume (see docs/CHECKPOINTING.md).
+//
+// A SimCheckpoint captures the complete state of Simulator::Run at a round
+// boundary — global model parameters, the root RNG stream (whose Fork calls
+// advance it every round), per-method server state mutated in Aggregate,
+// cumulative cost accounting, the recorder's accuracy series, and an echo of
+// every determinism-relevant FlConfig field. Restoring it and running the
+// remaining rounds is bitwise identical to an uninterrupted run: same final
+// parameters, same accuracies, same deterministic fault accounting, for
+// every algorithm, fault plan, aggregation mode, and thread count.
+//
+// On-disk format (little-endian):
+//   "PSCK" | u32 version | u64 payload_size | payload | u32 crc32(payload)
+//
+// The CRC-32 (IEEE 802.3, shared with the fl/comm wire framing) makes every
+// single-byte flip detectable, and payload_size makes every truncation
+// detectable; the payload parser additionally bounds-checks every read, so a
+// corrupted file of any shape raises CheckpointError — never undefined
+// behavior, never silently wrong state. Files are written atomically
+// (tensor::AtomicWriteFile): a crash mid-save leaves at worst a stale
+// "*.tmp" alongside intact checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fl/types.hpp"
+#include "metrics/recorder.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::fl {
+
+// Raised on every load/validation failure: truncation, corruption, version
+// or magic mismatch, and config/algorithm mismatches on resume.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error("sim checkpoint: " + what) {}
+};
+
+struct SimCheckpoint {
+  // Echo of the run's FlConfig (checkpoint_* fields excluded — changing the
+  // checkpoint cadence between save and resume is legal). Validated
+  // field-by-field on resume; any divergence would silently break the
+  // bitwise contract, so it raises instead.
+  FlConfig config;
+  // Algorithm::Name() of the run that saved the checkpoint.
+  std::string algorithm;
+  // Last fully completed round (1-based); resume continues at round + 1.
+  int round = 0;
+  // Global model parameters after `round` (params + buffers, flat).
+  std::vector<float> global_params;
+  // The simulator's root RNG after all per-client forks through `round`.
+  tensor::Pcg32State root_rng;
+  // Opaque per-method server state (Algorithm::SaveRoundState).
+  std::vector<std::uint8_t> algorithm_state;
+  // Cumulative cost accounting. Deterministic fields (counts and simulated
+  // *_seconds) resume bitwise; measured wall-clock fields keep accumulating
+  // real work across processes and are excluded from the bitwise contract.
+  CostBreakdown costs;
+  std::int64_t peak_resident_updates = 0;
+  // Recorded evaluation series ("<eval name>" -> (round, accuracy)).
+  metrics::Recorder recorder;
+};
+
+// -- serialization ----------------------------------------------------------
+std::vector<std::uint8_t> SerializeSimCheckpoint(const SimCheckpoint& ckpt);
+SimCheckpoint ParseSimCheckpoint(std::span<const std::uint8_t> bytes);
+
+// Atomic write-rename to `path` (directories must exist).
+void SaveSimCheckpoint(const std::string& path, const SimCheckpoint& ckpt);
+// Throws CheckpointError on any malformed input, including missing files.
+SimCheckpoint LoadSimCheckpoint(const std::string& path);
+
+// Throws CheckpointError naming the offending field when the checkpoint does
+// not belong to (config, algorithm_name, param_count) — e.g. a different
+// seed, fault plan, optimizer, cohort geometry, or model architecture.
+void ValidateForResume(const SimCheckpoint& ckpt, const FlConfig& config,
+                       const std::string& algorithm_name,
+                       std::size_t param_count);
+
+// -- file naming ------------------------------------------------------------
+// "sim_<algorithm>_s<seed>_r<round, zero-padded>.ckpt" with non-alphanumeric
+// algorithm characters mapped to '_' ("FedDG-GA" -> "FedDG_GA").
+std::string CheckpointFileName(const std::string& algorithm,
+                               std::uint64_t seed, int round);
+// Highest-round checkpoint in `dir` matching (algorithm, seed), or nullopt
+// when none exists (including when `dir` itself is missing). "*.tmp" leftovers
+// from an interrupted save are never matched.
+std::optional<std::string> FindLatestCheckpoint(const std::string& dir,
+                                                const std::string& algorithm,
+                                                std::uint64_t seed);
+
+// -- bounds-checked byte codec ----------------------------------------------
+// Shared by the checkpoint payload and Algorithm::SaveRoundState
+// implementations (FPL prototypes, FedDG-GA weights). Every Read* checks the
+// remaining length and throws CheckpointError on overrun, so a corrupted
+// blob can never read out of bounds.
+class ByteWriter {
+ public:
+  void WriteU8(std::uint8_t v);
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+  void WriteI32(std::int32_t v);
+  void WriteI64(std::int64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);           // u32 length + bytes
+  void WriteF32Vector(std::span<const float> v);    // u64 count + raw f32
+  void WriteBytes(std::span<const std::uint8_t> v); // u64 count + bytes
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t ReadU8();
+  std::uint32_t ReadU32();
+  std::uint64_t ReadU64();
+  std::int32_t ReadI32();
+  std::int64_t ReadI64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<float> ReadF32Vector();
+  std::vector<std::uint8_t> ReadBytes();
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+  // Throws CheckpointError when trailing bytes remain — a parser that
+  // consumed less than the payload read a different structure than was
+  // written.
+  void ExpectEnd() const;
+
+ private:
+  void Require(std::size_t count) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace pardon::fl

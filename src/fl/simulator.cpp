@@ -6,10 +6,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include <filesystem>
+
 #include "fl/aggregate.hpp"
 #include "fl/comm.hpp"
 #include "fl/event_engine.hpp"
 #include "fl/fault.hpp"
+#include "fl/sim_checkpoint.hpp"
 #include "metrics/evaluation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -217,6 +220,62 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
   const FaultInjector injector(EffectiveFaultPlan(config_), config_.seed);
   const FaultPlan& plan = injector.plan();
 
+  // -- resume -------------------------------------------------------------
+  // Loading happens AFTER Setup: Setup rebuilds the deterministic caches
+  // (style banks, config snapshots) that checkpoints deliberately omit, and
+  // clears any cross-round state that LoadRoundState then restores. From
+  // here the run is indistinguishable from one that just finished
+  // ckpt.round in-process, so the remaining rounds replay bitwise.
+  int start_round = 1;
+  {
+    std::string resume_path = config_.resume_from;
+    if (resume_path.empty() && config_.resume_latest &&
+        !config_.checkpoint_dir.empty()) {
+      resume_path = FindLatestCheckpoint(config_.checkpoint_dir,
+                                         algorithm.Name(), config_.seed)
+                        .value_or("");
+    }
+    if (!resume_path.empty()) {
+      const SimCheckpoint ckpt = LoadSimCheckpoint(resume_path);
+      ValidateForResume(ckpt, config_, algorithm.Name(),
+                        global_params.size());
+      global_params = ckpt.global_params;
+      root_rng = tensor::Pcg32::FromState(ckpt.root_rng);
+      algorithm.LoadRoundState(ckpt.algorithm_state);
+      // This process's setup time adds onto the saved run's accounting; the
+      // wall-clock fields keep accumulating real work across processes and
+      // are outside the bitwise contract (docs/CHECKPOINTING.md).
+      const double setup_seconds = result.costs.one_time_seconds;
+      result.costs = ckpt.costs;
+      result.costs.one_time_seconds += setup_seconds;
+      result.peak_resident_updates = ckpt.peak_resident_updates;
+      for (const std::string& name : ckpt.recorder.SeriesNames()) {
+        const std::vector<int> rounds = ckpt.recorder.Rounds(name);
+        const std::vector<double> values = ckpt.recorder.Values(name);
+        for (std::size_t i = 0; i < rounds.size(); ++i) {
+          result.recorder.Record(name, rounds[i], values[i]);
+        }
+      }
+      start_round = ckpt.round + 1;
+      // A run that early-stopped on target_accuracy saved its final
+      // checkpoint at the stopping round; resuming that checkpoint must not
+      // run the rounds the original run never executed.
+      if (config_.target_accuracy > 0.0 && !eval_sets.empty() &&
+          result.recorder.Has(eval_sets.front().name) &&
+          result.recorder.Last(eval_sets.front().name) >=
+              config_.target_accuracy) {
+        start_round = config_.rounds + 1;
+      }
+      PARDON_LOG_INFO << algorithm.Name() << " resumed from " << resume_path
+                      << " at round " << ckpt.round;
+    }
+  }
+  const bool save_checkpoints =
+      config_.checkpoint_every > 0 && !config_.checkpoint_dir.empty();
+  if (save_checkpoints) {
+    std::filesystem::create_directories(config_.checkpoint_dir);
+  }
+
   const auto evaluate = [&](int round) {
     obs::ScopedSpan span("fl.evaluate", "fl");
     if (span.active()) span.AddArg("round", std::int64_t{round});
@@ -233,7 +292,7 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
     }
   };
 
-  for (int round = 1; round <= config_.rounds; ++round) {
+  for (int round = start_round; round <= config_.rounds; ++round) {
     obs::ScopedSpan round_span("fl.round", "fl");
     if (round_span.active()) round_span.AddArg("round", std::int64_t{round});
     const util::Stopwatch round_watch;
@@ -538,6 +597,31 @@ SimulationResult Simulator::Run(Algorithm& algorithm,
                          << "round " << round;
         reached_target = true;
       }
+    }
+    // Checkpoint at the cadence boundary and at every round that ends the
+    // run (final or target-reaching), AFTER this round's evaluation so the
+    // recorder snapshot is complete. The save is atomic, so a kill at any
+    // instant leaves only complete checkpoints behind.
+    if (save_checkpoints &&
+        (last_round || reached_target ||
+         round % config_.checkpoint_every == 0)) {
+      obs::ScopedSpan span("fl.checkpoint", "fl");
+      if (span.active()) span.AddArg("round", std::int64_t{round});
+      SimCheckpoint ckpt{.config = config_,
+                         .algorithm = algorithm.Name(),
+                         .round = round,
+                         .global_params = global_params,
+                         .root_rng = root_rng.SaveState(),
+                         .algorithm_state = algorithm.SaveRoundState(),
+                         .costs = result.costs,
+                         .peak_resident_updates = result.peak_resident_updates,
+                         .recorder = result.recorder};
+      SaveSimCheckpoint(
+          (std::filesystem::path(config_.checkpoint_dir) /
+           CheckpointFileName(algorithm.Name(), config_.seed, round))
+              .string(),
+          ckpt);
+      obs::IncCounter("pardon_fl_checkpoints_total");
     }
     // The round latency lands in the histogram BEFORE any early stop: the
     // final, target-reaching round used to be the one observation dropped.

@@ -66,6 +66,18 @@ struct FlConfig {
   // evaluation point (0 disables). Useful for convergence-time comparisons.
   double target_accuracy = 0.0;
   std::uint64_t seed = 41;
+
+  // -- checkpoint/resume (see fl/sim_checkpoint.hpp) ----------------------
+  // Save a full-round checkpoint into `checkpoint_dir` every this many
+  // rounds (and always at the last executed round); 0 disables saving.
+  int checkpoint_every = 0;
+  std::string checkpoint_dir = "";
+  // Resume from this exact checkpoint file. Empty = no explicit resume.
+  std::string resume_from = "";
+  // Resume from the latest matching checkpoint in `checkpoint_dir`, starting
+  // fresh when none exists — the crash-recovery entry point. Ignored when
+  // `resume_from` is set.
+  bool resume_latest = false;
 };
 
 // What a client sends back to the server after local training.

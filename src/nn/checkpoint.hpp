@@ -2,6 +2,13 @@
 // examples can save a trained global model and reload it for inference.
 // The architecture is not serialized — the loader must construct a model
 // with the same Config; a parameter-count mismatch raises.
+//
+// Round-trips are exact: parameters are stored as raw IEEE-754 binary
+// (tensor/io.hpp), so every float — including denormals, -0.0, and NaN
+// payloads — loads back bitwise identical. Saves are atomic
+// (write-to-temp + rename), so a crash mid-save never corrupts an existing
+// checkpoint. Full-simulator round state lives in fl/sim_checkpoint.hpp,
+// which builds on the same guarantees.
 #pragma once
 
 #include <string>

@@ -2,9 +2,12 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace pardon::tensor {
@@ -12,6 +15,11 @@ namespace pardon::tensor {
 namespace {
 constexpr char kMagic[4] = {'P', 'T', 'N', 'S'};
 constexpr std::uint32_t kVersion = 1;
+// Upper bounds a corrupted header can request before allocation: no real
+// checkpoint in this codebase approaches 2^33 floats (32 GiB) per tensor or
+// 2^20 tensors per bundle.
+constexpr std::int64_t kMaxElements = std::int64_t{1} << 33;
+constexpr std::uint32_t kMaxTensorsPerBundle = 1u << 20;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -48,7 +56,19 @@ Tensor ReadTensor(std::istream& in) {
   const auto rank = ReadPod<std::uint32_t>(in);
   if (rank > 8) throw std::runtime_error("tensor io: implausible rank");
   std::vector<std::int64_t> shape(rank);
-  for (auto& d : shape) d = ReadPod<std::int64_t>(in);
+  // Validate dimensions with overflow-checked volume accumulation BEFORE
+  // constructing the tensor: a bit-flipped header must raise here, not wrap
+  // a signed multiply (UB) into a tiny allocation and a silently wrong
+  // tensor.
+  std::int64_t volume = 1;
+  for (auto& d : shape) {
+    d = ReadPod<std::int64_t>(in);
+    if (d < 0) throw std::runtime_error("tensor io: negative dimension");
+    if (d > 0 && volume > kMaxElements / d) {
+      throw std::runtime_error("tensor io: implausible tensor volume");
+    }
+    volume *= d;
+  }
   Tensor t(std::move(shape));
   in.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.size() * sizeof(float)));
@@ -57,20 +77,48 @@ Tensor ReadTensor(std::istream& in) {
 }
 
 void SaveTensors(const std::string& path, const std::vector<Tensor>& tensors) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("tensor io: cannot open " + path);
+  std::ostringstream out(std::ios::binary);
   WritePod(out, static_cast<std::uint32_t>(tensors.size()));
   for (const Tensor& t : tensors) WriteTensor(out, t);
+  const std::string bytes = out.str();
+  AtomicWriteFile(path,
+                  {reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                   bytes.size()});
 }
 
 std::vector<Tensor> LoadTensors(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("tensor io: cannot open " + path);
   const auto count = ReadPod<std::uint32_t>(in);
+  if (count > kMaxTensorsPerBundle) {
+    throw std::runtime_error("tensor io: implausible tensor count");
+  }
   std::vector<Tensor> tensors;
   tensors.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) tensors.push_back(ReadTensor(in));
   return tensors;
+}
+
+void AtomicWriteFile(const std::string& path,
+                     std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("tensor io: cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("tensor io: write failed for " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("tensor io: cannot rename " + tmp + " to " +
+                             path);
+  }
 }
 
 }  // namespace pardon::tensor

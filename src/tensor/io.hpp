@@ -3,9 +3,17 @@
 //
 // Format: magic "PTNS" | u32 version | u32 rank | i64 dims... | f32 data...
 // Little-endian layout is assumed (true of every supported target).
+//
+// The float payload is raw IEEE-754 bytes, so round-trips are exact for every
+// value — denormals, -0.0, infinities, and NaN payloads included. Readers
+// validate headers defensively: a truncated, bit-flipped, or adversarial
+// stream yields a descriptive std::runtime_error, never undefined behavior
+// or a silently wrong tensor.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,8 +24,16 @@ namespace pardon::tensor {
 void WriteTensor(std::ostream& out, const Tensor& t);
 Tensor ReadTensor(std::istream& in);
 
-// Writes a named bundle of tensors (checkpoint).
+// Writes a named bundle of tensors (checkpoint). The write is atomic: bytes
+// go to "<path>.tmp" which is renamed over `path` only once complete, so a
+// crash mid-save can never destroy an existing file at `path`.
 void SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
 std::vector<Tensor> LoadTensors(const std::string& path);
+
+// Crash-safe file replacement: writes `bytes` to "<path>.tmp", flushes, and
+// renames over `path` (atomic on POSIX). Throws std::runtime_error on any
+// I/O failure, leaving a pre-existing `path` untouched.
+void AtomicWriteFile(const std::string& path,
+                     std::span<const std::uint8_t> bytes);
 
 }  // namespace pardon::tensor

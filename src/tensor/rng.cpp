@@ -83,6 +83,23 @@ std::vector<int> Pcg32::Permutation(int n) {
   return indices;
 }
 
+Pcg32State Pcg32::SaveState() const {
+  return Pcg32State{.state = state_,
+                    .inc = inc_,
+                    .has_cached_gaussian = has_cached_gaussian_,
+                    .cached_gaussian = cached_gaussian_};
+}
+
+Pcg32 Pcg32::FromState(const Pcg32State& snapshot) {
+  // Bypasses the seeding constructor: the snapshot already IS the raw state.
+  Pcg32 rng;
+  rng.state_ = snapshot.state;
+  rng.inc_ = snapshot.inc;
+  rng.has_cached_gaussian_ = snapshot.has_cached_gaussian;
+  rng.cached_gaussian_ = snapshot.cached_gaussian;
+  return rng;
+}
+
 Pcg32 Pcg32::Fork(std::uint64_t salt) {
   // Mix the salt with fresh draws so forked streams are decorrelated
   // regardless of how many numbers the parent has produced.

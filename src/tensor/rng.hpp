@@ -21,6 +21,16 @@ std::uint64_t SplitMix64(std::uint64_t x);
 // is avalanched before it meets the other.
 std::uint64_t MixSeeds(std::uint64_t a, std::uint64_t b);
 
+// Complete serializable Pcg32 state (see Pcg32::SaveState). Restoring it
+// reproduces the exact output stream, including a cached Box-Muller deviate —
+// the property full-simulator checkpoints (fl/sim_checkpoint.hpp) rely on.
+struct Pcg32State {
+  std::uint64_t state = 0;
+  std::uint64_t inc = 0;
+  bool has_cached_gaussian = false;
+  float cached_gaussian = 0.0f;
+};
+
 class Pcg32 {
  public:
   explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
@@ -44,6 +54,10 @@ class Pcg32 {
 
   // Derives an independent child generator (stable across call order).
   Pcg32 Fork(std::uint64_t salt);
+
+  // Snapshot / restore of the full generator state for checkpoint/resume.
+  Pcg32State SaveState() const;
+  static Pcg32 FromState(const Pcg32State& snapshot);
 
  private:
   std::uint64_t state_;

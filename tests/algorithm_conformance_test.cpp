@@ -16,12 +16,17 @@
 //      supports it) is bitwise identical to the materialized path, kAuto
 //      resolves to one of the two, and forcing streaming onto a
 //      batched-only method is rejected.
+//   6. Checkpoint/resume transparency: saving at round R and resuming from
+//      that checkpoint reproduces the uninterrupted run bitwise (the full
+//      kill-point/fault/corruption matrix lives in
+//      checkpoint_resume_test.cpp).
 //
 // Adding a new Algorithm to the suite is one line in ConformanceMethods()
 // (see docs/TESTING.md).
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -37,6 +42,7 @@
 #include "core/fisc.hpp"
 #include "data/domain_generator.hpp"
 #include "data/partition.hpp"
+#include "fl/sim_checkpoint.hpp"
 #include "fl/simulator.hpp"
 
 namespace pardon::fl {
@@ -259,6 +265,36 @@ TEST_P(AlgorithmConformanceTest, StreamingMatchesMaterializedOnEventPath) {
   EXPECT_EQ(via_auto.final_model.FlatParams(),
             materialized.final_model.FlatParams())
       << GetParam().name;
+}
+
+TEST_P(AlgorithmConformanceTest, ResumeFromMidRunCheckpointIsTransparent) {
+  const ConformanceWorld& world = ConformanceWorld::Get();
+  std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "pardon_conf_ckpt";
+  for (const char c : GetParam().name) {
+    dir += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  FlConfig saving = world.fl_config;
+  saving.checkpoint_every = 2;
+  saving.checkpoint_dir = dir.string();
+  const auto full_algo = GetParam().make();
+  const SimulationResult uninterrupted = world.Run(*full_algo, saving);
+
+  FlConfig resuming = world.fl_config;
+  resuming.resume_from =
+      (dir / CheckpointFileName(GetParam().name, world.fl_config.seed, 2))
+          .string();
+  const auto resumed_algo = GetParam().make();
+  const SimulationResult resumed = world.Run(*resumed_algo, resuming);
+
+  EXPECT_EQ(uninterrupted.final_model.FlatParams(),
+            resumed.final_model.FlatParams())
+      << GetParam().name;
+  EXPECT_EQ(uninterrupted.final_accuracy, resumed.final_accuracy);
+  std::filesystem::remove_all(dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -2,8 +2,11 @@
 // end-to-end learning on a toy problem.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <limits>
 
 #include "nn/checkpoint.hpp"
 #include "nn/losses.hpp"
@@ -152,6 +155,54 @@ TEST(Checkpoint, SaveLoadRoundTrip) {
   const Tensor x = Tensor::Gaussian({3, 8}, 0, 1, rng);
   EXPECT_LT(tensor::MaxAbsDiff(model.InferLogits(x), restored.InferLogits(x)),
             1e-6f);
+  std::remove(path.c_str());
+}
+
+// The round-trip must be EXACT — bitwise, not within tolerance. Parameters
+// are plumbed through raw IEEE-754 binary, so denormals, -0.0, and extreme
+// magnitudes (states a long optimizer run can reach) survive verbatim; a
+// text or rounded float path would fail this on the denormal and -0.0 pins.
+TEST(Checkpoint, RoundTripIsBitwiseExact) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pardon_ckpt_exact.bin")
+          .string();
+  MlpClassifier model(SmallConfig());
+  std::vector<float> params = model.FlatParams();
+  ASSERT_GE(params.size(), 5u);
+  params[0] = -0.0f;
+  params[1] = std::numeric_limits<float>::denorm_min();
+  params[2] = -std::numeric_limits<float>::denorm_min();
+  params[3] = std::numeric_limits<float>::max();
+  params[4] = 1.0f + std::numeric_limits<float>::epsilon();
+  model.SetFlatParams(params);
+  SaveCheckpoint(path, model);
+
+  MlpClassifier restored(SmallConfig());
+  LoadCheckpoint(path, restored);
+  const std::vector<float> back = restored.FlatParams();
+  ASSERT_EQ(back.size(), params.size());
+  EXPECT_EQ(
+      std::memcmp(back.data(), params.data(), params.size() * sizeof(float)),
+      0);
+  EXPECT_TRUE(std::signbit(back[0])) << "-0.0 lost its sign";
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SaveIsAtomicAndTruncationFailsCleanly) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "pardon_ckpt_atomic.bin").string();
+  MlpClassifier model(SmallConfig());
+  SaveCheckpoint(path, model);
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "temp file left behind";
+
+  // A crash mid-save must never corrupt the existing file; simulate the
+  // closest observable: a truncated checkpoint fails to load with an error
+  // rather than yielding a silently wrong model.
+  const auto full_size = fs::file_size(path);
+  fs::resize_file(path, full_size / 2);
+  MlpClassifier victim(SmallConfig());
+  EXPECT_THROW(LoadCheckpoint(path, victim), std::runtime_error);
   std::remove(path.c_str());
 }
 

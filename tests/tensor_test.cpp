@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -319,6 +321,98 @@ TEST(Io, RejectsCorruptStream) {
   stream << "not a tensor";
   EXPECT_THROW(ReadTensor(stream), std::runtime_error);
   EXPECT_THROW(LoadTensors("/nonexistent/path/xyz.bin"), std::runtime_error);
+}
+
+namespace {
+// A syntactically valid tensor header with attacker-chosen dimensions.
+std::stringstream TensorHeaderWithDims(const std::vector<std::int64_t>& dims) {
+  std::stringstream stream;
+  stream.write("PTNS", 4);
+  const std::uint32_t version = 1;
+  stream.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const auto rank = static_cast<std::uint32_t>(dims.size());
+  stream.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (const std::int64_t d : dims) {
+    stream.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  return stream;
+}
+}  // namespace
+
+// Regression: dims of 2^32 x 2^32 used to wrap the volume accumulator
+// (signed-multiply overflow, UB) to zero, and ReadTensor returned a bogus
+// EMPTY tensor without error — silently wrong state from a bit-flipped
+// header. The hardened reader bounds the volume before allocating.
+TEST(Io, RejectsOverflowingDimensionsInsteadOfEmptyTensor) {
+  const std::int64_t big = std::int64_t{1} << 32;
+  auto stream = TensorHeaderWithDims({big, big});
+  EXPECT_THROW(ReadTensor(stream), std::runtime_error);
+}
+
+TEST(Io, RejectsNegativeDimensions) {
+  auto stream = TensorHeaderWithDims({4, -4});
+  EXPECT_THROW(ReadTensor(stream), std::runtime_error);
+}
+
+TEST(Io, RejectsImplausiblyLargePlausiblyShapedTensor) {
+  // Each dim is individually fine; the product exceeds any real checkpoint.
+  auto stream = TensorHeaderWithDims({1 << 20, 1 << 20});
+  EXPECT_THROW(ReadTensor(stream), std::runtime_error);
+}
+
+TEST(Io, RoundTripIsBitwiseExactForSpecialFloats) {
+  Tensor original({6});
+  original.data()[0] = -0.0f;
+  original.data()[1] = std::numeric_limits<float>::denorm_min();
+  original.data()[2] = std::numeric_limits<float>::quiet_NaN();
+  original.data()[3] = -std::numeric_limits<float>::infinity();
+  original.data()[4] = std::numeric_limits<float>::max();
+  original.data()[5] = 1.0f + std::numeric_limits<float>::epsilon();
+  std::stringstream stream;
+  WriteTensor(stream, original);
+  const Tensor restored = ReadTensor(stream);
+  ASSERT_EQ(restored.size(), original.size());
+  // memcmp, not ==: NaN payloads and the sign of -0.0 must survive too.
+  EXPECT_EQ(std::memcmp(restored.data(), original.data(),
+                        sizeof(float) * static_cast<std::size_t>(
+                                            original.size())),
+            0);
+}
+
+TEST(Io, SaveTensorsIsAtomicAndLeavesNoTempFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pardon_atomic_io_test.bin")
+          .string();
+  SaveTensors(path, {Tensor::Arange(5)});
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // Overwriting an existing checkpoint goes through the same tmp+rename.
+  SaveTensors(path, {Tensor::Arange(9)});
+  const std::vector<Tensor> restored = LoadTensors(path);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].size(), 9);
+  std::remove(path.c_str());
+}
+
+TEST(Io, EveryTruncationOfABundleFailsCleanly) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pardon_io_trunc";
+  fs::create_directories(dir);
+  const std::string full = (dir / "full.bin").string();
+  Pcg32 rng(23);
+  SaveTensors(full, {Tensor::Gaussian({2, 3}, 0, 1, rng), Tensor::Arange(4)});
+  std::ifstream in(full, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 8u);
+  const std::string truncated = (dir / "truncated.bin").string();
+  for (std::size_t length = 4; length < bytes.size(); ++length) {
+    std::ofstream(truncated, std::ios::binary | std::ios::trunc)
+        .write(bytes.data(), static_cast<std::streamsize>(length));
+    EXPECT_THROW(LoadTensors(truncated), std::runtime_error)
+        << "prefix of " << length << " bytes loaded without error";
+  }
+  fs::remove_all(dir);
 }
 
 TEST(Rng, DeterministicAcrossInstances) {

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff CI bench-smoke JSON against history.
+
+Compares google-benchmark JSON output (--current, repeatable) against the
+most recent bench/history/BENCH_*.json baseline and fails when any matching
+benchmark regressed by more than --threshold (default 20%).
+
+CI smoke runs execute on shared runners, so the gate is deliberately coarse:
+it exists to catch order-of-magnitude mistakes (a fallback to the naive GEMM
+path, an accidentally quadratic round loop), not single-digit noise.
+
+Usage:
+  tools/bench_compare.py --current gemm.json --current round_loop.json \
+      [--history-dir bench/history] [--filter REGEX] [--threshold 0.20]
+
+Exit status: 0 = no regressions (or nothing comparable), 1 = regression,
+2 = usage/input error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+# Everything is normalized to nanoseconds before comparison.
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {name: time_ns} for a google-benchmark JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        time = bench.get("real_time")
+        unit = bench.get("time_unit", "ns")
+        if name is None or time is None or unit not in _UNIT_TO_NS:
+            continue
+        out[name] = float(time) * _UNIT_TO_NS[unit]
+    return out
+
+
+def latest_history(history_dir):
+    candidates = sorted(glob.glob(os.path.join(history_dir, "BENCH_*.json")))
+    return candidates[-1] if candidates else None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", action="append", required=True,
+                        help="google-benchmark JSON from this run (repeatable)")
+    parser.add_argument("--history-dir", default="bench/history",
+                        help="directory holding BENCH_*.json baselines")
+    parser.add_argument("--baseline", default=None,
+                        help="explicit baseline file (overrides --history-dir)")
+    parser.add_argument("--filter", default=".*",
+                        help="regex of benchmark names to gate on")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional slowdown (0.20 = +20%%)")
+    args = parser.parse_args()
+
+    baseline_path = args.baseline or latest_history(args.history_dir)
+    if baseline_path is None:
+        print(f"bench_compare: no BENCH_*.json under {args.history_dir}; "
+              "nothing to gate against")
+        return 0
+    try:
+        baseline = load_benchmarks(baseline_path)
+    except (OSError, ValueError) as error:
+        print(f"bench_compare: cannot read baseline {baseline_path}: {error}")
+        return 2
+
+    current = {}
+    for path in args.current:
+        try:
+            current.update(load_benchmarks(path))
+        except (OSError, ValueError) as error:
+            print(f"bench_compare: cannot read {path}: {error}")
+            return 2
+
+    name_filter = re.compile(args.filter)
+    gated = sorted(n for n in current if name_filter.search(n))
+    if not gated:
+        print(f"bench_compare: filter '{args.filter}' matched no current "
+              "benchmarks")
+        return 2
+
+    regressions = []
+    print(f"bench_compare: baseline {baseline_path}")
+    print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for name in gated:
+        if name not in baseline:
+            # One-sided names (new benchmarks) are reported, never gated.
+            print(f"{name:<40} {'--':>12} {current[name]:>10.0f}ns "
+                  f"{'new':>8}")
+            continue
+        ratio = current[name] / baseline[name]
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name:<40} {baseline[name]:>10.0f}ns {current[name]:>10.0f}ns "
+              f"{ratio:>7.2f}x{flag}")
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} benchmark(s) slower than "
+              f"baseline by more than {args.threshold:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nbench_compare: OK ({len(gated)} benchmark(s) within "
+          f"{args.threshold:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

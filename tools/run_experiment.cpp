@@ -5,6 +5,8 @@
 //                    [--trace-out=trace.json] [--metrics-out=metrics.prom]
 //                    [--metrics-jsonl-out=metrics.jsonl]
 //                    [--manifest-out=manifest.json]
+//                    [--checkpoint-dir=ckpts] [--checkpoint-every=5]
+//                    [--resume]
 //
 // Example config (INI):
 //   [dataset]
@@ -40,6 +42,11 @@
 //   trace_out = trace.json
 //   metrics_out = metrics.prom
 //   manifest_out = manifest.json
+//
+//   [checkpoint]             # optional; CLI flags override (see
+//   dir = ckpts              # docs/CHECKPOINTING.md)
+//   every = 5                # save cadence in rounds; 0 disables
+//   resume = false           # restart from the latest matching checkpoint
 //
 //   [tensor]                 # optional; PARDON_GEMM / PARDON_GEMM_THREADS win
 //   gemm = blocked           # blocked | naive
@@ -136,7 +143,24 @@ int main(int argc, char** argv) {
       .faults = fl::FaultPlanFromConfig(config),
       .learning_rate = static_cast<float>(config.GetDouble("fl.lr", 3e-3)),
       .seed = config.GetUint64("fl.seed", 1),
+      .checkpoint_every = config.GetInt("checkpoint.every", 0),
+      .checkpoint_dir = config.GetString("checkpoint.dir", ""),
+      .resume = config.GetBool("checkpoint.resume", false),
   };
+  // CLI checkpoint flags override the [checkpoint] section.
+  if (flags.Has("checkpoint-dir")) {
+    scenario.checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  }
+  if (flags.Has("checkpoint-every")) {
+    scenario.checkpoint_every =
+        static_cast<int>(flags.GetInt("checkpoint-every", 0));
+  }
+  if (flags.Has("resume")) scenario.resume = flags.GetBool("resume", false);
+  if (scenario.checkpoint_every > 0 && scenario.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "checkpoint.every is set but checkpoint.dir is empty\n");
+    return 1;
+  }
   if (preset_name == "iwildcam") {
     const data::IWildCamDomainSplit split = data::IWildCamDomains(preset);
     scenario.train_domains = split.train;
