@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fl/wire.hpp"
 #include "obs/metrics.hpp"
 
 namespace pardon::fl {
@@ -11,56 +12,12 @@ namespace pardon::fl {
 namespace {
 constexpr std::int64_t kFloat = 4;
 
-void PutU32(std::vector<std::uint8_t>& out, std::uint32_t value) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
-  }
-}
-
-std::uint32_t GetU32(const std::vector<std::uint8_t>& in, std::size_t& cursor) {
-  if (cursor + 4 > in.size()) throw std::runtime_error("comm: truncated u32");
-  std::uint32_t value = 0;
-  for (int i = 0; i < 4; ++i) {
-    value |= static_cast<std::uint32_t>(in[cursor + static_cast<std::size_t>(i)])
-             << (8 * i);
-  }
-  cursor += 4;
-  return value;
-}
-
-void PutFloats(std::vector<std::uint8_t>& out, const float* data,
-               std::size_t count) {
-  PutU32(out, static_cast<std::uint32_t>(count));
-  const std::size_t offset = out.size();
-  out.resize(offset + count * 4);
-  std::memcpy(out.data() + offset, data, count * 4);
-}
-
-std::vector<float> GetFloats(const std::vector<std::uint8_t>& in,
-                             std::size_t& cursor) {
-  const std::uint32_t count = GetU32(in, cursor);
-  if (cursor + count * 4 > in.size()) {
-    throw std::runtime_error("comm: truncated float section");
-  }
-  std::vector<float> values(count);
-  std::memcpy(values.data(), in.data() + cursor, count * 4);
-  cursor += count * 4;
-  return values;
-}
-
-void PutDouble(std::vector<std::uint8_t>& out, double value) {
-  const std::size_t offset = out.size();
-  out.resize(offset + 8);
-  std::memcpy(out.data() + offset, &value, 8);
-}
-
-double GetDouble(const std::vector<std::uint8_t>& in, std::size_t& cursor) {
-  if (cursor + 8 > in.size()) throw std::runtime_error("comm: truncated f64");
-  double value = 0;
-  std::memcpy(&value, in.data() + cursor, 8);
-  cursor += 8;
-  return value;
-}
+using wire::GetF64;
+using wire::GetFloats;
+using wire::GetU32;
+using wire::PutF64;
+using wire::PutFloats;
+using wire::PutU32;
 }  // namespace
 
 std::vector<std::uint8_t> EncodeClientUpdate(const ClientUpdate& update) {
@@ -68,8 +25,8 @@ std::vector<std::uint8_t> EncodeClientUpdate(const ClientUpdate& update) {
   out.reserve(update.params.size() * 4 + 64);
   PutFloats(out, update.params.data(), update.params.size());
   PutU32(out, static_cast<std::uint32_t>(update.num_samples));
-  PutDouble(out, update.loss_before);
-  PutDouble(out, update.loss_after);
+  PutF64(out, update.loss_before);
+  PutF64(out, update.loss_after);
   PutFloats(out, update.prototypes.data(),
             static_cast<std::size_t>(update.prototypes.size()));
   PutU32(out, static_cast<std::uint32_t>(update.prototypes.rank() == 2
@@ -87,8 +44,8 @@ ClientUpdate DecodeClientUpdate(const std::vector<std::uint8_t>& bytes) {
   std::size_t cursor = 0;
   update.params = GetFloats(bytes, cursor);
   update.num_samples = GetU32(bytes, cursor);
-  update.loss_before = GetDouble(bytes, cursor);
-  update.loss_after = GetDouble(bytes, cursor);
+  update.loss_before = GetF64(bytes, cursor);
+  update.loss_after = GetF64(bytes, cursor);
   const std::vector<float> proto_values = GetFloats(bytes, cursor);
   const std::uint32_t proto_dim = GetU32(bytes, cursor);
   const std::uint32_t proto_count = GetU32(bytes, cursor);
@@ -165,6 +122,51 @@ std::optional<std::vector<std::uint8_t>> UnframeMessage(
   return payload;
 }
 
+void FrameReader::Feed(std::span<const std::uint8_t> bytes) {
+  // Compact before growing: drop the already-consumed prefix once it
+  // dominates the buffer, so a long-lived connection doesn't accumulate
+  // every frame it ever saw.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::Next() {
+  if (poisoned_) {
+    throw FramingError("FrameReader: poisoned by an earlier framing error");
+  }
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 8) return std::nullopt;
+  std::uint32_t length = 0, crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(
+                  buffer_[consumed_ + static_cast<std::size_t>(i)])
+              << (8 * i);
+    crc |= static_cast<std::uint32_t>(
+               buffer_[consumed_ + static_cast<std::size_t>(4 + i)])
+           << (8 * i);
+  }
+  if (static_cast<std::size_t>(length) > max_payload_) {
+    poisoned_ = true;
+    throw FramingError("FrameReader: frame length " + std::to_string(length) +
+                       " exceeds limit " + std::to_string(max_payload_));
+  }
+  if (avail < static_cast<std::size_t>(length) + 8) return std::nullopt;
+  const auto begin =
+      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 8);
+  std::vector<std::uint8_t> payload(begin,
+                                    begin + static_cast<std::ptrdiff_t>(length));
+  if (Crc32(payload) != crc) {
+    poisoned_ = true;
+    throw FramingError("FrameReader: CRC mismatch on assembled frame");
+  }
+  consumed_ += static_cast<std::size_t>(length) + 8;
+  return payload;
+}
+
 std::int64_t CommProfile::OneTimeBytes() const {
   std::int64_t total = 0;
   for (const CommEntry& entry : entries) {
@@ -183,6 +185,30 @@ std::int64_t CommProfile::PerRoundBytes() const {
 
 std::int64_t CommProfile::TotalBytes(int rounds) const {
   return OneTimeBytes() + PerRoundBytes() * rounds;
+}
+
+std::int64_t CommProfile::CompressedOneTimeBytes() const {
+  std::int64_t total = 0;
+  for (const CommEntry& entry : entries) {
+    if (entry.one_time) {
+      total += entry.CompressedUpstream() + entry.CompressedDownstream();
+    }
+  }
+  return total;
+}
+
+std::int64_t CommProfile::CompressedPerRoundBytes() const {
+  std::int64_t total = 0;
+  for (const CommEntry& entry : entries) {
+    if (!entry.one_time) {
+      total += entry.CompressedUpstream() + entry.CompressedDownstream();
+    }
+  }
+  return total;
+}
+
+std::int64_t CommProfile::CompressedTotalBytes(int rounds) const {
+  return CompressedOneTimeBytes() + CompressedPerRoundBytes() * rounds;
 }
 
 std::vector<CommProfile> BuildCommProfiles(const CommModel& model) {
@@ -265,6 +291,14 @@ void RecordCommProfile(const CommProfile& profile, int rounds) {
       ->GetCounter("pardon_comm_total_bytes",
                    labels + ",rounds=\"" + std::to_string(rounds) + "\"")
       .Add(static_cast<double>(profile.TotalBytes(rounds)));
+  registry->GetCounter("pardon_comm_one_time_compressed_bytes", labels)
+      .Add(static_cast<double>(profile.CompressedOneTimeBytes()));
+  registry->GetCounter("pardon_comm_per_round_compressed_bytes", labels)
+      .Add(static_cast<double>(profile.CompressedPerRoundBytes()));
+  registry
+      ->GetCounter("pardon_comm_total_compressed_bytes",
+                   labels + ",rounds=\"" + std::to_string(rounds) + "\"")
+      .Add(static_cast<double>(profile.CompressedTotalBytes(rounds)));
 }
 
 }  // namespace pardon::fl

@@ -10,9 +10,11 @@
 // extension bench.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,13 +47,73 @@ std::vector<std::uint8_t> FrameMessage(std::span<const std::uint8_t> payload);
 std::optional<std::vector<std::uint8_t>> UnframeMessage(
     std::span<const std::uint8_t> framed);
 
+// Upper bound a FrameReader accepts for a single frame's payload unless the
+// caller picks its own: large enough for any model this repo ships (256 MiB),
+// small enough that a corrupted length header cannot trigger a multi-gigabyte
+// allocation before the CRC check has a chance to run.
+inline constexpr std::size_t kDefaultMaxFramePayload = 256u << 20;
+
+// Typed framing failure: a corrupted length header or a CRC mismatch on an
+// assembled frame. Unlike UnframeMessage's nullopt (datagram semantics, the
+// caller retries), a stream cannot resynchronize after a bad header — the
+// reader poisons itself and the connection must be torn down.
+class FramingError : public std::runtime_error {
+ public:
+  explicit FramingError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Incremental frame assembly for stream transports. Sockets deliver
+// fragments: a frame may arrive one byte at a time, or several frames may
+// arrive in one read. Feed() appends whatever arrived; Next() yields each
+// complete payload exactly once, in order, returning nullopt while a frame is
+// still partial. Wire format is exactly FrameMessage's (u32 length + u32 CRC
+// + payload, little-endian), so FrameMessage -> arbitrary splits -> FrameReader
+// is an identity.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(std::span<const std::uint8_t> bytes);
+
+  // The next complete frame's payload, or nullopt when more bytes are needed.
+  // Throws FramingError when the header announces a payload larger than the
+  // reader's limit or the completed frame fails its CRC; after a throw the
+  // reader is poisoned and every later call throws (streams cannot resync).
+  std::optional<std::vector<std::uint8_t>> Next();
+
+  // Bytes held but not yet returned as frames.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool poisoned_ = false;
+};
+
 // -- accounting -------------------------------------------------------------------
 struct CommEntry {
   std::string description;
-  // Bytes sent client->server per occurrence, and server->client.
+  // Raw bytes sent client->server per occurrence, and server->client —
+  // what the payload costs uncompressed (f32 parameters on the wire).
   std::int64_t upstream_bytes = 0;
   std::int64_t downstream_bytes = 0;
+  // Bytes after the update codec (fl/compress.hpp) for the same payload;
+  // -1 (unset) means the entry ships raw and the compressed columns fall
+  // back to the raw values.
+  std::int64_t compressed_upstream_bytes = -1;
+  std::int64_t compressed_downstream_bytes = -1;
   bool one_time = false;  // otherwise per-round
+
+  std::int64_t CompressedUpstream() const {
+    return compressed_upstream_bytes < 0 ? upstream_bytes
+                                         : compressed_upstream_bytes;
+  }
+  std::int64_t CompressedDownstream() const {
+    return compressed_downstream_bytes < 0 ? downstream_bytes
+                                           : compressed_downstream_bytes;
+  }
 };
 
 struct CommProfile {
@@ -62,6 +124,11 @@ struct CommProfile {
   std::int64_t PerRoundBytes() const;
   // Total over a full run of `rounds` rounds.
   std::int64_t TotalBytes(int rounds) const;
+  // Same sums over the compressed columns (equal to the raw sums when no
+  // entry sets compressed bytes).
+  std::int64_t CompressedOneTimeBytes() const;
+  std::int64_t CompressedPerRoundBytes() const;
+  std::int64_t CompressedTotalBytes(int rounds) const;
 };
 
 struct CommModel {
@@ -79,7 +146,8 @@ std::vector<CommProfile> BuildCommProfiles(const CommModel& model);
 
 // Publishes a profile's byte totals to the active obs::MetricsRegistry as
 // counters labeled by method — pardon_comm_one_time_bytes,
-// pardon_comm_per_round_bytes, and pardon_comm_total_bytes{rounds} — so
+// pardon_comm_per_round_bytes, and pardon_comm_total_bytes{rounds}, plus
+// pardon_comm_*_compressed_bytes mirrors of the compressed columns — so
 // communication-overhead runs export alongside the timing metrics. No-op
 // when metrics are off.
 void RecordCommProfile(const CommProfile& profile, int rounds);

@@ -1,0 +1,62 @@
+#include "net/fl_client.hpp"
+
+#include <string>
+#include <vector>
+
+#include "fl/compress.hpp"
+#include "net/protocol.hpp"
+#include "tensor/rng.hpp"
+#include "util/logging.hpp"
+
+namespace pardon::net {
+
+ClientResult RunClient(const ClientOptions& options, fl::Algorithm& algorithm,
+                       const data::Dataset& data,
+                       const nn::MlpClassifier& model) {
+  Connection conn = Connect(options.server, options.retry);
+  conn.SendFrame(EncodeHello(HelloMessage{.client_id = options.client_id}));
+
+  nn::MlpClassifier local = model.Clone();
+  ClientResult result;
+  for (;;) {
+    const std::vector<std::uint8_t> frame = conn.RecvFrame();
+    switch (PeekType(frame)) {
+      case MessageType::kBroadcast: {
+        BroadcastMessage broadcast = DecodeBroadcast(frame);
+        local.SetFlatParams(broadcast.params);
+        // The server forked this state from its root RNG in participants
+        // order; restoring it reproduces the simulator's per-(round, client)
+        // training randomness exactly.
+        tensor::Pcg32 rng = tensor::Pcg32::FromState(broadcast.rng);
+        const fl::ClientUpdate update = algorithm.TrainClient(
+            options.client_id, data, local, broadcast.round, rng);
+        UpdateMessage reply;
+        reply.client_id = options.client_id;
+        reply.round = broadcast.round;
+        reply.payload =
+            fl::EncodeClientUpdateCompressed(update, broadcast.compression);
+        conn.SendFrame(EncodeUpdate(reply));
+        ++result.rounds_participated;
+        break;
+      }
+      case MessageType::kIdle:
+        ++result.rounds_idle;
+        break;
+      case MessageType::kDone: {
+        result.rounds_completed = DecodeDone(frame).rounds_completed;
+        result.bytes_sent = conn.bytes_sent();
+        result.bytes_received = conn.bytes_received();
+        PARDON_LOG_INFO << "net client " << options.client_id
+                        << ": participated in " << result.rounds_participated
+                        << "/" << result.rounds_completed << " rounds";
+        return result;
+      }
+      default:
+        throw ProtocolError("RunClient: unexpected " +
+                            std::string(MessageTypeName(PeekType(frame))) +
+                            " from server");
+    }
+  }
+}
+
+}  // namespace pardon::net

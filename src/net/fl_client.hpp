@@ -1,0 +1,48 @@
+// Federated client over real sockets: connects (with bounded retry — the
+// server may not be listening yet), introduces itself with Hello, then obeys
+// the server's protocol until Done:
+//
+//   Broadcast -> load the global params, restore the forked training RNG the
+//                server shipped, run Algorithm::TrainClient on the local
+//                dataset, reply Update with the payload encoded under the
+//                codec the Broadcast announced;
+//   Idle      -> sit the round out;
+//   Done      -> return.
+//
+// The client holds one local dataset and one Algorithm; Setup is the
+// caller's job (net clients are cheap processes — methods with heavy
+// cross-client Setup belong in the in-process simulator).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "fl/algorithm.hpp"
+#include "net/transport.hpp"
+#include "nn/mlp.hpp"
+
+namespace pardon::net {
+
+struct ClientOptions {
+  Endpoint server;
+  int client_id = 0;
+  RetryPolicy retry{};
+};
+
+struct ClientResult {
+  int rounds_participated = 0;  // Broadcasts answered
+  int rounds_idle = 0;          // Idles received
+  int rounds_completed = 0;     // from the server's Done
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+};
+
+// Runs one client session to completion. `model` is the architecture
+// template: its parameter count must match the server's global params (the
+// weights themselves are overwritten by every Broadcast). Throws NetError /
+// ProtocolError on transport or protocol failures.
+ClientResult RunClient(const ClientOptions& options, fl::Algorithm& algorithm,
+                       const data::Dataset& data,
+                       const nn::MlpClassifier& model);
+
+}  // namespace pardon::net

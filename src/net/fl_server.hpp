@@ -1,0 +1,73 @@
+// Federated server over real sockets: the simulator's zero-fault round loop
+// re-hosted on net::Connection, one process per participant.
+//
+// Bitwise contract (tests/net_round_test.cpp): with the same seed, client
+// count, K, rounds, and a lossless codec (Codec::kNone), Run() produces
+// global parameters bitwise identical to fl::Simulator::Run with a zero
+// FaultPlan. The server replicates the simulator's exact discipline:
+//
+//   - participants = ClientSampler(N, K, seed).Sample(round), uniform;
+//   - per-client training RNGs forked from Pcg32(seed, 0x73696d) via
+//     Fork(ClientForkSalt(round, client)) in participants order — the fork
+//     states ship inside each Broadcast, so clients never see the root RNG;
+//   - aggregation folds updates in participants order through
+//     StreamingWeightedSum with weights = num_samples and the total summed
+//     in the same order (the normalize-first arithmetic the simulator's
+//     streaming path uses).
+//
+// The server therefore implements sample-weighted FedAvg — the contract
+// Algorithm::SupportsStreamingAggregation() promises. Methods with custom
+// Aggregate logic stay in the in-process simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fl/compress.hpp"
+#include "net/transport.hpp"
+
+namespace pardon::net {
+
+struct ServerOptions {
+  int total_clients = 3;         // N: connections to accept before round 1
+  int participants_per_round = 3;  // K
+  int rounds = 1;
+  std::uint64_t seed = 41;
+  // Codec for the Update payloads; announced in every Broadcast (the server
+  // owns compression policy). kNone keeps the round trip lossless.
+  fl::CompressionConfig compression{};
+};
+
+struct ServerResult {
+  std::vector<float> global_params;
+  int rounds_completed = 0;
+  // Framed transport bytes across every client connection.
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  // Update payload bytes as received (wire) vs what the same updates would
+  // have cost under the raw lossless codec — the compressed-vs-raw axis.
+  std::int64_t wire_update_bytes = 0;
+  std::int64_t raw_update_bytes = 0;
+};
+
+class FlServer {
+ public:
+  // Takes ownership of a bound listener (Bind first, then hand it over, so
+  // callers can learn the resolved ephemeral port before clients start).
+  FlServer(Listener listener, ServerOptions options);
+
+  // Accepts N Hello connections (ids must be unique and in [0, N)), runs the
+  // configured rounds, sends Done to every client, and returns the final
+  // global parameters. Throws ProtocolError on a client that misbehaves and
+  // TimeoutError when one stalls past the listener's io timeout.
+  ServerResult Run(std::span<const float> initial_params);
+
+  const Endpoint& bound() const { return listener_.bound(); }
+
+ private:
+  Listener listener_;
+  ServerOptions options_;
+};
+
+}  // namespace pardon::net

@@ -1,0 +1,192 @@
+#include "net/protocol.hpp"
+
+#include "fl/wire.hpp"
+
+namespace pardon::net {
+
+namespace {
+
+using pardon::fl::wire::GetBytes;
+using pardon::fl::wire::GetF32;
+using pardon::fl::wire::GetF64;
+using pardon::fl::wire::GetFloats;
+using pardon::fl::wire::GetU32;
+using pardon::fl::wire::GetU64;
+using pardon::fl::wire::GetU8;
+using pardon::fl::wire::PutBytes;
+using pardon::fl::wire::PutF32;
+using pardon::fl::wire::PutF64;
+using pardon::fl::wire::PutFloats;
+using pardon::fl::wire::PutU32;
+using pardon::fl::wire::PutU64;
+using pardon::fl::wire::PutU8;
+
+// Reads and checks the leading type tag.
+void ExpectType(std::span<const std::uint8_t> bytes, std::size_t& cursor,
+                MessageType expected) {
+  const MessageType actual = static_cast<MessageType>(GetU8(bytes, cursor));
+  if (actual != expected) {
+    throw ProtocolError(std::string("protocol: expected ") +
+                        MessageTypeName(expected) + ", got " +
+                        MessageTypeName(actual));
+  }
+}
+
+void ExpectEnd(std::span<const std::uint8_t> bytes, std::size_t cursor,
+               const char* what) {
+  if (cursor != bytes.size()) {
+    throw ProtocolError(std::string("protocol: trailing bytes after ") + what);
+  }
+}
+
+// Decode wrapper: truncation inside a message surfaces as ProtocolError.
+template <typename Fn>
+auto Guard(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const fl::wire::WireError& error) {
+    throw ProtocolError(std::string("protocol: malformed ") + what + " (" +
+                        error.what() + ")");
+  }
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHello: return "Hello";
+    case MessageType::kBroadcast: return "Broadcast";
+    case MessageType::kIdle: return "Idle";
+    case MessageType::kUpdate: return "Update";
+    case MessageType::kDone: return "Done";
+  }
+  return "unknown";
+}
+
+MessageType PeekType(std::span<const std::uint8_t> message) {
+  if (message.empty()) throw ProtocolError("protocol: empty message");
+  const auto tag = message.front();
+  if (tag < static_cast<std::uint8_t>(MessageType::kHello) ||
+      tag > static_cast<std::uint8_t>(MessageType::kDone)) {
+    throw ProtocolError("protocol: unknown message tag " +
+                        std::to_string(tag));
+  }
+  return static_cast<MessageType>(tag);
+}
+
+std::vector<std::uint8_t> EncodeHello(const HelloMessage& message) {
+  std::vector<std::uint8_t> out;
+  PutU8(out, static_cast<std::uint8_t>(MessageType::kHello));
+  PutU32(out, static_cast<std::uint32_t>(message.client_id));
+  return out;
+}
+
+HelloMessage DecodeHello(std::span<const std::uint8_t> bytes) {
+  return Guard("Hello", [&] {
+    std::size_t cursor = 0;
+    ExpectType(bytes, cursor, MessageType::kHello);
+    HelloMessage message;
+    message.client_id = static_cast<std::int32_t>(GetU32(bytes, cursor));
+    ExpectEnd(bytes, cursor, "Hello");
+    return message;
+  });
+}
+
+std::vector<std::uint8_t> EncodeBroadcast(const BroadcastMessage& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(message.params.size() * 4 + 64);
+  PutU8(out, static_cast<std::uint8_t>(MessageType::kBroadcast));
+  PutU32(out, static_cast<std::uint32_t>(message.round));
+  PutU64(out, message.rng.state);
+  PutU64(out, message.rng.inc);
+  PutU8(out, message.rng.has_cached_gaussian ? 1 : 0);
+  PutF32(out, message.rng.cached_gaussian);
+  PutU8(out, static_cast<std::uint8_t>(message.compression.codec));
+  PutF64(out, message.compression.top_k_fraction);
+  PutFloats(out, message.params.data(), message.params.size());
+  return out;
+}
+
+BroadcastMessage DecodeBroadcast(std::span<const std::uint8_t> bytes) {
+  return Guard("Broadcast", [&] {
+    std::size_t cursor = 0;
+    ExpectType(bytes, cursor, MessageType::kBroadcast);
+    BroadcastMessage message;
+    message.round = static_cast<std::int32_t>(GetU32(bytes, cursor));
+    message.rng.state = GetU64(bytes, cursor);
+    message.rng.inc = GetU64(bytes, cursor);
+    message.rng.has_cached_gaussian = GetU8(bytes, cursor) != 0;
+    message.rng.cached_gaussian = GetF32(bytes, cursor);
+    const std::uint8_t codec_tag = GetU8(bytes, cursor);
+    if (codec_tag > static_cast<std::uint8_t>(fl::Codec::kTopK)) {
+      throw ProtocolError("protocol: Broadcast carries unknown codec tag " +
+                          std::to_string(codec_tag));
+    }
+    message.compression.codec = static_cast<fl::Codec>(codec_tag);
+    message.compression.top_k_fraction = GetF64(bytes, cursor);
+    message.params = GetFloats(bytes, cursor);
+    ExpectEnd(bytes, cursor, "Broadcast");
+    return message;
+  });
+}
+
+std::vector<std::uint8_t> EncodeIdle(const IdleMessage& message) {
+  std::vector<std::uint8_t> out;
+  PutU8(out, static_cast<std::uint8_t>(MessageType::kIdle));
+  PutU32(out, static_cast<std::uint32_t>(message.round));
+  return out;
+}
+
+IdleMessage DecodeIdle(std::span<const std::uint8_t> bytes) {
+  return Guard("Idle", [&] {
+    std::size_t cursor = 0;
+    ExpectType(bytes, cursor, MessageType::kIdle);
+    IdleMessage message;
+    message.round = static_cast<std::int32_t>(GetU32(bytes, cursor));
+    ExpectEnd(bytes, cursor, "Idle");
+    return message;
+  });
+}
+
+std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(message.payload.size() + 16);
+  PutU8(out, static_cast<std::uint8_t>(MessageType::kUpdate));
+  PutU32(out, static_cast<std::uint32_t>(message.client_id));
+  PutU32(out, static_cast<std::uint32_t>(message.round));
+  PutBytes(out, message.payload);
+  return out;
+}
+
+UpdateMessage DecodeUpdate(std::span<const std::uint8_t> bytes) {
+  return Guard("Update", [&] {
+    std::size_t cursor = 0;
+    ExpectType(bytes, cursor, MessageType::kUpdate);
+    UpdateMessage message;
+    message.client_id = static_cast<std::int32_t>(GetU32(bytes, cursor));
+    message.round = static_cast<std::int32_t>(GetU32(bytes, cursor));
+    message.payload = GetBytes(bytes, cursor);
+    ExpectEnd(bytes, cursor, "Update");
+    return message;
+  });
+}
+
+std::vector<std::uint8_t> EncodeDone(const DoneMessage& message) {
+  std::vector<std::uint8_t> out;
+  PutU8(out, static_cast<std::uint8_t>(MessageType::kDone));
+  PutU32(out, static_cast<std::uint32_t>(message.rounds_completed));
+  return out;
+}
+
+DoneMessage DecodeDone(std::span<const std::uint8_t> bytes) {
+  return Guard("Done", [&] {
+    std::size_t cursor = 0;
+    ExpectType(bytes, cursor, MessageType::kDone);
+    DoneMessage message;
+    message.rounds_completed = static_cast<std::int32_t>(GetU32(bytes, cursor));
+    ExpectEnd(bytes, cursor, "Done");
+    return message;
+  });
+}
+
+}  // namespace pardon::net

@@ -1,0 +1,91 @@
+// FL session protocol spoken over net::Connection frames.
+//
+// Every message is one frame payload: a u8 type tag followed by the
+// little-endian fields below (fl/wire.hpp primitives). The session is a
+// strict state machine:
+//
+//   client -> server  Hello{client_id}                      (once, on connect)
+//   server -> client  Broadcast{round, rng, codec, params}  (sampled rounds)
+//                  or Idle{round}                           (unsampled rounds)
+//   client -> server  Update{client_id, round, payload}     (reply to Broadcast)
+//   server -> client  Done{rounds_completed}                (end of session)
+//
+// The Update payload is EncodeClientUpdateCompressed bytes under the codec
+// the Broadcast announced — the server, not the client, owns the compression
+// policy. The Broadcast carries the client's forked training RNG state so
+// the per-(round, client) randomness is identical to the in-process
+// simulator's without replicating the server's root RNG client-side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/compress.hpp"
+#include "net/transport.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::net {
+
+// Malformed or out-of-sequence message.
+class ProtocolError : public NetError {
+ public:
+  explicit ProtocolError(const std::string& what) : NetError(what) {}
+};
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,
+  kBroadcast = 2,
+  kIdle = 3,
+  kUpdate = 4,
+  kDone = 5,
+};
+
+const char* MessageTypeName(MessageType type);
+
+// The tag of an encoded message; throws ProtocolError on empty/unknown.
+MessageType PeekType(std::span<const std::uint8_t> message);
+
+struct HelloMessage {
+  std::int32_t client_id = -1;
+};
+
+struct BroadcastMessage {
+  std::int32_t round = 0;
+  tensor::Pcg32State rng{};            // the client's training RNG fork
+  fl::CompressionConfig compression{}; // codec for the reply's params
+  std::vector<float> params;           // global model, raw f32
+};
+
+struct IdleMessage {
+  std::int32_t round = 0;
+};
+
+struct UpdateMessage {
+  std::int32_t client_id = -1;
+  std::int32_t round = 0;
+  // EncodeClientUpdateCompressed bytes (kNone = lossless raw layout).
+  std::vector<std::uint8_t> payload;
+};
+
+struct DoneMessage {
+  std::int32_t rounds_completed = 0;
+};
+
+std::vector<std::uint8_t> EncodeHello(const HelloMessage& message);
+HelloMessage DecodeHello(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeBroadcast(const BroadcastMessage& message);
+BroadcastMessage DecodeBroadcast(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeIdle(const IdleMessage& message);
+IdleMessage DecodeIdle(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& message);
+UpdateMessage DecodeUpdate(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeDone(const DoneMessage& message);
+DoneMessage DecodeDone(std::span<const std::uint8_t> bytes);
+
+}  // namespace pardon::net

@@ -1,0 +1,151 @@
+// Blocking, length-framed socket transport — the layer that takes the FL
+// wire format (fl/comm.hpp framing, fl/compress.hpp payloads) out of the
+// single-process simulator and across real kernel sockets.
+//
+// Two interchangeable backends behind one Endpoint type: TCP over loopback
+// (or any address) and Unix-domain sockets. A Connection speaks frames, not
+// bytes: SendFrame writes fl::FrameMessage(payload) (u32 length + u32 CRC +
+// payload) and RecvFrame reassembles it through fl::FrameReader, so partial
+// reads, coalesced frames, and CRC verification are handled here once —
+// callers only ever see whole, checksummed payloads.
+//
+// Failure model: everything throws net::NetError (timeouts throw the
+// TimeoutError subclass). Connect retries with bounded exponential backoff —
+// a client may start before its server is listening — while recv/accept wait
+// at most the configured io timeout. Every byte written or read is counted
+// on the connection AND mirrored into the obs counters
+// pardon_net_bytes_{sent,received}_total at the same site with the same
+// value (bitwise, the CostBreakdown convention).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "fl/comm.hpp"
+
+namespace pardon::net {
+
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A blocking wait (recv, accept) exceeded its io timeout.
+class TimeoutError : public NetError {
+ public:
+  explicit TimeoutError(const std::string& what) : NetError(what) {}
+};
+
+enum class Backend : std::uint8_t { kTcp, kUnix };
+
+struct Endpoint {
+  Backend backend = Backend::kTcp;
+  std::string host = "127.0.0.1";  // TCP only
+  std::uint16_t port = 0;          // TCP only; 0 = ephemeral, resolved on Bind
+  std::string path;                // Unix only
+
+  static Endpoint Tcp(std::string host, std::uint16_t port);
+  static Endpoint UnixSocket(std::string path);
+
+  // "tcp:127.0.0.1:4242" / "unix:/tmp/pardon.sock" — Parse inverts ToString.
+  std::string ToString() const;
+  static std::optional<Endpoint> Parse(std::string_view text);
+};
+
+struct RetryPolicy {
+  // Connect: bounded retries with exponential backoff, covering the window
+  // where the client process starts before the server is listening.
+  int max_connect_attempts = 30;
+  double initial_backoff_seconds = 0.02;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.5;
+  // Recv/accept: how long a blocking wait may stall before TimeoutError.
+  double io_timeout_seconds = 60.0;
+};
+
+// One connected stream socket speaking CRC'd frames. Move-only; closes on
+// destruction.
+class Connection {
+ public:
+  Connection() = default;  // invalid until assigned
+  Connection(int fd, double io_timeout_seconds,
+             std::size_t max_frame_payload = fl::kDefaultMaxFramePayload);
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  ~Connection();
+
+  bool valid() const { return fd_ >= 0; }
+
+  // Frames `payload` and writes it fully (handling partial writes / EINTR).
+  void SendFrame(std::span<const std::uint8_t> payload);
+
+  // Blocks until one whole frame is assembled and CRC-checked; throws
+  // TimeoutError after the io timeout, NetError on EOF mid-frame or a
+  // framing failure (a broken stream cannot resynchronize).
+  std::vector<std::uint8_t> RecvFrame();
+
+  void Close();
+
+  // Framed bytes written/read so far (8-byte headers included). Mirrored
+  // bitwise into pardon_net_bytes_{sent,received}_total.
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+  std::int64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  int fd_ = -1;
+  double io_timeout_seconds_ = 60.0;
+  fl::FrameReader reader_{};
+  std::int64_t bytes_sent_ = 0;
+  std::int64_t bytes_received_ = 0;
+};
+
+// A bound, listening server socket. Move-only; closes (and unlinks its Unix
+// path) on destruction.
+class Listener {
+ public:
+  // Binds and listens. TCP port 0 binds an ephemeral port — bound() carries
+  // the resolved one. A pre-existing Unix socket path is unlinked first
+  // (stale leftover from a killed process).
+  static Listener Bind(const Endpoint& endpoint,
+                       double io_timeout_seconds = 60.0);
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  // Accepts one connection; throws TimeoutError after the io timeout.
+  Connection Accept();
+
+  // The endpoint as actually bound (ephemeral TCP port resolved).
+  const Endpoint& bound() const { return bound_; }
+
+ private:
+  Listener(int fd, Endpoint bound, double io_timeout_seconds)
+      : fd_(fd), bound_(std::move(bound)),
+        io_timeout_seconds_(io_timeout_seconds) {}
+
+  void CloseImpl();
+
+  int fd_ = -1;
+  Endpoint bound_;
+  double io_timeout_seconds_ = 60.0;
+};
+
+// Connects to `endpoint` with the policy's bounded retry/backoff; throws
+// NetError once attempts are exhausted.
+Connection Connect(const Endpoint& endpoint, const RetryPolicy& retry = {});
+
+// Multi-process rendezvous: the server writes its resolved endpoint to a
+// file (atomically, via rename) and clients poll for it. This is how
+// net_demo's forked clients learn an ephemeral TCP port without racing.
+void WriteEndpointFile(const std::string& path, const Endpoint& endpoint);
+Endpoint WaitForEndpointFile(const std::string& path, double timeout_seconds);
+
+}  // namespace pardon::net

@@ -151,6 +151,17 @@ MetricsRegistry* ActiveMetrics();
 void SetActiveMetrics(MetricsRegistry* registry);
 inline bool MetricsOn() { return ActiveMetrics() != nullptr; }
 
+// Canonical metric names for the socket transport (src/net): every payload
+// byte a net::Connection writes or reads is added to these counters at the
+// same site that bumps the connection's own std::int64_t counters, so the
+// two views are bitwise mirrors (the same contract CostBreakdown keeps with
+// its pardon_fl_* counters). Declared here so server, client, and tests
+// agree on the spelling.
+inline constexpr std::string_view kNetBytesSentTotal =
+    "pardon_net_bytes_sent_total";
+inline constexpr std::string_view kNetBytesReceivedTotal =
+    "pardon_net_bytes_received_total";
+
 // Null-safe helpers for instrumentation sites: no-ops when metrics are off.
 // Each call resolves the instrument by name, so hot loops should batch
 // (tally locally, then one Add).

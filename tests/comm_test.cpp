@@ -117,5 +117,68 @@ TEST(CommProfiles, RecordCommProfileMirrorsTotalsIntoRegistry) {
             static_cast<double>(profile.TotalBytes(10)));
 }
 
+TEST(CommProfiles, CompressedColumnsFallBackToRawWhenUnset) {
+  CommEntry entry{.description = "params",
+                  .upstream_bytes = 1000,
+                  .downstream_bytes = 2000};
+  EXPECT_EQ(entry.CompressedUpstream(), 1000);
+  EXPECT_EQ(entry.CompressedDownstream(), 2000);
+
+  entry.compressed_upstream_bytes = 40;
+  entry.compressed_downstream_bytes = 0;  // 0 is a real value, not "unset"
+  EXPECT_EQ(entry.CompressedUpstream(), 40);
+  EXPECT_EQ(entry.CompressedDownstream(), 0);
+}
+
+TEST(CommProfiles, CompressedSumsMixSetAndUnsetEntries) {
+  CommProfile profile{.method = "mixed", .entries = {}};
+  profile.entries.push_back({.description = "params",
+                             .upstream_bytes = 1000,
+                             .downstream_bytes = 1000,
+                             .compressed_upstream_bytes = 10,
+                             .compressed_downstream_bytes = 1000});
+  profile.entries.push_back({.description = "losses",
+                             .upstream_bytes = 16,
+                             .downstream_bytes = 0});  // ships raw
+  profile.entries.push_back({.description = "styles",
+                             .upstream_bytes = 500,
+                             .downstream_bytes = 600,
+                             .compressed_upstream_bytes = 50,
+                             .compressed_downstream_bytes = 60,
+                             .one_time = true});
+
+  EXPECT_EQ(profile.PerRoundBytes(), 2016);
+  EXPECT_EQ(profile.CompressedPerRoundBytes(), 10 + 1000 + 16);
+  EXPECT_EQ(profile.OneTimeBytes(), 1100);
+  EXPECT_EQ(profile.CompressedOneTimeBytes(), 110);
+  EXPECT_EQ(profile.CompressedTotalBytes(5),
+            110 + 5 * profile.CompressedPerRoundBytes());
+}
+
+TEST(CommProfiles, RecordCommProfileMirrorsCompressedColumns) {
+  CommProfile profile{.method = "FedAvg+topk", .entries = {}};
+  profile.entries.push_back({.description = "params",
+                             .upstream_bytes = 10000,
+                             .downstream_bytes = 10000,
+                             .compressed_upstream_bytes = 100,
+                             .compressed_downstream_bytes = 10000});
+
+  obs::MetricsRegistry registry;
+  obs::SetActiveMetrics(&registry);
+  RecordCommProfile(profile, 7);
+  obs::SetActiveMetrics(nullptr);
+
+  const std::string labels = "method=\"FedAvg+topk\"";
+  EXPECT_EQ(
+      registry.CounterValue("pardon_comm_per_round_compressed_bytes", labels),
+      static_cast<double>(profile.CompressedPerRoundBytes()));
+  EXPECT_EQ(
+      registry.CounterValue("pardon_comm_one_time_compressed_bytes", labels),
+      static_cast<double>(profile.CompressedOneTimeBytes()));
+  EXPECT_EQ(registry.CounterValue("pardon_comm_total_compressed_bytes",
+                                  labels + ",rounds=\"7\""),
+            static_cast<double>(profile.CompressedTotalBytes(7)));
+}
+
 }  // namespace
 }  // namespace pardon::fl

@@ -1,0 +1,413 @@
+// Update-payload compression codecs (fl/compress.hpp): exact decode
+// contracts, determinism, fp16 conformance, and the adversarial paths —
+// truncated, bit-flipped, oversized, and non-finite inputs pushed through
+// the full quantize -> frame -> unframe -> dequantize pipeline must raise
+// typed errors or round-trip exactly, and never read out of bounds (this
+// suite runs under ASan/UBSan in CI).
+#include "fl/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "fl/comm.hpp"
+#include "tensor/rng.hpp"
+
+namespace pardon::fl {
+namespace {
+
+std::vector<float> RandomValues(std::size_t count, std::uint64_t seed,
+                                float scale = 3.0f) {
+  tensor::Pcg32 rng(seed);
+  std::vector<float> values(count);
+  for (float& v : values) v = scale * (rng.NextFloat() - 0.5f);
+  return values;
+}
+
+// -- kNone: lossless passthrough -------------------------------------------
+
+TEST(CompressNone, RoundTripsBitwise) {
+  const std::vector<float> values = RandomValues(257, 11);
+  const auto blob = CompressFloats(values, {.codec = Codec::kNone});
+  EXPECT_EQ(blob.size(), CompressedSizeBytes(values.size(), {.codec = Codec::kNone}));
+  const std::vector<float> decoded = DecompressFloats(blob);
+  ASSERT_EQ(decoded.size(), values.size());
+  EXPECT_EQ(0, std::memcmp(decoded.data(), values.data(),
+                           values.size() * sizeof(float)));
+}
+
+TEST(CompressNone, PreservesNonFinite) {
+  const std::vector<float> values = {
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(), 1.0f};
+  const std::vector<float> decoded =
+      DecompressFloats(CompressFloats(values, {.codec = Codec::kNone}));
+  ASSERT_EQ(decoded.size(), 4u);
+  EXPECT_EQ(0, std::memcmp(decoded.data(), values.data(), 4 * sizeof(float)));
+}
+
+// -- kInt8 ------------------------------------------------------------------
+
+TEST(CompressInt8, DecodeIsExactlyQuantTimesScale) {
+  const std::vector<float> values = RandomValues(1000, 21);
+  float maxabs = 0.0f;
+  for (float v : values) maxabs = std::max(maxabs, std::fabs(v));
+  const float scale = maxabs / 127.0f;
+
+  const auto blob = CompressFloats(values, {.codec = Codec::kInt8});
+  EXPECT_EQ(blob.size(),
+            CompressedSizeBytes(values.size(), {.codec = Codec::kInt8}));
+  const std::vector<float> decoded = DecompressFloats(blob);
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // The committed value is q * scale with q in [-127, 127]; decoded must
+    // be EXACTLY that (decode is not lossy), and q the nearest integer.
+    const float q = std::nearbyint(decoded[i] / scale);
+    EXPECT_EQ(decoded[i], q * scale);
+    EXPECT_LE(std::fabs(q), 127.0f);
+    EXPECT_NEAR(decoded[i], values[i], scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(CompressInt8, AllZerosRoundTripToZeros) {
+  const std::vector<float> values(64, 0.0f);
+  const std::vector<float> decoded =
+      DecompressFloats(CompressFloats(values, {.codec = Codec::kInt8}));
+  for (float v : decoded) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(CompressInt8, RejectsNonFinite) {
+  std::vector<float> values = RandomValues(16, 3);
+  values[7] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(CompressFloats(values, {.codec = Codec::kInt8}), CompressError);
+  values[7] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(CompressFloats(values, {.codec = Codec::kInt8}), CompressError);
+}
+
+// -- kFp16 ------------------------------------------------------------------
+
+TEST(CompressFp16, ExhaustiveHalfWidenNarrowIdentity) {
+  // Every finite half value must survive half -> float -> half exactly.
+  for (std::uint32_t h = 0; h <= 0xffff; ++h) {
+    const auto half = static_cast<std::uint16_t>(h);
+    const float widened = Fp16ToFloat(half);
+    if (std::isnan(widened)) continue;  // NaNs canonicalize; checked below
+    EXPECT_EQ(Fp16FromFloat(widened), half) << "half bits 0x" << std::hex << h;
+  }
+}
+
+TEST(CompressFp16, RoundsToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10):
+  // RNE picks the even mantissa, 1.0.
+  EXPECT_EQ(Fp16FromFloat(1.0f + std::ldexp(1.0f, -11)), Fp16FromFloat(1.0f));
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: picks 1+2^-9 (even).
+  EXPECT_EQ(Fp16FromFloat(1.0f + 3.0f * std::ldexp(1.0f, -11)),
+            Fp16FromFloat(1.0f + std::ldexp(1.0f, -9)));
+}
+
+TEST(CompressFp16, OverflowAndNonFinite) {
+  EXPECT_EQ(Fp16ToFloat(Fp16FromFloat(1e6f)),
+            std::numeric_limits<float>::infinity());
+  EXPECT_EQ(Fp16ToFloat(Fp16FromFloat(-1e6f)),
+            -std::numeric_limits<float>::infinity());
+  EXPECT_EQ(Fp16ToFloat(Fp16FromFloat(std::numeric_limits<float>::infinity())),
+            std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(std::isnan(
+      Fp16ToFloat(Fp16FromFloat(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(CompressFp16, SubnormalsRoundTrip) {
+  // 2^-24 is the smallest positive half subnormal.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Fp16ToFloat(Fp16FromFloat(tiny)), tiny);
+  // Below half of the smallest subnormal: flushes to signed zero.
+  EXPECT_EQ(Fp16ToFloat(Fp16FromFloat(std::ldexp(1.0f, -26))), 0.0f);
+  EXPECT_TRUE(std::signbit(Fp16ToFloat(Fp16FromFloat(-std::ldexp(1.0f, -26)))));
+}
+
+TEST(CompressFp16, BlobDecodeEqualsWidenedHalves) {
+  std::vector<float> values = RandomValues(513, 31);
+  values[0] = std::numeric_limits<float>::infinity();
+  values[1] = std::numeric_limits<float>::quiet_NaN();
+  const auto blob = CompressFloats(values, {.codec = Codec::kFp16});
+  EXPECT_EQ(blob.size(),
+            CompressedSizeBytes(values.size(), {.codec = Codec::kFp16}));
+  const std::vector<float> decoded = DecompressFloats(blob);
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float expected = Fp16ToFloat(Fp16FromFloat(values[i]));
+    if (std::isnan(expected)) {
+      EXPECT_TRUE(std::isnan(decoded[i]));
+    } else {
+      EXPECT_EQ(decoded[i], expected) << "index " << i;
+    }
+  }
+}
+
+// -- kTopK ------------------------------------------------------------------
+
+TEST(CompressTopK, KeepsLargestMagnitudes) {
+  const std::vector<float> values = {0.1f, -5.0f, 0.2f, 3.0f, -0.3f, 0.05f};
+  const CompressionConfig config{.codec = Codec::kTopK,
+                                 .top_k_fraction = 2.0 / 6.0};
+  EXPECT_EQ(TopKCount(values.size(), config), 2u);
+  const std::vector<float> decoded =
+      DecompressFloats(CompressFloats(values, config));
+  const std::vector<float> expected = {0.0f, -5.0f, 0.0f, 3.0f, 0.0f, 0.0f};
+  EXPECT_EQ(decoded, expected);
+}
+
+TEST(CompressTopK, TieBreaksByLowerIndex) {
+  const std::vector<float> values = {1.0f, -1.0f, 1.0f, 1.0f};
+  const CompressionConfig config{.codec = Codec::kTopK,
+                                 .top_k_fraction = 0.5};
+  const std::vector<float> decoded =
+      DecompressFloats(CompressFloats(values, config));
+  const std::vector<float> expected = {1.0f, -1.0f, 0.0f, 0.0f};
+  EXPECT_EQ(decoded, expected);
+}
+
+TEST(CompressTopK, AlwaysKeepsAtLeastOne) {
+  const std::vector<float> values = {0.0f, 0.0f, 7.0f};
+  const CompressionConfig config{.codec = Codec::kTopK,
+                                 .top_k_fraction = 1e-9};
+  EXPECT_EQ(TopKCount(values.size(), config), 1u);
+  const std::vector<float> decoded =
+      DecompressFloats(CompressFloats(values, config));
+  EXPECT_EQ(decoded, (std::vector<float>{0.0f, 0.0f, 7.0f}));
+}
+
+TEST(CompressTopK, RejectsNonFinite) {
+  std::vector<float> values = RandomValues(16, 5);
+  values[3] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(CompressFloats(values, {.codec = Codec::kTopK}), CompressError);
+}
+
+// -- determinism ------------------------------------------------------------
+
+TEST(CompressDeterminism, SameInputSameBytes) {
+  const std::vector<float> values = RandomValues(2048, 77);
+  for (const Codec codec :
+       {Codec::kNone, Codec::kInt8, Codec::kFp16, Codec::kTopK}) {
+    const CompressionConfig config{.codec = codec, .top_k_fraction = 0.05};
+    EXPECT_EQ(CompressFloats(values, config), CompressFloats(values, config))
+        << CodecName(codec);
+  }
+}
+
+// -- codec names ------------------------------------------------------------
+
+TEST(CompressCodec, NamesRoundTrip) {
+  for (const Codec codec :
+       {Codec::kNone, Codec::kInt8, Codec::kFp16, Codec::kTopK}) {
+    const auto parsed = CodecFromName(CodecName(codec));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, codec);
+  }
+  EXPECT_FALSE(CodecFromName("gzip").has_value());
+  EXPECT_FALSE(CodecFromName("").has_value());
+}
+
+// -- ClientUpdate wire codec ------------------------------------------------
+
+ClientUpdate MakeUpdate(std::size_t dim, std::uint64_t seed) {
+  ClientUpdate update;
+  update.params = RandomValues(dim, seed);
+  update.num_samples = 420;
+  update.loss_before = 1.25;
+  update.loss_after = 0.75;
+  update.prototypes = tensor::Tensor({2, 4});
+  for (std::int64_t i = 0; i < update.prototypes.size(); ++i) {
+    update.prototypes.data()[i] = static_cast<float>(i) * 0.5f;
+  }
+  update.prototype_class = {3, 5};
+  return update;
+}
+
+TEST(CompressUpdate, NoneCodecIsLosslessBitwise) {
+  const ClientUpdate update = MakeUpdate(300, 91);
+  const auto bytes =
+      EncodeClientUpdateCompressed(update, {.codec = Codec::kNone});
+  const ClientUpdate decoded = DecodeClientUpdateCompressed(bytes);
+  ASSERT_EQ(decoded.params.size(), update.params.size());
+  EXPECT_EQ(0, std::memcmp(decoded.params.data(), update.params.data(),
+                           update.params.size() * sizeof(float)));
+  EXPECT_EQ(decoded.num_samples, update.num_samples);
+  EXPECT_EQ(decoded.loss_before, update.loss_before);
+  EXPECT_EQ(decoded.loss_after, update.loss_after);
+  EXPECT_EQ(decoded.prototype_class, update.prototype_class);
+  ASSERT_EQ(decoded.prototypes.size(), update.prototypes.size());
+  EXPECT_EQ(0, std::memcmp(decoded.prototypes.data(),
+                           update.prototypes.data(),
+                           static_cast<std::size_t>(update.prototypes.size()) *
+                               sizeof(float)));
+}
+
+TEST(CompressUpdate, LossyCodecsOnlyTouchParams) {
+  const ClientUpdate update = MakeUpdate(300, 92);
+  for (const Codec codec : {Codec::kInt8, Codec::kFp16, Codec::kTopK}) {
+    const ClientUpdate decoded = DecodeClientUpdateCompressed(
+        EncodeClientUpdateCompressed(update, {.codec = codec}));
+    EXPECT_EQ(decoded.num_samples, update.num_samples) << CodecName(codec);
+    EXPECT_EQ(decoded.loss_before, update.loss_before);
+    EXPECT_EQ(decoded.loss_after, update.loss_after);
+    EXPECT_EQ(decoded.prototype_class, update.prototype_class);
+    ASSERT_EQ(decoded.params.size(), update.params.size());
+  }
+}
+
+TEST(CompressUpdate, CompressedSmallerThanRaw) {
+  const ClientUpdate update = MakeUpdate(10000, 93);
+  const std::size_t raw = EncodeClientUpdate(update).size();
+  const std::size_t int8 =
+      EncodeClientUpdateCompressed(update, {.codec = Codec::kInt8}).size();
+  const std::size_t fp16 =
+      EncodeClientUpdateCompressed(update, {.codec = Codec::kFp16}).size();
+  const std::size_t topk =
+      EncodeClientUpdateCompressed(
+          update, {.codec = Codec::kTopK, .top_k_fraction = 0.01})
+          .size();
+  EXPECT_LT(int8, raw / 3);
+  EXPECT_LT(fp16, raw * 2 / 3);
+  EXPECT_LT(topk, raw / 40);
+}
+
+// -- adversarial decode: quantize -> frame -> unframe -> dequantize ---------
+
+class CompressAdversarial : public ::testing::TestWithParam<Codec> {};
+
+TEST_P(CompressAdversarial, CleanPipelineRoundTrips) {
+  const std::vector<float> values = RandomValues(500, 101);
+  const CompressionConfig config{.codec = GetParam(), .top_k_fraction = 0.05};
+  const auto blob = CompressFloats(values, config);
+  const auto framed = FrameMessage(blob);
+  FrameReader reader;
+  reader.Feed(framed);
+  const auto payload = reader.Next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, blob);
+  // Exact-decode determinism through the full pipeline.
+  EXPECT_EQ(DecompressFloats(*payload), DecompressFloats(blob));
+}
+
+TEST_P(CompressAdversarial, TruncationAtEveryLengthThrowsOrNullopt) {
+  const std::vector<float> values = RandomValues(64, 102);
+  const CompressionConfig config{.codec = GetParam(), .top_k_fraction = 0.1};
+  const auto blob = CompressFloats(values, config);
+
+  // Truncated blob: typed error, never OOB.
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_THROW(
+        DecompressFloats(std::span<const std::uint8_t>(blob.data(), len)),
+        CompressError)
+        << "length " << len;
+  }
+  // Truncated frame: datagram unframe reports nullopt.
+  const auto framed = FrameMessage(blob);
+  for (std::size_t len = 0; len < framed.size(); ++len) {
+    EXPECT_FALSE(
+        UnframeMessage(std::span<const std::uint8_t>(framed.data(), len))
+            .has_value())
+        << "length " << len;
+  }
+}
+
+TEST_P(CompressAdversarial, ByteFlipsNeverReadOutOfBounds) {
+  const std::vector<float> values = RandomValues(96, 103);
+  const CompressionConfig config{.codec = GetParam(), .top_k_fraction = 0.1};
+  const auto blob = CompressFloats(values, config);
+  const auto framed = FrameMessage(blob);
+
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    for (const std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::vector<std::uint8_t> corrupt = framed;
+      corrupt[i] ^= flip;
+      // The CRC frame catches the flip, or (for flips the frame cannot see —
+      // there are none, CRC-32 detects all single-byte errors) the codec
+      // rejects the blob. Either way: typed failure or exact round trip,
+      // never UB.
+      const auto unframed = UnframeMessage(corrupt);
+      if (!unframed.has_value()) continue;
+      try {
+        DecompressFloats(*unframed);
+      } catch (const CompressError&) {
+      }
+    }
+  }
+}
+
+TEST_P(CompressAdversarial, BlobByteFlipsThrowTypedOrDecode) {
+  // Flips on the bare blob (no CRC shield): decode must throw CompressError
+  // or produce a value vector — anything but UB/crash. ASan validates the
+  // "no OOB" half; this loop validates the "typed errors only" half.
+  const std::vector<float> values = RandomValues(48, 104);
+  const CompressionConfig config{.codec = GetParam(), .top_k_fraction = 0.25};
+  const auto blob = CompressFloats(values, config);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    for (const std::uint8_t flip :
+         {std::uint8_t{0x01}, std::uint8_t{0x10}, std::uint8_t{0xff}}) {
+      std::vector<std::uint8_t> corrupt = blob;
+      corrupt[i] ^= flip;
+      try {
+        // A flipped count byte may legally inflate the decoded vector (the
+        // payload bytes still parse); the contract is the documented
+        // allocation cap, beyond which decode must throw instead.
+        const std::vector<float> decoded = DecompressFloats(corrupt);
+        EXPECT_LE(decoded.size(), std::size_t{1} << 28);
+      } catch (const CompressError&) {
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CompressAdversarial,
+                         ::testing::Values(Codec::kNone, Codec::kInt8,
+                                           Codec::kFp16, Codec::kTopK),
+                         [](const auto& info) {
+                           return std::string(CodecName(info.param));
+                         });
+
+TEST(CompressAdversarialEdge, OversizedCountIsRejectedBeforeAllocation) {
+  // Hand-build a kNone blob whose header claims 2^31 elements with no
+  // payload behind it: must throw, not allocate 8 GiB.
+  std::vector<std::uint8_t> blob;
+  blob.push_back(static_cast<std::uint8_t>(Codec::kNone));
+  const std::uint32_t huge = 1u << 31;
+  for (int b = 0; b < 4; ++b) {
+    blob.push_back(static_cast<std::uint8_t>((huge >> (8 * b)) & 0xff));
+  }
+  EXPECT_THROW(DecompressFloats(blob), CompressError);
+}
+
+TEST(CompressAdversarialEdge, TopKIndexValidation) {
+  const std::vector<float> values = {1.0f, 2.0f, 3.0f, 4.0f};
+  const CompressionConfig config{.codec = Codec::kTopK,
+                                 .top_k_fraction = 0.5};
+  auto blob = CompressFloats(values, config);
+  // Layout: u8 tag, u32 count, u32 k, then (u32 index, f32 value) pairs.
+  // Corrupt the first pair's index to an out-of-range value.
+  const std::size_t first_index_at = 1 + 4 + 4;
+  blob[first_index_at] = 0xff;
+  blob[first_index_at + 1] = 0xff;
+  EXPECT_THROW(DecompressFloats(blob), CompressError);
+}
+
+TEST(CompressAdversarialEdge, UnknownTagRejected) {
+  std::vector<std::uint8_t> blob = {0x7f, 1, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_THROW(DecompressFloats(blob), CompressError);
+  EXPECT_THROW(DecompressFloats(std::vector<std::uint8_t>{}), CompressError);
+}
+
+TEST(CompressAdversarialEdge, TrailingGarbageRejected) {
+  const std::vector<float> values = RandomValues(8, 105);
+  auto blob = CompressFloats(values, {.codec = Codec::kFp16});
+  blob.push_back(0xab);
+  EXPECT_THROW(DecompressFloats(blob), CompressError);
+}
+
+}  // namespace
+}  // namespace pardon::fl

@@ -100,7 +100,12 @@ def main():
             print(f"{name:<40} {'--':>12} {current[name]:>10.0f}ns "
                   f"{'new':>8}")
             continue
-        ratio = current[name] / baseline[name]
+        if baseline[name] == 0:
+            # A zero baseline (e.g. a zero byte count) cannot anchor a ratio;
+            # regress only if the current value became nonzero.
+            ratio = float("inf") if current[name] > 0 else 1.0
+        else:
+            ratio = current[name] / baseline[name]
         flag = ""
         if ratio > 1.0 + args.threshold:
             regressions.append((name, ratio))

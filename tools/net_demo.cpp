@@ -1,0 +1,304 @@
+// Multi-process federated round driver: one server plus N real client
+// processes over loopback sockets, byte-compared against the in-process
+// simulator. This is the transport conformance harness CI runs (the `net`
+// ctest label) and a usable demo of src/net/.
+//
+//   ./net_demo [--clients=3] [--participants=3] [--rounds=1] [--seed=7]
+//              [--backend=tcp|unix] [--codec=none|int8|fp16|topk]
+//              [--topk=0.01] [--compare] [--dir=/tmp/...]
+//
+// The driver binds the listener, writes the resolved endpoint to a
+// rendezvous file, forks+execs itself once per client (--role=client), and
+// hosts the net::FlServer in-process. Every process rebuilds the identical
+// scenario (same seeds -> same splits, partition, and initial model), so a
+// client only needs its id to find its shard. With --compare (and the
+// lossless codec) the driver then runs fl::Simulator::Run on the same
+// scenario and requires the two final parameter vectors to match BITWISE —
+// the acceptance test that the socket path reproduces the simulator exactly.
+//
+// Exit codes: 0 success, 1 usage/runtime failure, 2 comparison mismatch.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/fedavg.hpp"
+#include "experiment.hpp"
+#include "net/fl_client.hpp"
+#include "net/fl_server.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace pardon;
+
+struct DemoOptions {
+  int clients = 3;
+  int participants = 3;
+  int rounds = 1;
+  std::uint64_t seed = 7;
+  net::Backend backend = net::Backend::kTcp;
+  fl::CompressionConfig compression{};
+  bool compare = false;
+  std::string dir;       // rendezvous + unix-socket directory
+  // client role only
+  int client_id = -1;
+};
+
+// The fixed small PACS-like scenario every process rebuilds. Deterministic
+// given the options, so driver, clients, and the comparison simulator all
+// see the same splits, partition, and initial model.
+bench::Scenario MakeScenario(const DemoOptions& options) {
+  bench::Scenario scenario;
+  scenario.preset = data::MakePacsLike();
+  scenario.train_domains = {0, 1, 2};
+  scenario.val_domains = {3};
+  scenario.test_domains = {3};
+  scenario.samples_per_train_domain = 120;
+  scenario.samples_per_eval_domain = 40;
+  scenario.total_clients = options.clients;
+  scenario.participants = options.participants;
+  scenario.rounds = options.rounds;
+  scenario.eval_every = 0;
+  scenario.seed = options.seed;
+  return scenario;
+}
+
+// The FlConfig fields the client-side FedAvg reads in Setup must match what
+// bench::ScenarioData's simulator passes (same local_epochs, batch size, and
+// optimizer), or local training diverges from the in-process run.
+fl::FlConfig MakeClientConfig(const bench::Scenario& scenario) {
+  return fl::FlConfig{
+      .total_clients = scenario.total_clients,
+      .participants_per_round = scenario.participants,
+      .rounds = scenario.rounds,
+      .batch_size = scenario.preset.batch_size,
+      .optimizer = {.lr = scenario.learning_rate},
+      .eval_every = scenario.eval_every,
+      .seed = scenario.seed,
+  };
+}
+
+std::string EndpointFilePath(const DemoOptions& options) {
+  return (std::filesystem::path(options.dir) / "endpoint").string();
+}
+
+int RunClientRole(const DemoOptions& options) {
+  const net::Endpoint server =
+      net::WaitForEndpointFile(EndpointFilePath(options), 30.0);
+
+  const bench::Scenario scenario = MakeScenario(options);
+  const bench::ScenarioData data(scenario);
+  const data::Dataset& shard =
+      data.simulator().client_data()[static_cast<std::size_t>(
+          options.client_id)];
+
+  baselines::FedAvg algorithm;
+  const fl::FlConfig config = MakeClientConfig(scenario);
+  const fl::FlContext context{.client_data = nullptr,
+                              .initial_model = &data.initial_model(),
+                              .config = config,
+                              .pool = nullptr,
+                              .data_provider = nullptr};
+  algorithm.Setup(context);
+
+  net::ClientOptions client_options;
+  client_options.server = server;
+  client_options.client_id = options.client_id;
+  const net::ClientResult result =
+      net::RunClient(client_options, algorithm, shard, data.initial_model());
+  std::printf("client %d: rounds=%d idle=%d sent=%" PRId64 " recv=%" PRId64
+              "\n",
+              options.client_id, result.rounds_participated,
+              result.rounds_idle, result.bytes_sent, result.bytes_received);
+  return 0;
+}
+
+pid_t SpawnClient(const DemoOptions& options, int client_id,
+                  const char* self_path) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid != 0) return pid;
+  // Child: exec a fresh copy of this binary in the client role.
+  std::vector<std::string> args = {
+      self_path,
+      "--role=client",
+      "--client-id=" + std::to_string(client_id),
+      "--clients=" + std::to_string(options.clients),
+      "--participants=" + std::to_string(options.participants),
+      "--rounds=" + std::to_string(options.rounds),
+      "--seed=" + std::to_string(options.seed),
+      "--dir=" + options.dir,
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  execv(self_path, argv.data());
+  std::fprintf(stderr, "execv %s: %s\n", self_path, std::strerror(errno));
+  _exit(127);
+}
+
+int RunDriverRole(const DemoOptions& options, const char* self_path) {
+  const bench::Scenario scenario = MakeScenario(options);
+  const bench::ScenarioData data(scenario);
+  const std::vector<float> initial_params = data.initial_model().FlatParams();
+
+  const net::Endpoint endpoint =
+      options.backend == net::Backend::kTcp
+          ? net::Endpoint::Tcp("127.0.0.1", 0)
+          : net::Endpoint::UnixSocket(
+                (std::filesystem::path(options.dir) / "server.sock").string());
+  net::Listener listener = net::Listener::Bind(endpoint);
+  net::WriteEndpointFile(EndpointFilePath(options), listener.bound());
+
+  std::vector<pid_t> children;
+  children.reserve(static_cast<std::size_t>(options.clients));
+  for (int client = 0; client < options.clients; ++client) {
+    children.push_back(SpawnClient(options, client, self_path));
+  }
+
+  net::ServerOptions server_options;
+  server_options.total_clients = options.clients;
+  server_options.participants_per_round = options.participants;
+  server_options.rounds = options.rounds;
+  server_options.seed = options.seed;
+  server_options.compression = options.compression;
+  net::FlServer server(std::move(listener), server_options);
+  const net::ServerResult result = server.Run(initial_params);
+
+  bool children_ok = true;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "net_demo: client pid %d failed (status %d)\n",
+                   static_cast<int>(pid), status);
+      children_ok = false;
+    }
+  }
+  if (!children_ok) return 1;
+
+  std::printf("server: rounds=%d sent=%" PRId64 " recv=%" PRId64
+              " update_wire=%" PRId64 " update_raw=%" PRId64 "\n",
+              result.rounds_completed, result.bytes_sent,
+              result.bytes_received, result.wire_update_bytes,
+              result.raw_update_bytes);
+
+  if (options.compare) {
+    baselines::FedAvg algorithm;
+    const bench::ScenarioRun sim = data.Run(algorithm, nullptr);
+    const std::vector<float> sim_params = sim.result.final_model.FlatParams();
+    if (sim_params.size() != result.global_params.size() ||
+        std::memcmp(sim_params.data(), result.global_params.data(),
+                    sim_params.size() * sizeof(float)) != 0) {
+      std::size_t first_diff = sim_params.size();
+      for (std::size_t i = 0;
+           i < std::min(sim_params.size(), result.global_params.size()); ++i) {
+        if (std::memcmp(&sim_params[i], &result.global_params[i],
+                        sizeof(float)) != 0) {
+          first_diff = i;
+          break;
+        }
+      }
+      std::fprintf(stderr,
+                   "net_demo: MISMATCH vs in-process simulator (dim %zu vs "
+                   "%zu, first diff at %zu)\n",
+                   result.global_params.size(), sim_params.size(), first_diff);
+      return 2;
+    }
+    std::printf("compare: OK — %zu params bitwise identical to Simulator\n",
+                sim_params.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  util::SetLogLevel(util::LogLevel::kWarn);
+
+  DemoOptions options;
+  options.clients = flags.GetInt("clients", 3);
+  options.participants = flags.GetInt("participants", options.clients);
+  options.rounds = flags.GetInt("rounds", 1);
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  options.compare = flags.GetBool("compare", false);
+  options.client_id = flags.GetInt("client-id", -1);
+
+  const std::string backend = flags.GetString("backend", "tcp");
+  if (backend == "tcp") {
+    options.backend = net::Backend::kTcp;
+  } else if (backend == "unix") {
+    options.backend = net::Backend::kUnix;
+  } else {
+    std::fprintf(stderr, "net_demo: unknown --backend=%s\n", backend.c_str());
+    return 1;
+  }
+
+  const std::string codec = flags.GetString("codec", "none");
+  const auto parsed = fl::CodecFromName(codec);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "net_demo: unknown --codec=%s\n", codec.c_str());
+    return 1;
+  }
+  options.compression.codec = *parsed;
+  options.compression.top_k_fraction = flags.GetDouble("topk", 0.01);
+  if (options.compare && options.compression.codec != fl::Codec::kNone) {
+    std::fprintf(stderr,
+                 "net_demo: --compare requires --codec=none (lossy codecs "
+                 "cannot match the simulator bitwise)\n");
+    return 1;
+  }
+
+  options.dir = flags.GetString("dir", "");
+  const std::string role = flags.GetString("role", "driver");
+  try {
+    if (role == "client") {
+      if (options.client_id < 0 || options.dir.empty()) {
+        std::fprintf(stderr,
+                     "net_demo: client role needs --client-id and --dir\n");
+        return 1;
+      }
+      return RunClientRole(options);
+    }
+    if (role != "driver") {
+      std::fprintf(stderr, "net_demo: unknown --role=%s\n", role.c_str());
+      return 1;
+    }
+    std::filesystem::path dir = options.dir;
+    if (dir.empty()) {
+      char tmpl[] = "/tmp/pardon_net_demo.XXXXXX";
+      if (mkdtemp(tmpl) == nullptr) {
+        std::fprintf(stderr, "net_demo: mkdtemp: %s\n", std::strerror(errno));
+        return 1;
+      }
+      dir = tmpl;
+      options.dir = dir.string();
+    } else {
+      std::filesystem::create_directories(dir);
+    }
+    // /proc/self/exe survives any cwd the test runner picked.
+    const int code = RunDriverRole(options, "/proc/self/exe");
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);  // best-effort cleanup
+    return code;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "net_demo: %s\n", error.what());
+    return 1;
+  }
+}
