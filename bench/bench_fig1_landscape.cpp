@@ -58,8 +58,12 @@ LandscapeStats ProbeClient(const nn::MlpClassifier& global_model,
   // Loss grid over the plane.
   for (int i = 0; i < grid; ++i) {
     for (int j = 0; j < grid; ++j) {
-      const float a = radius * (2.0f * i / (grid - 1) - 1.0f);
-      const float b = radius * (2.0f * j / (grid - 1) - 1.0f);
+      const float a =
+          radius * (2.0f * static_cast<float>(i) / static_cast<float>(grid - 1) -
+                    1.0f);
+      const float b =
+          radius * (2.0f * static_cast<float>(j) / static_cast<float>(grid - 1) -
+                    1.0f);
       recorder.Record(tag + "/row" + std::to_string(i), j,
                       LossAt(probe, center, dir_a, dir_b, a, b, client_data));
     }

@@ -152,7 +152,7 @@ int main(int argc, char** argv) {
         sum += acc[method][t];
         row.push_back(util::Table::Pct(acc[method][t]));
       }
-      row.push_back(util::Table::Pct(sum / totals.size()));
+      row.push_back(util::Table::Pct(sum / static_cast<double>(totals.size())));
       table.AddRow(std::move(row));
     }
     std::printf("\n[Fig 5 / Table 7] %s (train {Sketch, Cartoon}; val Photo; "

@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
       sum += acc;
       row.push_back(util::Table::Pct(acc));
     }
-    row.push_back(util::Table::Pct(sum / schemes.size()));
+    row.push_back(util::Table::Pct(sum / static_cast<double>(schemes.size())));
     // DP guarantee of the style upload under this noise (analytic Gaussian
     // mechanism; unit-L2-sensitivity convention for the style statistic).
     const double sigma = static_cast<double>(setting.perturbation.coefficient) *

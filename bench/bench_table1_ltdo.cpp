@@ -90,13 +90,13 @@ void RunDataset(const data::ScenarioPreset& preset,
       val_sum += acc;
       row.push_back(util::Table::Pct(acc));
     }
-    row.push_back(util::Table::Pct(val_sum / schemes.size()));
+    row.push_back(util::Table::Pct(val_sum / static_cast<double>(schemes.size())));
     for (const LtdoScheme& s : schemes) {
       const double acc = test_acc[method][s.test_domain];
       test_sum += acc;
       row.push_back(util::Table::Pct(acc));
     }
-    row.push_back(util::Table::Pct(test_sum / schemes.size()));
+    row.push_back(util::Table::Pct(test_sum / static_cast<double>(schemes.size())));
     table.AddRow(std::move(row));
   }
   std::printf("\n[Table 1] LTDO on %s\n", preset.name.c_str());

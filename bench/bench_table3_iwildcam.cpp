@@ -86,12 +86,12 @@ int main(int argc, char** argv) {
       vsum += val_acc[method][l];
       row.push_back(util::Table::Pct(val_acc[method][l]));
     }
-    row.push_back(util::Table::Pct(vsum / lambdas.size()));
+    row.push_back(util::Table::Pct(vsum / static_cast<double>(lambdas.size())));
     for (const double l : lambdas) {
       tsum += test_acc[method][l];
       row.push_back(util::Table::Pct(test_acc[method][l]));
     }
-    row.push_back(util::Table::Pct(tsum / lambdas.size()));
+    row.push_back(util::Table::Pct(tsum / static_cast<double>(lambdas.size())));
     table.AddRow(std::move(row));
   }
   std::printf("\n[Table 3] IWildCam-like (%d domains, %d classes, N=%d, "

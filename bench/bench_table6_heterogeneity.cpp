@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
         sum += acc[method][l];
         row.push_back(util::Table::Pct(acc[method][l]));
       }
-      row.push_back(util::Table::Pct(sum / lambdas.size()));
+      row.push_back(util::Table::Pct(sum / static_cast<double>(lambdas.size())));
       table.AddRow(std::move(row));
     }
     std::printf("\n[Table 6] %s (train {Art, Cartoon}; val Photo; test "

@@ -73,7 +73,11 @@ ScenarioRun ScenarioData::Run(fl::Algorithm& algorithm,
       {"val", &split_.val},
       {"test", &split_.test},
   };
-  ScenarioRun run{.result = simulator_.Run(algorithm, model_, evals, pool)};
+  ScenarioRun run{.result = simulator_.Run(algorithm, model_, evals, pool),
+                  .val_per_domain = {},
+                  .test_per_domain = {},
+                  .val_accuracy = 0.0,
+                  .test_accuracy = 0.0};
   run.val_accuracy = run.result.final_accuracy[0];
   run.test_accuracy = run.result.final_accuracy[1];
   run.val_per_domain =

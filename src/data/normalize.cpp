@@ -24,7 +24,8 @@ ChannelStats ComputeChannelStats(const Dataset& dataset, float epsilon) {
       }
     }
   }
-  const double count = static_cast<double>(dataset.size()) * hw;
+  const double count =
+      static_cast<double>(dataset.size()) * static_cast<double>(hw);
   ChannelStats stats;
   stats.mean = Tensor({shape.channels});
   stats.std = Tensor({shape.channels});

@@ -120,11 +120,13 @@ double MacroF1(const nn::MlpClassifier& model, const data::Dataset& dataset,
         tp[static_cast<std::size_t>(c)] + fn[static_cast<std::size_t>(c)];
     if (support == 0) continue;  // class absent from the dataset
     ++present;
-    const double denom = 2.0 * tp[static_cast<std::size_t>(c)] +
-                         fp[static_cast<std::size_t>(c)] +
-                         fn[static_cast<std::size_t>(c)];
+    const double denom =
+        2.0 * static_cast<double>(tp[static_cast<std::size_t>(c)]) +
+        static_cast<double>(fp[static_cast<std::size_t>(c)]) +
+        static_cast<double>(fn[static_cast<std::size_t>(c)]);
     if (denom > 0.0) {
-      f1_sum += 2.0 * tp[static_cast<std::size_t>(c)] / denom;
+      f1_sum +=
+          2.0 * static_cast<double>(tp[static_cast<std::size_t>(c)]) / denom;
     }
   }
   return present > 0 ? f1_sum / present : 0.0;

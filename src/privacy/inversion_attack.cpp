@@ -65,7 +65,8 @@ float ChannelMomentLoss(const tensor::Tensor& pred, const tensor::Tensor& target
           static_cast<float>(hw);
       const float sigma_coeff = weight * inv_batch * 2.0f *
                                 static_cast<float>(d_sigma) /
-                                static_cast<float>(hw * sigma_p);
+                                static_cast<float>(static_cast<double>(hw) *
+                                                   sigma_p);
       for (std::int64_t k = 0; k < hw; ++k) {
         g[k] += mu_coeff + sigma_coeff * static_cast<float>(p[k] - mu_p);
       }

@@ -63,7 +63,8 @@ StyleVector PooledStyle(std::span<const Tensor> feature_maps, float epsilon) {
       }
     }
   }
-  const double count = static_cast<double>(hw) * feature_maps.size();
+  const double count =
+      static_cast<double>(hw) * static_cast<double>(feature_maps.size());
   StyleVector style;
   style.mu = Tensor({c});
   style.sigma = Tensor({c});

@@ -17,7 +17,9 @@ Flags::Flags(int argc, const char* const* argv) {
       values_[std::string(arg)] = argv[i + 1];
       ++i;
     } else {
-      values_[std::string(arg)] = "1";
+      // std::string("1") sidesteps a GCC 12 -Wrestrict false positive
+      // (PR105329) on assigning a short literal through operator=(const char*).
+      values_[std::string(arg)] = std::string("1");
     }
   }
 }

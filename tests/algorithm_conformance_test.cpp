@@ -300,8 +300,8 @@ TEST_P(AlgorithmConformanceTest, ResumeFromMidRunCheckpointIsTransparent) {
 INSTANTIATE_TEST_SUITE_P(
     AllMethods, AlgorithmConformanceTest,
     ::testing::ValuesIn(ConformanceMethods()),
-    [](const ::testing::TestParamInfo<ConformanceMethod>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<ConformanceMethod>& param_info) {
+      std::string name = param_info.param.name;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -291,8 +291,8 @@ TEST_P(CheckpointResumeTest, RoundStateRoundTripsThroughSaveLoad) {
 INSTANTIATE_TEST_SUITE_P(
     AllMethods, CheckpointResumeTest,
     ::testing::ValuesIn(CheckpointMethods()),
-    [](const ::testing::TestParamInfo<CheckpointMethod>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<CheckpointMethod>& param_info) {
+      std::string name = param_info.param.name;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -260,8 +260,9 @@ TEST_P(TransportBackends, PeerCloseWhileWaitingIsNetError) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, TransportBackends,
                          ::testing::Values(Backend::kTcp, Backend::kUnix),
-                         [](const auto& info) {
-                           return info.param == Backend::kTcp ? "Tcp" : "Unix";
+                         [](const auto& param_info) {
+                           return param_info.param == Backend::kTcp ? "Tcp"
+                                                                    : "Unix";
                          });
 
 // -- obs mirror -------------------------------------------------------------
