@@ -1,0 +1,19 @@
+// Fixture for tools/lint_determinism.py --self-test: a file using the
+// sanctioned idioms — ordered containers, fixed-order accumulation, integer
+// atomics — that must produce zero findings in any scanned directory.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+std::atomic<std::int64_t> g_bytes_total{0};  // integer adds commute exactly
+
+double SumInKeyOrder(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) total += w;  // std::map: sorted order
+  return total;
+}
+
+void CountBytes(const std::vector<std::uint8_t>& payload) {
+  g_bytes_total.fetch_add(static_cast<std::int64_t>(payload.size()));
+}

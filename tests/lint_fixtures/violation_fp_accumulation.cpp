@@ -1,0 +1,15 @@
+// Fixture for tools/lint_determinism.py --self-test: rule fp-accumulation.
+// An atomic double accumulator commits to whatever order the threads arrive
+// in — FP addition is not associative, so the sum is run-dependent.
+#include <atomic>
+#include <cstddef>
+
+std::atomic<double> g_loss_sum{0.0};
+
+void AccumulateFromWorkers(const double* losses, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double current = g_loss_sum.load();
+    while (!g_loss_sum.compare_exchange_weak(current, current + losses[i])) {
+    }
+  }
+}

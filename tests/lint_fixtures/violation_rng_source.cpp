@@ -1,0 +1,10 @@
+// Fixture for tools/lint_determinism.py --self-test: rule rng-source.
+// Never compiled; never scanned outside the self-test (tests/lint_fixtures/
+// is excluded from the real scan).
+#include <cstdlib>
+#include <random>
+
+int NondeterministicDraw() {
+  std::mt19937 gen{std::random_device{}()};
+  return static_cast<int>(gen()) + std::rand();
+}

@@ -1,0 +1,10 @@
+// Fixture for tools/lint_determinism.py --self-test: rule unordered-iter.
+// Hash-order iteration reaching an accumulator is exactly the bug class the
+// rule exists to stop: the sum below depends on libstdc++'s bucket layout.
+#include <unordered_map>
+
+double SumInHashOrder(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) total += w;
+  return total;
+}

@@ -1,0 +1,11 @@
+// Fixture for tools/lint_determinism.py --self-test: rule wall-clock-seed.
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+std::uint64_t WallClockSeed() {
+  const auto ticks =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  return static_cast<std::uint64_t>(ticks) ^
+         static_cast<std::uint64_t>(std::time(nullptr));
+}
