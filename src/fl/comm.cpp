@@ -49,11 +49,18 @@ ClientUpdate DecodeClientUpdate(const std::vector<std::uint8_t>& bytes) {
   const std::vector<float> proto_values = GetFloats(bytes, cursor);
   const std::uint32_t proto_dim = GetU32(bytes, cursor);
   const std::uint32_t proto_count = GetU32(bytes, cursor);
+  // Validate the announced count against the bytes actually present before
+  // allocating: a corrupted header must not be able to demand gigabytes.
+  wire::CheckAvail(bytes, cursor, static_cast<std::size_t>(proto_count) * 4,
+                   "prototype class section");
   update.prototype_class.reserve(proto_count);
   for (std::uint32_t i = 0; i < proto_count; ++i) {
     update.prototype_class.push_back(static_cast<int>(GetU32(bytes, cursor)));
   }
   if (proto_dim > 0 && !proto_values.empty()) {
+    if (proto_values.size() % proto_dim != 0) {
+      throw wire::WireError("wire: prototype section not a [P, D] matrix");
+    }
     update.prototypes = tensor::Tensor(
         {static_cast<std::int64_t>(proto_values.size() / proto_dim),
          static_cast<std::int64_t>(proto_dim)},

@@ -308,6 +308,10 @@ ClientUpdate DecodeClientUpdateCompressed(
     const std::vector<float> proto_values = wire::GetFloats(bytes, cursor);
     const std::uint32_t proto_dim = wire::GetU32(bytes, cursor);
     const std::uint32_t proto_count = wire::GetU32(bytes, cursor);
+    // Validate the announced count against the bytes actually present before
+    // allocating: a corrupted header must not be able to demand gigabytes.
+    wire::CheckAvail(bytes, cursor, static_cast<std::size_t>(proto_count) * 4,
+                     "prototype class section");
     update.prototype_class.reserve(proto_count);
     for (std::uint32_t i = 0; i < proto_count; ++i) {
       update.prototype_class.push_back(

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "fl/comm.hpp"
+#include "fl/wire.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 
@@ -42,6 +43,37 @@ TEST(WireCodec, StyleRoundTrip) {
   style.sigma = tensor::Tensor({3}, {4, 5, 6});
   const style::StyleVector decoded = DecodeStyle(EncodeStyle(style));
   EXPECT_EQ(tensor::MaxAbsDiff(decoded.Flat(), style.Flat()), 0.0f);
+}
+
+// Regression (found by fuzz_net_protocol): the prototype-class count is the
+// final u32 of the layout, so a ~30-byte blob could announce 2^32-1 entries
+// and the decoder would reserve() ~16 GiB before the per-element bounds
+// checks ran. The count must be validated against the remaining bytes first.
+TEST(WireCodec, OversizedPrototypeCountRejectedBeforeAllocation) {
+  ClientUpdate update;
+  update.params = {1.0f};
+  update.num_samples = 1;
+  std::vector<std::uint8_t> bytes = EncodeClientUpdate(update);
+  ASSERT_GE(bytes.size(), 4u);
+  for (std::size_t i = bytes.size() - 4; i < bytes.size(); ++i) bytes[i] = 0xff;
+  EXPECT_THROW(DecodeClientUpdate(bytes), wire::WireError);
+}
+
+// Regression (found by fuzz_net_protocol): a prototype section whose float
+// count is not a multiple of the announced dimension escaped as the tensor
+// constructor's std::invalid_argument instead of the codec's typed error.
+// Adversarial bytes must always surface as WireError.
+TEST(WireCodec, NonMatrixPrototypeSectionThrowsTypedError) {
+  ClientUpdate update;
+  update.params = {1.0f};
+  update.num_samples = 1;
+  update.prototypes = tensor::Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<std::uint8_t> bytes = EncodeClientUpdate(update);
+  // Layout ends ... | u32 proto_dim | u32 proto_count(=0); rewrite proto_dim
+  // from 3 to 4, which does not divide the 6 floats shipped.
+  ASSERT_GE(bytes.size(), 8u);
+  bytes[bytes.size() - 8] = 4;
+  EXPECT_THROW(DecodeClientUpdate(bytes), wire::WireError);
 }
 
 TEST(WireCodec, DecodeRejectsTruncated) {

@@ -260,6 +260,21 @@ TEST(CompressUpdate, LossyCodecsOnlyTouchParams) {
   }
 }
 
+// Regression (found by fuzz_compress): the prototype-class count is the
+// final u32 of the layout, so a small blob could announce 2^32-1 entries and
+// the decoder would reserve() ~16 GiB before the per-element bounds checks
+// ran. The count must be validated against the remaining bytes first.
+TEST(CompressUpdate, OversizedPrototypeCountRejectedBeforeAllocation) {
+  ClientUpdate update;
+  update.params = {1.0f};
+  update.num_samples = 1;
+  std::vector<std::uint8_t> bytes =
+      EncodeClientUpdateCompressed(update, {.codec = Codec::kNone});
+  ASSERT_GE(bytes.size(), 4u);
+  for (std::size_t i = bytes.size() - 4; i < bytes.size(); ++i) bytes[i] = 0xff;
+  EXPECT_THROW(DecodeClientUpdateCompressed(bytes), CompressError);
+}
+
 TEST(CompressUpdate, CompressedSmallerThanRaw) {
   const ClientUpdate update = MakeUpdate(10000, 93);
   const std::size_t raw = EncodeClientUpdate(update).size();
@@ -367,8 +382,8 @@ TEST_P(CompressAdversarial, BlobByteFlipsThrowTypedOrDecode) {
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CompressAdversarial,
                          ::testing::Values(Codec::kNone, Codec::kInt8,
                                            Codec::kFp16, Codec::kTopK),
-                         [](const auto& info) {
-                           return std::string(CodecName(info.param));
+                         [](const auto& param_info) {
+                           return std::string(CodecName(param_info.param));
                          });
 
 TEST(CompressAdversarialEdge, OversizedCountIsRejectedBeforeAllocation) {
