@@ -1,0 +1,44 @@
+// Fuzz target: the three update-compression decoders (int8 / fp16 / top-k
+// behind DecompressFloats' self-describing tag) and the compressed
+// ClientUpdate wire codec wrapping them.
+//
+// Contract: adversarial bytes throw CompressError and nothing else — no OOB
+// read, no allocation driven by an unvalidated header (the bug class the
+// prototype-count regression tests in tests/compress_test.cpp pin down), no
+// escape of the underlying WireError past the codec boundary.
+//
+// Round-trip property: when a blob does decode, re-encoding the result under
+// kNone and decoding again must reproduce the values bitwise — decode is
+// exact even though compression is lossy.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "fl/compress.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+
+  try {
+    const std::vector<float> values = pardon::fl::DecompressFloats(input);
+    const std::vector<std::uint8_t> reencoded = pardon::fl::CompressFloats(
+        values, {.codec = pardon::fl::Codec::kNone});
+    const std::vector<float> again = pardon::fl::DecompressFloats(reencoded);
+    if (again.size() != values.size() ||
+        (values.size() > 0 &&
+         std::memcmp(again.data(), values.data(),
+                     values.size() * sizeof(float)) != 0)) {
+      std::abort();
+    }
+  } catch (const pardon::fl::CompressError&) {
+  }
+
+  try {
+    (void)pardon::fl::DecodeClientUpdateCompressed(input);
+  } catch (const pardon::fl::CompressError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fuzz target: the INI config parser behind every CLI surface
+// (util::Config::Parse) and the typed getters run-experiment calls on the
+// result.
+//
+// Contract: malformed text throws std::runtime_error with a line number;
+// successfully parsed text supports every getter on arbitrary keys without
+// crashing (the getters call atoi/strtoull/atof on attacker-chosen values).
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/config.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const pardon::util::Config config = pardon::util::Config::Parse(text);
+    for (const std::string& key : config.Keys()) {
+      (void)config.Has(key);
+      (void)config.GetString(key, "");
+      (void)config.GetInt(key, 0);
+      (void)config.GetUint64(key, 0);
+      (void)config.GetDouble(key, 0.0);
+      (void)config.GetBool(key, false);
+      (void)config.GetIntList(key, {});
+    }
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

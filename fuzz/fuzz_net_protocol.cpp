@@ -1,0 +1,65 @@
+// Fuzz target: net session-protocol codecs plus the raw ClientUpdate wire
+// codec they carry.
+//
+// Contract: adversarial bytes may throw net::ProtocolError (the Guard in
+// protocol.cpp converts the underlying WireError) or fl::wire::WireError for
+// the raw update codec — any other escape (std::bad_alloc from a trusted
+// length header, tensor shape errors, OOB reads) is a bug. The typed-only
+// rule is what turned up the unvalidated prototype-count reserve() and the
+// untyped non-matrix prototype throw fixed alongside this harness.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fl/comm.hpp"
+#include "fl/wire.hpp"
+#include "net/protocol.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+
+  // Dispatch path a real server/client runs: peek, then the matching decode.
+  try {
+    switch (pardon::net::PeekType(input)) {
+      case pardon::net::MessageType::kHello:
+        (void)pardon::net::DecodeHello(input);
+        break;
+      case pardon::net::MessageType::kBroadcast:
+        (void)pardon::net::DecodeBroadcast(input);
+        break;
+      case pardon::net::MessageType::kIdle:
+        (void)pardon::net::DecodeIdle(input);
+        break;
+      case pardon::net::MessageType::kUpdate:
+        (void)pardon::net::DecodeUpdate(input);
+        break;
+      case pardon::net::MessageType::kDone:
+        (void)pardon::net::DecodeDone(input);
+        break;
+    }
+  } catch (const pardon::net::ProtocolError&) {
+  }
+
+  // Every decoder must also reject a mismatched tag with the typed error,
+  // not trust it and misparse.
+  const auto probe = [&input](auto decode) {
+    try {
+      (void)decode(input);
+    } catch (const pardon::net::ProtocolError&) {
+    }
+  };
+  probe([](auto b) { return pardon::net::DecodeHello(b); });
+  probe([](auto b) { return pardon::net::DecodeBroadcast(b); });
+  probe([](auto b) { return pardon::net::DecodeIdle(b); });
+  probe([](auto b) { return pardon::net::DecodeUpdate(b); });
+  probe([](auto b) { return pardon::net::DecodeDone(b); });
+
+  // The raw (uncompressed) ClientUpdate layout an Update payload can carry.
+  try {
+    (void)pardon::fl::DecodeClientUpdate(
+        std::vector<std::uint8_t>(input.begin(), input.end()));
+  } catch (const pardon::fl::wire::WireError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Seed-corpus generator for the fuzz targets: writes structurally valid
+// encodes of every format under <out_dir>/<target>/ so fuzzing starts from
+// inputs that reach deep into each decoder instead of dying at the first
+// magic/tag check. Regenerated at test time (fuzz_corpus fixture) rather
+// than committed — the encoders are the single source of truth for the
+// formats.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <span>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fl/comm.hpp"
+#include "fl/compress.hpp"
+#include "fl/sim_checkpoint.hpp"
+#include "net/protocol.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void WriteInput(const fs::path& dir, const std::string& name,
+                std::span<const std::uint8_t> bytes) {
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void WriteText(const fs::path& dir, const std::string& name,
+               const std::string& text) {
+  std::ofstream out(dir / name, std::ios::binary);
+  out << text;
+}
+
+pardon::fl::ClientUpdate MakeUpdate() {
+  pardon::fl::ClientUpdate update;
+  update.params = {1.5f, -2.0f, 0.0f, 3.25f, -0.5f, 8.0f};
+  update.num_samples = 42;
+  update.loss_before = 1.25;
+  update.loss_after = 0.75;
+  update.prototypes = pardon::tensor::Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+  update.prototype_class = {0, 4};
+  return update;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_corpus <out_dir>\n");
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  const pardon::fl::ClientUpdate update = MakeUpdate();
+
+  // -- frame_reader: framed payloads, single and concatenated ---------------
+  {
+    const fs::path dir = root / "frame_reader";
+    fs::create_directories(dir);
+    const std::vector<std::uint8_t> payload = {0xde, 0xad, 0xbe, 0xef, 0x01};
+    const std::vector<std::uint8_t> empty;
+    WriteInput(dir, "single_frame", pardon::fl::FrameMessage(payload));
+    WriteInput(dir, "empty_payload_frame", pardon::fl::FrameMessage(empty));
+    std::vector<std::uint8_t> stream = pardon::fl::FrameMessage(payload);
+    const std::vector<std::uint8_t> second =
+        pardon::fl::FrameMessage(pardon::fl::EncodeClientUpdate(update));
+    stream.insert(stream.end(), second.begin(), second.end());
+    WriteInput(dir, "two_frames", stream);
+  }
+
+  // -- net_protocol: one of each session message ----------------------------
+  {
+    const fs::path dir = root / "net_protocol";
+    fs::create_directories(dir);
+    WriteInput(dir, "hello", pardon::net::EncodeHello({.client_id = 3}));
+    pardon::net::BroadcastMessage broadcast;
+    broadcast.round = 7;
+    broadcast.rng = {.state = 0x853c49e6748fea9bull,
+                     .inc = 0xda3e39cb94b95bdbull,
+                     .has_cached_gaussian = false,
+                     .cached_gaussian = 0.0f};
+    broadcast.compression = {.codec = pardon::fl::Codec::kInt8};
+    broadcast.params = update.params;
+    WriteInput(dir, "broadcast", pardon::net::EncodeBroadcast(broadcast));
+    WriteInput(dir, "idle", pardon::net::EncodeIdle({.round = 9}));
+    pardon::net::UpdateMessage update_msg;
+    update_msg.client_id = 3;
+    update_msg.round = 7;
+    update_msg.payload = pardon::fl::EncodeClientUpdateCompressed(
+        update, {.codec = pardon::fl::Codec::kNone});
+    WriteInput(dir, "update", pardon::net::EncodeUpdate(update_msg));
+    WriteInput(dir, "done", pardon::net::EncodeDone({.rounds_completed = 10}));
+    WriteInput(dir, "raw_client_update", pardon::fl::EncodeClientUpdate(update));
+  }
+
+  // -- compress: every codec, blob and full-update forms --------------------
+  {
+    const fs::path dir = root / "compress";
+    fs::create_directories(dir);
+    for (const pardon::fl::Codec codec :
+         {pardon::fl::Codec::kNone, pardon::fl::Codec::kInt8,
+          pardon::fl::Codec::kFp16, pardon::fl::Codec::kTopK}) {
+      const pardon::fl::CompressionConfig config{.codec = codec,
+                                                 .top_k_fraction = 0.5};
+      WriteInput(dir, std::string("blob_") + pardon::fl::CodecName(codec),
+                 pardon::fl::CompressFloats(update.params, config));
+      WriteInput(dir, std::string("update_") + pardon::fl::CodecName(codec),
+                 pardon::fl::EncodeClientUpdateCompressed(update, config));
+    }
+  }
+
+  // -- checkpoint: a small but fully populated simulator checkpoint ---------
+  {
+    const fs::path dir = root / "checkpoint";
+    fs::create_directories(dir);
+    pardon::fl::SimCheckpoint ckpt;
+    ckpt.config.total_clients = 4;
+    ckpt.config.participants_per_round = 2;
+    ckpt.config.rounds = 6;
+    ckpt.config.seed = 17;
+    ckpt.algorithm = "FedAvg";
+    ckpt.round = 3;
+    ckpt.global_params = update.params;
+    ckpt.root_rng = {.state = 99, .inc = 101};
+    ckpt.algorithm_state = {1, 2, 3};
+    ckpt.recorder.Record("val", 1, 0.5);
+    ckpt.recorder.Record("val", 2, 0.625);
+    WriteInput(dir, "checkpoint", pardon::fl::SerializeSimCheckpoint(ckpt));
+  }
+
+  // -- config: INI exercising sections, comments, and every value shape -----
+  {
+    const fs::path dir = root / "config";
+    fs::create_directories(dir);
+    WriteText(dir, "experiment.ini",
+              "# experiment config\n"
+              "rounds = 50\n"
+              "seed = 1234567890123\n"
+              "[fl]\n"
+              "total_clients = 20\n"
+              "dropout = 0.25\n"
+              "resume = true\n"
+              "hidden = 96, 48, 24\n"
+              "; trailing comment\n"
+              "[paths]\n"
+              "checkpoint_dir = /tmp/ckpt\n");
+  }
+
+  std::printf("corpus written under %s\n", root.string().c_str());
+  return 0;
+}
