@@ -29,6 +29,15 @@ namespace {
 using pardon::tensor::Pcg32;
 using pardon::tensor::Tensor;
 
+// Benchmarks that pin the process-wide GEMM backend restore the entry value
+// on exit, so the CPUID-probed default (simd where available) still governs
+// every un-pinned benchmark that runs after them — BM_RoundLoop_* in
+// particular measures whatever a real run would use.
+struct BackendGuard {
+  pardon::tensor::GemmBackend saved = pardon::tensor::ActiveGemmBackend();
+  ~BackendGuard() { pardon::tensor::SetGemmBackend(saved); }
+};
+
 void BM_MatMul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   Pcg32 rng(1);
@@ -78,7 +87,93 @@ BENCHMARK(BM_MatMul_Blocked)
     ->Args({256, 1})
     ->Args({256, 4});
 
+// The AVX2/FMA tier at the same shapes. Skips (so CI on non-AVX2 hosts still
+// runs the binary) rather than crashing when the kernels can't run here; the
+// acceptance bar is >=2x over BM_MatMul_Blocked at 128^3.
+void BM_MatMul_Simd(benchmark::State& state) {
+  if (!pardon::tensor::GemmSimdSupported()) {
+    state.SkipWithError("AVX2/FMA not available on this host");
+    return;
+  }
+  const std::int64_t n = state.range(0);
+  pardon::tensor::SetGemmThreads(
+      static_cast<std::size_t>(state.range(1)));
+  Pcg32 rng(1);
+  const Tensor a = Tensor::Gaussian({n, n}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({n, n}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::tensor::SimdMatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  pardon::tensor::SetGemmThreads(1);
+}
+BENCHMARK(BM_MatMul_Simd)
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 4});
+
+// --------------------------------------------------------- auxiliary kernels
+//
+// The vectorized non-GEMM hot loops (gated on the active backend): softmax
+// over a logits batch and the FINCH / contrastive-loss distance matrix.
+// Scalar and simd variants pin the backend so both numbers always exist.
+
+void BM_SoftmaxRows_Scalar(benchmark::State& state) {
+  const BackendGuard guard;
+  pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kBlocked);
+  Pcg32 rng(7);
+  const Tensor logits = Tensor::Gaussian({256, 128}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::tensor::SoftmaxRows(logits));
+  }
+}
+BENCHMARK(BM_SoftmaxRows_Scalar);
+
+void BM_SoftmaxRows_Simd(benchmark::State& state) {
+  if (!pardon::tensor::GemmSimdSupported()) {
+    state.SkipWithError("AVX2/FMA not available on this host");
+    return;
+  }
+  const BackendGuard guard;
+  pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kSimd);
+  Pcg32 rng(7);
+  const Tensor logits = Tensor::Gaussian({256, 128}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::tensor::SoftmaxRows(logits));
+  }
+}
+BENCHMARK(BM_SoftmaxRows_Simd);
+
+void BM_PairwiseL2_Scalar(benchmark::State& state) {
+  const BackendGuard guard;
+  pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kBlocked);
+  Pcg32 rng(8);
+  const Tensor a = Tensor::Gaussian({200, 24}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({200, 24}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::tensor::PairwiseSquaredL2(a, b));
+  }
+}
+BENCHMARK(BM_PairwiseL2_Scalar);
+
+void BM_PairwiseL2_Simd(benchmark::State& state) {
+  if (!pardon::tensor::GemmSimdSupported()) {
+    state.SkipWithError("AVX2/FMA not available on this host");
+    return;
+  }
+  const BackendGuard guard;
+  pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kSimd);
+  Pcg32 rng(8);
+  const Tensor a = Tensor::Gaussian({200, 24}, 0, 1, rng);
+  const Tensor b = Tensor::Gaussian({200, 24}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pardon::tensor::PairwiseSquaredL2(a, b));
+  }
+}
+BENCHMARK(BM_PairwiseL2_Simd);
+
 void BM_Conv2dForward_Direct(benchmark::State& state) {
+  const BackendGuard guard;
   pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kNaive);
   Pcg32 rng(9);
   const pardon::nn::Conv2d conv(8, 16, 16, 16, rng);
@@ -87,11 +182,11 @@ void BM_Conv2dForward_Direct(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.Forward(x, ctx, false, nullptr));
   }
-  pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kBlocked);
 }
 BENCHMARK(BM_Conv2dForward_Direct)->Unit(benchmark::kMillisecond);
 
 void BM_Conv2dForward_Im2col(benchmark::State& state) {
+  const BackendGuard guard;
   pardon::tensor::SetGemmBackend(pardon::tensor::GemmBackend::kBlocked);
   pardon::tensor::SetGemmThreads(1);
   Pcg32 rng(9);

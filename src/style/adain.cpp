@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd_kernels.hpp"
 
 namespace pardon::style {
 
@@ -20,12 +22,22 @@ Tensor AdaIn(const Tensor& features, const StyleVector& target, float epsilon) {
   const std::int64_t c = features.dim(0);
   const std::int64_t hw = features.dim(1) * features.dim(2);
   Tensor out(features.shape());
+  // The transfer is elementwise per channel; the simd tier fuses it into one
+  // _mm256_fmadd_ps per 8 pixels (tail via std::fma — every element sees the
+  // identical fused op, so the vector path is self-consistent, and drifts
+  // from the scalar path only by the mul/add-vs-fma rounding).
+  const bool use_simd = tensor::SimdKernelsActive();
   for (std::int64_t ch = 0; ch < c; ++ch) {
     const float scale = target.sigma[ch] / source.sigma[ch];
     const float mu_src = source.mu[ch];
     const float mu_dst = target.mu[ch];
     const float* in_plane = features.data() + ch * hw;
     float* out_plane = out.data() + ch * hw;
+    if (use_simd) {
+      tensor::detail::AdaInTransferAvx2(in_plane, out_plane, hw, scale, mu_src,
+                                        mu_dst);
+      continue;
+    }
     for (std::int64_t i = 0; i < hw; ++i) {
       out_plane[i] = scale * (in_plane[i] - mu_src) + mu_dst;
     }

@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "tensor/simd_kernels.hpp"
 #include "util/config.hpp"
 #include "util/thread_pool.hpp"
 
@@ -26,12 +29,43 @@ namespace {
 // cross-task accumulation) never depends on how many workers run it.
 constexpr std::int64_t kStripCols = 16;
 constexpr std::int64_t kMicroRows = 4;
+// The AVX2 micro-kernel's row tile (6 rows x 16 columns = 12 ymm
+// accumulators). Row remainders inside a task fall back to the scalar
+// micro-kernels.
+constexpr std::int64_t kSimdMicroRows = 6;
 constexpr std::int64_t kRowsPerTask = 64;
 // Below ~4 MFLOP the ParallelFor dispatch overhead beats the speedup.
 constexpr std::int64_t kParallelMinFlops = std::int64_t{1} << 22;
 
 constexpr std::string_view kNaiveLabel = "backend=\"naive\"";
 constexpr std::string_view kBlockedLabel = "backend=\"blocked\"";
+constexpr std::string_view kSimdLabel = "backend=\"simd\"";
+
+// 32-byte-aligned storage for the packed strips, so the simd backend's
+// _mm256_load_ps of full-width strips (64-byte stride from an aligned base)
+// is always an aligned load. The blocked backend shares the container — the
+// alignment is free there.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 32;
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U>&) {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlignment});
+  }
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+using AlignedVector = std::vector<float, AlignedAllocator<float>>;
 
 void CheckRank2(const Tensor& m, const char* what) {
   if (m.rank() != 2) {
@@ -57,13 +91,6 @@ std::atomic<int>& BackendFlag() {
   return flag;
 }
 
-GemmBackend BackendFromEnvOrDefault() {
-  if (const char* env = std::getenv("PARDON_GEMM")) {
-    if (const auto parsed = ParseGemmBackend(env)) return *parsed;
-  }
-  return GemmBackend::kBlocked;
-}
-
 struct GemmPoolState {
   std::mutex mutex;
   std::unique_ptr<util::ThreadPool> pool;
@@ -75,23 +102,17 @@ GemmPoolState& PoolState() {
   return state;
 }
 
-std::size_t ThreadsFromEnvOrDefault() {
-  if (const char* env = std::getenv("PARDON_GEMM_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 0) return static_cast<std::size_t>(parsed);
-  }
-  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
-}
-
 // ------------------------------------------------------------ blocked core ---
 
 // Packs op(B) — logically [K,N] — into column strips of kStripCols: strip s
 // covers columns [s*16, s*16+w) and stores its K rows of w floats
 // contiguously at offset K * s*16, so the micro-kernel streams one strip
 // linearly while sweeping k. `trans` reads B as its transpose (B given
-// [N,K] row-major).
+// [N,K] row-major). The buffer is 32-byte aligned, which makes every
+// full-width strip base aligned too (strip offsets are multiples of 64
+// bytes), as the AVX2 kernel's aligned loads require.
 void PackStrips(const float* b, std::int64_t k, std::int64_t n, bool trans,
-                std::vector<float>& packed) {
+                AlignedVector& packed) {
   packed.resize(static_cast<std::size_t>(k * n));
   float* dst = packed.data();
   for (std::int64_t j0 = 0; j0 < n; j0 += kStripCols) {
@@ -196,6 +217,41 @@ void ComputeRowRange(const float* a, const float* packed, std::int64_t k,
   }
 }
 
+// C rows [row_begin, row_end) from packed strips via the AVX2/FMA 6x16
+// micro-kernel. Full-width strips go through detail::Micro6x16Fma; the row
+// remainder (< 6 rows) and the tail strip (< 16 columns) fall back to the
+// scalar micro-kernels above — the kernel handling any given (row, strip)
+// cell depends only on the cell's position within its task, so results are
+// reproducible as long as task boundaries are too (see RunSimd).
+void SimdComputeRowRange(const float* a, const float* packed, std::int64_t k,
+                         std::int64_t n, float* c, std::int64_t row_begin,
+                         std::int64_t row_end) {
+  for (std::int64_t j0 = 0; j0 < n; j0 += kStripCols) {
+    const std::int64_t w = std::min(kStripCols, n - j0);
+    const float* strip = packed + k * j0;
+    std::int64_t i = row_begin;
+    if (w == kStripCols) {
+      for (; i + kSimdMicroRows <= row_end; i += kSimdMicroRows) {
+        detail::Micro6x16Fma(a + i * k, k, strip, k, c + i * n + j0, n);
+      }
+    }
+    for (; i + kMicroRows <= row_end; i += kMicroRows) {
+      const float* a0 = a + i * k;
+      float* c0 = c + i * n + j0;
+      if (w == kStripCols) {
+        Micro4<kStripCols>(a0, a0 + k, a0 + 2 * k, a0 + 3 * k, strip, k, c0,
+                           c0 + n, c0 + 2 * n, c0 + 3 * n);
+      } else {
+        Micro4Tail(a0, a0 + k, a0 + 2 * k, a0 + 3 * k, strip, k, w, c0, c0 + n,
+                   c0 + 2 * n, c0 + 3 * n);
+      }
+    }
+    for (; i < row_end; ++i) {
+      Micro1(a + i * k, strip, k, w, c + i * n + j0);
+    }
+  }
+}
+
 // Dispatches the row blocks of C across the GEMM pool when the matrix is
 // large enough; each task owns a disjoint row range, so scheduling cannot
 // affect any accumulation order.
@@ -215,6 +271,43 @@ void RunBlocked(const float* a, const float* packed, std::int64_t m,
         });
   } else {
     ComputeRowRange(a, packed, k, n, c, 0, m);
+  }
+}
+
+// Same fan-out for the simd backend, with one extra rule: the serial path
+// walks the SAME fixed kRowsPerTask chunks as ParallelForChunks. Unlike the
+// scalar kernels (identical addition chain in every micro-kernel), the FMA
+// tile rounds differently from the scalar row-remainder kernels, so WHICH
+// kernel covers a row depends on where 6-row tiling restarts — the chunk
+// boundary. Pinning the chunk grid to the shape alone is what makes simd
+// serial == parallel bitwise at every thread count (tests/gemm_test.cpp).
+void RunSimd(const float* a, const float* packed, std::int64_t m,
+             std::int64_t k, std::int64_t n, float* c) {
+  util::ThreadPool* pool = nullptr;
+  if (m > kRowsPerTask && 2 * m * k * n >= kParallelMinFlops) {
+    pool = GemmThreadPool();
+  }
+  if (pool != nullptr && pool->NumThreads() > 1) {
+    pool->ParallelForChunks(
+        static_cast<std::size_t>(m), static_cast<std::size_t>(kRowsPerTask),
+        [&](std::size_t begin, std::size_t end) {
+          SimdComputeRowRange(a, packed, k, n, c,
+                              static_cast<std::int64_t>(begin),
+                              static_cast<std::int64_t>(end));
+        });
+  } else {
+    for (std::int64_t begin = 0; begin < m; begin += kRowsPerTask) {
+      SimdComputeRowRange(a, packed, k, n, c, begin,
+                          std::min(begin + kRowsPerTask, m));
+    }
+  }
+}
+
+void CheckSimdAvailable() {
+  if (!GemmSimdSupported()) {
+    throw std::runtime_error(
+        "simd GEMM backend requested but AVX2/FMA is not available "
+        "(build without AVX2 codegen or CPU without AVX2/FMA)");
   }
 }
 
@@ -243,27 +336,89 @@ void TransposeInto(const float* src, std::int64_t rows, std::int64_t cols,
 
 // ----------------------------------------------------------------- switch ---
 
+bool GemmSimdSupported() {
+  // Both halves are constant for the process lifetime; cache the probe.
+  static const bool supported =
+      detail::SimdKernelsCompiledIn() && detail::SimdCpuSupported();
+  return supported;
+}
+
+GemmBackend detail::ResolveBackendFromEnvOrDefault() {
+  if (const char* env = std::getenv("PARDON_GEMM")) {
+    const auto parsed = ParseGemmBackend(env);
+    if (!parsed) {
+      // A typo used to fall back to the default silently — the wrong backend
+      // with no diagnostic. Match the config path's tensor.gemm error.
+      throw std::invalid_argument(
+          "PARDON_GEMM: expected naive|blocked|simd, got '" +
+          std::string(env) + "'");
+    }
+    if (*parsed == GemmBackend::kSimd && !GemmSimdSupported()) {
+      throw std::invalid_argument(
+          "PARDON_GEMM=simd: AVX2/FMA is not available on this CPU/build");
+    }
+    return *parsed;
+  }
+  return GemmSimdSupported() ? GemmBackend::kSimd : GemmBackend::kBlocked;
+}
+
 GemmBackend ActiveGemmBackend() {
   int value = BackendFlag().load(std::memory_order_relaxed);
   if (value < 0) {
-    value = static_cast<int>(BackendFromEnvOrDefault());
+    value = static_cast<int>(detail::ResolveBackendFromEnvOrDefault());
     BackendFlag().store(value, std::memory_order_relaxed);
   }
   return static_cast<GemmBackend>(value);
 }
 
 void SetGemmBackend(GemmBackend backend) {
+  if (backend == GemmBackend::kSimd) CheckSimdAvailable();
   BackendFlag().store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+bool SimdKernelsActive() {
+  return ActiveGemmBackend() == GemmBackend::kSimd;
 }
 
 std::optional<GemmBackend> ParseGemmBackend(std::string_view name) {
   if (name == "naive") return GemmBackend::kNaive;
   if (name == "blocked") return GemmBackend::kBlocked;
+  if (name == "simd") return GemmBackend::kSimd;
   return std::nullopt;
 }
 
 std::string_view ToString(GemmBackend backend) {
-  return backend == GemmBackend::kNaive ? "naive" : "blocked";
+  switch (backend) {
+    case GemmBackend::kNaive:
+      return "naive";
+    case GemmBackend::kSimd:
+      return "simd";
+    case GemmBackend::kBlocked:
+      break;
+  }
+  return "blocked";
+}
+
+std::size_t ParseGemmThreads(std::string_view value) {
+  const std::string text(value);
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE || parsed < 0) {
+    throw std::invalid_argument(
+        "PARDON_GEMM_THREADS: expected a non-negative base-10 integer, got '" +
+        text + "'");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t detail::ResolveThreadsFromEnvOrDefault() {
+  if (const char* env = std::getenv("PARDON_GEMM_THREADS")) {
+    // strtol with no endptr check used to turn "abc" into 0 and silently
+    // force a serial pool; garbage now fails loudly instead.
+    return ParseGemmThreads(env);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
 void SetGemmThreads(std::size_t num_threads) {
@@ -279,7 +434,7 @@ util::ThreadPool* GemmThreadPool() {
   GemmPoolState& state = PoolState();
   std::lock_guard<std::mutex> lock(state.mutex);
   if (!state.initialized) {
-    const std::size_t threads = ThreadsFromEnvOrDefault();
+    const std::size_t threads = detail::ResolveThreadsFromEnvOrDefault();
     if (threads > 1) state.pool = std::make_unique<util::ThreadPool>(threads);
     state.initialized = true;
   }
@@ -287,17 +442,29 @@ util::ThreadPool* GemmThreadPool() {
 }
 
 void ApplyGemmConfig(const util::Config& config) {
-  const std::string backend_name =
-      config.GetString("tensor.gemm", std::string(ToString(GemmBackend::kBlocked)));
-  const auto parsed = ParseGemmBackend(backend_name);
-  if (!parsed) {
-    throw std::invalid_argument("tensor.gemm: expected naive|blocked, got '" +
-                                backend_name + "'");
-  }
   // Environment wins over config so a run can be flipped without editing the
-  // experiment file.
-  if (std::getenv("PARDON_GEMM") == nullptr) SetGemmBackend(*parsed);
-  if (std::getenv("PARDON_GEMM_THREADS") == nullptr) {
+  // experiment file — but it must parse: a typo'd env value used to be
+  // swallowed here (config skipped, bad env ignored at first use) and the
+  // run proceeded on the wrong backend with no diagnostic.
+  if (std::getenv("PARDON_GEMM") != nullptr) {
+    SetGemmBackend(detail::ResolveBackendFromEnvOrDefault());
+  } else {
+    const std::string backend_name = config.GetString("tensor.gemm", "");
+    if (!backend_name.empty()) {
+      const auto parsed = ParseGemmBackend(backend_name);
+      if (!parsed) {
+        throw std::invalid_argument(
+            "tensor.gemm: expected naive|blocked|simd, got '" + backend_name +
+            "'");
+      }
+      // SetGemmBackend rejects simd on hosts without AVX2/FMA.
+      SetGemmBackend(*parsed);
+    }
+    // No tensor.gemm key: leave the CPUID-probed default in place.
+  }
+  if (std::getenv("PARDON_GEMM_THREADS") != nullptr) {
+    SetGemmThreads(detail::ResolveThreadsFromEnvOrDefault());
+  } else {
     const int threads = config.GetInt("tensor.gemm_threads", -1);
     if (threads >= 0) SetGemmThreads(static_cast<std::size_t>(threads));
   }
@@ -396,7 +563,7 @@ Tensor BlockedMatMul(const Tensor& a, const Tensor& b) {
   RecordGemmMetrics(kBlockedLabel, n, k, m);
   Tensor out({n, m});
   if (n == 0 || m == 0) return out;
-  std::vector<float> packed;
+  AlignedVector packed;
   PackStrips(b.data(), k, m, /*trans=*/false, packed);
   RunBlocked(a.data(), packed.data(), n, k, m, out.data());
   return out;
@@ -414,7 +581,7 @@ Tensor BlockedMatMulTransA(const Tensor& a, const Tensor& b) {
   if (n == 0 || m == 0) return out;
   std::vector<float> a_t;  // a is [K,N]; the core wants [N,K] rows
   TransposeInto(a.data(), k, n, a_t);
-  std::vector<float> packed;
+  AlignedVector packed;
   PackStrips(b.data(), k, m, /*trans=*/false, packed);
   RunBlocked(a_t.data(), packed.data(), n, k, m, out.data());
   return out;
@@ -430,9 +597,65 @@ Tensor BlockedMatMulTransB(const Tensor& a, const Tensor& b) {
   RecordGemmMetrics(kBlockedLabel, n, k, m);
   Tensor out({n, m});
   if (n == 0 || m == 0) return out;
-  std::vector<float> packed;  // packs b^T ([K,M]) straight from b's rows
+  AlignedVector packed;  // packs b^T ([K,M]) straight from b's rows
   PackStrips(b.data(), k, m, /*trans=*/true, packed);
   RunBlocked(a.data(), packed.data(), n, k, m, out.data());
+  return out;
+}
+
+// ------------------------------------------------------------ simd kernels ---
+
+Tensor SimdMatMul(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMul lhs");
+  CheckRank2(b, "MatMul rhs");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("MatMul: inner dimension mismatch " +
+                                a.ShapeString() + " x " + b.ShapeString());
+  }
+  CheckSimdAvailable();
+  RecordGemmMetrics(kSimdLabel, n, k, m);
+  Tensor out({n, m});
+  if (n == 0 || m == 0) return out;
+  AlignedVector packed;
+  PackStrips(b.data(), k, m, /*trans=*/false, packed);
+  RunSimd(a.data(), packed.data(), n, k, m, out.data());
+  return out;
+}
+
+Tensor SimdMatMulTransA(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulTransA lhs");
+  CheckRank2(b, "MatMulTransA rhs");
+  const std::int64_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("MatMulTransA: dimension mismatch");
+  }
+  CheckSimdAvailable();
+  RecordGemmMetrics(kSimdLabel, n, k, m);
+  Tensor out({n, m});
+  if (n == 0 || m == 0) return out;
+  std::vector<float> a_t;  // a is [K,N]; the core wants [N,K] rows
+  TransposeInto(a.data(), k, n, a_t);
+  AlignedVector packed;
+  PackStrips(b.data(), k, m, /*trans=*/false, packed);
+  RunSimd(a_t.data(), packed.data(), n, k, m, out.data());
+  return out;
+}
+
+Tensor SimdMatMulTransB(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulTransB lhs");
+  CheckRank2(b, "MatMulTransB rhs");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("MatMulTransB: dimension mismatch");
+  }
+  CheckSimdAvailable();
+  RecordGemmMetrics(kSimdLabel, n, k, m);
+  Tensor out({n, m});
+  if (n == 0 || m == 0) return out;
+  AlignedVector packed;  // packs b^T ([K,M]) straight from b's rows
+  PackStrips(b.data(), k, m, /*trans=*/true, packed);
+  RunSimd(a.data(), packed.data(), n, k, m, out.data());
   return out;
 }
 

@@ -1,6 +1,6 @@
 // Dense GEMM backends behind the tensor::MatMul* entry points.
 //
-// Two backends are compiled in and selectable at runtime:
+// Three backends are compiled in and selectable at runtime:
 //
 //   kNaive    — the original triple-loop reference kernels. Kept for
 //               differential testing and as the semantic ground truth.
@@ -9,17 +9,28 @@
 //               micro-kernel computes a 4-row by one-strip tile of C with one
 //               accumulator per output element, and independent row blocks of
 //               C are fanned out over a ThreadPool.
+//   kSimd     — the blocked scheme with the full-width strips computed by an
+//               explicit AVX2/FMA 6x16 micro-kernel
+//               (src/tensor/simd_kernels.cpp); tail strips and row
+//               remainders fall back to the scalar micro-kernels. Only
+//               available when the build has AVX2 codegen and the CPU
+//               reports AVX2+FMA (GemmSimdSupported). The default backend
+//               when available, selected by CPUID on first use.
 //
-// Determinism contract: every output element is accumulated in ascending-k
-// order into a single accumulator, exactly like the naive kernels. The
-// blocked backend is therefore bitwise identical to the naive one — and the
-// parallel blocked path is bitwise identical to the serial blocked path —
-// for any shape, blocking, and thread count. gemm.cpp is compiled with
-// -ffp-contract=off so FMA contraction cannot round the two backends
-// differently under -march flags (see src/tensor/CMakeLists.txt);
-// tests/gemm_test.cpp enforces the contract.
+// Determinism contract, per backend: every output element is accumulated in
+// ascending-k order into a single accumulator, and the row-block
+// decomposition depends only on the shape — so each backend is bitwise
+// self-consistent across thread counts and serial-vs-parallel, for any
+// shape. naive and blocked are additionally bitwise identical to each
+// other. The simd backend's FMA chains round differently, so simd-vs-scalar
+// drift is expected and tolerance-bounded — the same opt-in cross-backend
+// drift model as PARDON_NATIVE_ARCH (pin PARDON_GEMM=blocked to compare
+// against a non-AVX2 host). gemm.cpp and simd_kernels.cpp are compiled with
+// -ffp-contract=off so compiler contraction cannot move any of these
+// boundaries (see src/tensor/CMakeLists.txt); tests/gemm_test.cpp enforces
+// all of it.
 //
-// Neither backend masks non-finite values: 0 * NaN and 0 * Inf propagate NaN
+// No backend masks non-finite values: 0 * NaN and 0 * Inf propagate NaN
 // into the output instead of being skipped (the pre-backend kernels had an
 // `a == 0` fast path that silently zeroed them).
 #pragma once
@@ -38,16 +49,38 @@ class ThreadPool;
 
 namespace pardon::tensor {
 
-enum class GemmBackend { kNaive, kBlocked };
+enum class GemmBackend { kNaive, kBlocked, kSimd };
 
-// Process-wide backend switch. Defaults to kBlocked; the PARDON_GEMM
-// environment variable ("naive" | "blocked"), read on first use, overrides
-// the default and any [tensor] config value.
+// True when the simd backend can run here: simd_kernels.cpp was built with
+// AVX2+FMA codegen AND the running CPU reports both features via CPUID.
+bool GemmSimdSupported();
+
+// Process-wide backend switch. Defaults to kSimd when GemmSimdSupported()
+// (CPUID probe on first use), else kBlocked; the PARDON_GEMM environment
+// variable ("naive" | "blocked" | "simd"), read on first use, overrides the
+// default and any [tensor] config value. An unparseable PARDON_GEMM value —
+// or "simd" on a host without AVX2/FMA — throws std::invalid_argument
+// instead of silently running a different backend.
 GemmBackend ActiveGemmBackend();
+// Throws std::runtime_error for kSimd when GemmSimdSupported() is false,
+// so an active kSimd always implies the kernels are runnable.
 void SetGemmBackend(GemmBackend backend);
+
+// True when the simd tier is the active backend. The auxiliary vectorized
+// kernels (AdaIN transfer, ChannelMean/Std, SoftmaxRows, PairwiseSquaredL2)
+// key off this, so PARDON_GEMM=blocked restores the all-scalar numerics in
+// one switch.
+bool SimdKernelsActive();
 
 std::optional<GemmBackend> ParseGemmBackend(std::string_view name);
 std::string_view ToString(GemmBackend backend);
+
+// Strict thread-count parser for PARDON_GEMM_THREADS / tests: the full
+// string must be a base-10 non-negative integer (0 or 1 = serial). Throws
+// std::invalid_argument on garbage, sign, trailing junk, or overflow — a
+// typo like "abc" used to strtol-parse to 0 and silently force a serial
+// pool.
+std::size_t ParseGemmThreads(std::string_view value);
 
 // Worker threads for the blocked backend. 0 or 1 disables parallelism; the
 // first GEMM large enough to parallelize lazily initializes the pool from
@@ -57,11 +90,21 @@ void SetGemmThreads(std::size_t num_threads);
 // The pool the blocked backend dispatches to, or nullptr when serial.
 util::ThreadPool* GemmThreadPool();
 
-// Applies `[tensor] gemm = naive|blocked` and `[tensor] gemm_threads = N`
-// from an INI config. The PARDON_GEMM / PARDON_GEMM_THREADS environment
+// Applies `[tensor] gemm = naive|blocked|simd` and `[tensor] gemm_threads =
+// N` from an INI config. The PARDON_GEMM / PARDON_GEMM_THREADS environment
 // variables win over config values so a run can be switched without editing
-// experiment files.
+// experiment files — but an env value that does not parse throws (matching
+// the config path) rather than silently shadowing the config. When neither
+// env nor config names a backend, the CPUID-probed default stands.
 void ApplyGemmConfig(const util::Config& config);
+
+namespace detail {
+// The env-resolution paths, exposed so the parsing contract is directly
+// testable: both throw std::invalid_argument on garbage instead of falling
+// back silently (regression tests in tests/gemm_test.cpp).
+GemmBackend ResolveBackendFromEnvOrDefault();
+std::size_t ResolveThreadsFromEnvOrDefault();
+}  // namespace detail
 
 // -- kernels -----------------------------------------------------------------
 // All six validate shapes and throw std::invalid_argument on mismatch.
@@ -77,5 +120,12 @@ Tensor NaiveMatMulTransB(const Tensor& a, const Tensor& b);
 Tensor BlockedMatMul(const Tensor& a, const Tensor& b);
 Tensor BlockedMatMulTransA(const Tensor& a, const Tensor& b);
 Tensor BlockedMatMulTransB(const Tensor& a, const Tensor& b);
+
+// AVX2/FMA kernels: bitwise self-consistent across thread counts,
+// tolerance-equal to the reference kernels (FMA rounds differently). Throw
+// std::runtime_error when GemmSimdSupported() is false.
+Tensor SimdMatMul(const Tensor& a, const Tensor& b);
+Tensor SimdMatMulTransA(const Tensor& a, const Tensor& b);
+Tensor SimdMatMulTransB(const Tensor& a, const Tensor& b);
 
 }  // namespace pardon::tensor

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/gemm.hpp"
+#include "tensor/simd_kernels.hpp"
 
 namespace pardon::tensor {
 
@@ -124,24 +125,43 @@ Tensor MulRowVector(const Tensor& m, const Tensor& v) {
 }
 
 // The MatMul* entry points dispatch on the process-wide GEMM backend switch
-// (tensor/gemm.hpp). Both backends are bitwise identical; the naive one stays
-// selectable for differential testing.
+// (tensor/gemm.hpp). naive and blocked are bitwise identical; simd is the
+// AVX2/FMA tier (bitwise self-consistent, tolerance-equal to the others).
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  return ActiveGemmBackend() == GemmBackend::kBlocked ? BlockedMatMul(a, b)
-                                                      : NaiveMatMul(a, b);
+  switch (ActiveGemmBackend()) {
+    case GemmBackend::kSimd:
+      return SimdMatMul(a, b);
+    case GemmBackend::kBlocked:
+      return BlockedMatMul(a, b);
+    case GemmBackend::kNaive:
+      break;
+  }
+  return NaiveMatMul(a, b);
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
-  return ActiveGemmBackend() == GemmBackend::kBlocked
-             ? BlockedMatMulTransA(a, b)
-             : NaiveMatMulTransA(a, b);
+  switch (ActiveGemmBackend()) {
+    case GemmBackend::kSimd:
+      return SimdMatMulTransA(a, b);
+    case GemmBackend::kBlocked:
+      return BlockedMatMulTransA(a, b);
+    case GemmBackend::kNaive:
+      break;
+  }
+  return NaiveMatMulTransA(a, b);
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
-  return ActiveGemmBackend() == GemmBackend::kBlocked
-             ? BlockedMatMulTransB(a, b)
-             : NaiveMatMulTransB(a, b);
+  switch (ActiveGemmBackend()) {
+    case GemmBackend::kSimd:
+      return SimdMatMulTransB(a, b);
+    case GemmBackend::kBlocked:
+      return BlockedMatMulTransB(a, b);
+    case GemmBackend::kNaive:
+      break;
+  }
+  return NaiveMatMulTransB(a, b);
 }
 
 Tensor Transpose2D(const Tensor& a) {
@@ -261,10 +281,21 @@ Tensor SoftmaxRows(const Tensor& logits) {
   CheckRank2(logits, "SoftmaxRows");
   Tensor out = logits;
   const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  // The vector path is bitwise identical to the scalar one: FP max over
+  // finite values is order-independent, exp and the sequential double denom
+  // stay scalar, and the final scale is elementwise. NaN rows come out
+  // all-NaN on both paths (denom NaN), which is what the NonFinite suite
+  // pins; only the NaN payload routed through the max may differ.
+  const bool use_simd = SimdKernelsActive() && cols > 0;
   for (std::int64_t r = 0; r < rows; ++r) {
     float* row = out.data() + r * cols;
-    float max_v = row[0];
-    for (std::int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, row[c]);
+    float max_v;
+    if (use_simd) {
+      max_v = detail::RowMaxAvx2(row, cols);
+    } else {
+      max_v = row[0];
+      for (std::int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, row[c]);
+    }
     double denom = 0.0;
     for (std::int64_t c = 0; c < cols; ++c) {
       row[c] = std::exp(row[c] - max_v);
@@ -276,7 +307,11 @@ Tensor SoftmaxRows(const Tensor& logits) {
     // comes out NaN instead of being silently renormalized — pinned by
     // tensor_test's NonFinite suite.
     const float inv = static_cast<float>(1.0 / std::max(denom, 1e-12));
-    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
+    if (use_simd) {
+      detail::ScaleInPlaceAvx2(row, cols, inv);
+    } else {
+      for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
+    }
   }
   return out;
 }
@@ -342,10 +377,19 @@ Tensor PairwiseSquaredL2(const Tensor& a, const Tensor& b) {
   }
   const std::int64_t n = a.dim(0), m = b.dim(0), d = a.dim(1);
   Tensor out({n, m});
+  // FINCH and the contrastive losses burn most of their time here; the simd
+  // tier swaps the inner loop for a double-lane AVX2 reduction
+  // (tolerance-parity with the sequential scalar chain, see
+  // simd_kernels.hpp).
+  const bool use_simd = SimdKernelsActive();
   for (std::int64_t i = 0; i < n; ++i) {
     const float* ra = a.data() + i * d;
     for (std::int64_t j = 0; j < m; ++j) {
       const float* rb = b.data() + j * d;
+      if (use_simd) {
+        out.At(i, j) = static_cast<float>(detail::SquaredL2Avx2(ra, rb, d));
+        continue;
+      }
       double acc = 0.0;
       for (std::int64_t c = 0; c < d; ++c) {
         const double diff = double(ra[c]) - rb[c];
@@ -365,10 +409,16 @@ Tensor ChannelMean(const Tensor& feature_map) {
   const std::int64_t c = feature_map.dim(0);
   const std::int64_t hw = feature_map.dim(1) * feature_map.dim(2);
   Tensor out({c});
+  const bool use_simd = SimdKernelsActive();
   for (std::int64_t ch = 0; ch < c; ++ch) {
     const float* plane = feature_map.data() + ch * hw;
-    double acc = 0.0;
-    for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+    double acc;
+    if (use_simd) {
+      acc = detail::SumAvx2(plane, hw);
+    } else {
+      acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+    }
     out[ch] = static_cast<float>(acc / static_cast<double>(hw));
   }
   return out;
@@ -383,12 +433,19 @@ Tensor ChannelStd(const Tensor& feature_map, float epsilon) {
   const std::int64_t c = feature_map.dim(0);
   const std::int64_t hw = feature_map.dim(1) * feature_map.dim(2);
   Tensor out({c});
+  const bool use_simd = SimdKernelsActive();
   for (std::int64_t ch = 0; ch < c; ++ch) {
     const float* plane = feature_map.data() + ch * hw;
-    double acc = 0.0;
-    for (std::int64_t i = 0; i < hw; ++i) {
-      const double d = double(plane[i]) - mean[ch];
-      acc += d * d;
+    double acc;
+    if (use_simd) {
+      acc = detail::CenteredSquareSumAvx2(plane, hw,
+                                          static_cast<double>(mean[ch]));
+    } else {
+      acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const double d = double(plane[i]) - mean[ch];
+        acc += d * d;
+      }
     }
     out[ch] = static_cast<float>(
         std::sqrt(acc / static_cast<double>(hw) + epsilon));

@@ -1,0 +1,218 @@
+// AVX2/FMA micro-kernels. The ONLY translation unit built with -mavx2 -mfma
+// (src/tensor/CMakeLists.txt), and like every kernel TU it carries
+// -ffp-contract=off: the compiler may not fuse or split any multiply-add on
+// its own, so the addition chains below are fixed by the explicit
+// _mm256_fmadd_* intrinsics and nothing else. Callers gate on
+// tensor::GemmSimdSupported() before entering any kernel here.
+#include "tensor/simd_kernels.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define PARDON_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define PARDON_SIMD_AVX2 0
+#endif
+
+namespace pardon::tensor::detail {
+
+bool SimdKernelsCompiledIn() { return PARDON_SIMD_AVX2 != 0; }
+
+bool SimdCpuSupported() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+#if PARDON_SIMD_AVX2
+
+namespace {
+
+// Fixed lane-reduction order shared by every 4-lane double accumulator:
+// (l0 + l1) + (l2 + l3). Part of the determinism contract — changing it
+// changes results.
+inline double ReduceLanes(__m256d acc) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+}  // namespace
+
+void Micro6x16Fma(const float* a, std::int64_t lda, const float* strip,
+                  std::int64_t k, float* c, std::int64_t ldc) {
+  // 6 rows x 2 ymm = 12 accumulators + 2 strip vectors + 1 broadcast stays
+  // inside the 16 ymm registers (the classic AVX2 6x16 tile).
+  __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+  __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+  __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+  __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+  __m256 acc40 = _mm256_setzero_ps(), acc41 = _mm256_setzero_ps();
+  __m256 acc50 = _mm256_setzero_ps(), acc51 = _mm256_setzero_ps();
+  const float* a0 = a;
+  const float* a1 = a + lda;
+  const float* a2 = a + 2 * lda;
+  const float* a3 = a + 3 * lda;
+  const float* a4 = a + 4 * lda;
+  const float* a5 = a + 5 * lda;
+  for (std::int64_t p = 0; p < k; ++p) {
+    const __m256 b0 = _mm256_load_ps(strip + p * 16);
+    const __m256 b1 = _mm256_load_ps(strip + p * 16 + 8);
+    __m256 av = _mm256_broadcast_ss(a0 + p);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_broadcast_ss(a1 + p);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_broadcast_ss(a2 + p);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_broadcast_ss(a3 + p);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+    av = _mm256_broadcast_ss(a4 + p);
+    acc40 = _mm256_fmadd_ps(av, b0, acc40);
+    acc41 = _mm256_fmadd_ps(av, b1, acc41);
+    av = _mm256_broadcast_ss(a5 + p);
+    acc50 = _mm256_fmadd_ps(av, b0, acc50);
+    acc51 = _mm256_fmadd_ps(av, b1, acc51);
+  }
+  _mm256_storeu_ps(c, acc00);
+  _mm256_storeu_ps(c + 8, acc01);
+  _mm256_storeu_ps(c + ldc, acc10);
+  _mm256_storeu_ps(c + ldc + 8, acc11);
+  _mm256_storeu_ps(c + 2 * ldc, acc20);
+  _mm256_storeu_ps(c + 2 * ldc + 8, acc21);
+  _mm256_storeu_ps(c + 3 * ldc, acc30);
+  _mm256_storeu_ps(c + 3 * ldc + 8, acc31);
+  _mm256_storeu_ps(c + 4 * ldc, acc40);
+  _mm256_storeu_ps(c + 4 * ldc + 8, acc41);
+  _mm256_storeu_ps(c + 5 * ldc, acc50);
+  _mm256_storeu_ps(c + 5 * ldc + 8, acc51);
+}
+
+void AdaInTransferAvx2(const float* in, float* out, std::int64_t n,
+                       float scale, float mu_src, float mu_dst) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vmu = _mm256_set1_ps(mu_src);
+  const __m256 vdst = _mm256_set1_ps(mu_dst);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(in + i);
+    _mm256_storeu_ps(out + i,
+                     _mm256_fmadd_ps(vscale, _mm256_sub_ps(x, vmu), vdst));
+  }
+  // std::fma so the tail elements see the same fused op as the vector lanes.
+  for (; i < n; ++i) out[i] = std::fma(scale, in[i] - mu_src, mu_dst);
+}
+
+double SumAvx2(const float* x, std::int64_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_cvtps_pd(_mm_loadu_ps(x + i)));
+  }
+  double total = ReduceLanes(acc);
+  for (; i < n; ++i) total += static_cast<double>(x[i]);
+  return total;
+}
+
+double CenteredSquareSumAvx2(const float* x, std::int64_t n, double mean) {
+  const __m256d vmean = _mm256_set1_pd(mean);
+  __m256d acc = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(x + i)), vmean);
+    acc = _mm256_fmadd_pd(d, d, acc);
+  }
+  double total = ReduceLanes(acc);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(x[i]) - mean;
+    total = std::fma(d, d, total);
+  }
+  return total;
+}
+
+double SquaredL2Avx2(const float* a, const float* b, std::int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    const __m256d d1 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i + 4)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4)));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  double total = ReduceLanes(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    total = std::fma(d, d, total);
+  }
+  return total;
+}
+
+float RowMaxAvx2(const float* row, std::int64_t n) {
+  std::int64_t i = 0;
+  float best = row[0];
+  if (n >= 8) {
+    __m256 acc = _mm256_loadu_ps(row);
+    for (i = 8; i + 8 <= n; i += 8) {
+      acc = _mm256_max_ps(acc, _mm256_loadu_ps(row + i));
+    }
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    __m128 m = _mm_max_ps(lo, hi);
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ps(m, _mm_shuffle_ps(m, m, 1));
+    best = _mm_cvtss_f32(m);
+  }
+  for (; i < n; ++i) best = best < row[i] ? row[i] : best;
+  return best;
+}
+
+void ScaleInPlaceAvx2(float* row, std::int64_t n, float s) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(row + i, _mm256_mul_ps(_mm256_loadu_ps(row + i), vs));
+  }
+  for (; i < n; ++i) row[i] *= s;
+}
+
+#else  // !PARDON_SIMD_AVX2
+
+// Stubs for toolchains without AVX2 codegen. SimdKernelsCompiledIn() is
+// false, so GemmSimdSupported() is false and no caller can reach these;
+// abort loudly if one ever does.
+namespace {
+[[noreturn]] void UnreachableSimdKernel() { std::abort(); }
+}  // namespace
+
+void Micro6x16Fma(const float*, std::int64_t, const float*, std::int64_t,
+                  float*, std::int64_t) {
+  UnreachableSimdKernel();
+}
+void AdaInTransferAvx2(const float*, float*, std::int64_t, float, float,
+                       float) {
+  UnreachableSimdKernel();
+}
+double SumAvx2(const float*, std::int64_t) { UnreachableSimdKernel(); }
+double CenteredSquareSumAvx2(const float*, std::int64_t, double) {
+  UnreachableSimdKernel();
+}
+double SquaredL2Avx2(const float*, const float*, std::int64_t) {
+  UnreachableSimdKernel();
+}
+float RowMaxAvx2(const float*, std::int64_t) { UnreachableSimdKernel(); }
+void ScaleInPlaceAvx2(float*, std::int64_t, float) { UnreachableSimdKernel(); }
+
+#endif  // PARDON_SIMD_AVX2
+
+}  // namespace pardon::tensor::detail

@@ -1,0 +1,60 @@
+// Internal AVX2/FMA kernel entry points (src/tensor/simd_kernels.cpp).
+//
+// This header is the seam between the portable TUs and the one translation
+// unit compiled with -mavx2 -mfma. Everything here is a plain extern function
+// so the vector code is never inlined into (or ODR-merged with) code built
+// for baseline x86-64: a TU compiled with AVX2 flags must not leak AVX2
+// codegen into kernels that run on the portable path.
+//
+// Callers MUST gate every call on tensor::GemmSimdSupported() (compile-time
+// support AND runtime CPUID) — except SimdKernelsCompiledIn/SimdCpuSupported,
+// which are always safe. The kernels themselves are deterministic: fixed
+// iteration order, fixed lane-reduction order, and explicit _mm256_fmadd_ps
+// only (the TU is compiled with -ffp-contract=off, so the compiler cannot
+// move the FMA boundary; see tools/lint_determinism.py rule fp-contract).
+#pragma once
+
+#include <cstdint>
+
+namespace pardon::tensor::detail {
+
+// True when simd_kernels.cpp was built with AVX2+FMA codegen available.
+bool SimdKernelsCompiledIn();
+// True when the running CPU reports AVX2 and FMA via CPUID. Safe everywhere.
+bool SimdCpuSupported();
+
+// -- GEMM micro-kernel --------------------------------------------------------
+// One 6-row by 16-column register tile of C: c[r][j] = sum_p a[r*lda+p] *
+// strip[p*16+j], accumulated in ascending-p order with one _mm256_fmadd_ps
+// chain per output element. `strip` is a packed full-width column strip
+// (tensor/gemm.cpp PackStrips) and must be 32-byte aligned; `a` and `c` may
+// be unaligned. Requires k >= 0 (k == 0 stores zeros).
+void Micro6x16Fma(const float* a, std::int64_t lda, const float* strip,
+                  std::int64_t k, float* c, std::int64_t ldc);
+
+// -- style / elementwise ------------------------------------------------------
+// out[i] = fma(scale, in[i] - mu_src, mu_dst); the scalar tail uses std::fma
+// so every element sees the identical fused operation.
+void AdaInTransferAvx2(const float* in, float* out, std::int64_t n,
+                       float scale, float mu_src, float mu_dst);
+
+// -- reductions ---------------------------------------------------------------
+// Sum of x[0..n) in four double lanes (lane i accumulates elements
+// i mod 4 ... in fixed stride-4 order), reduced (l0+l1)+(l2+l3), scalar tail
+// appended last. Deterministic, but a different addition order than the
+// scalar reference — parity is tolerance-based.
+double SumAvx2(const float* x, std::int64_t n);
+// Same lane scheme for sum of (x[i] - mean)^2 via _mm256_fmadd_pd.
+double CenteredSquareSumAvx2(const float* x, std::int64_t n, double mean);
+// Same lane scheme for sum of (a[i] - b[i])^2 (PairwiseSquaredL2 inner loop).
+double SquaredL2Avx2(const float* a, const float* b, std::int64_t n);
+
+// -- softmax helpers ----------------------------------------------------------
+// Max of row[0..n), n >= 1. Exact for finite inputs (FP max is associative);
+// NaN handling may differ from the sequential std::max chain, but any NaN in
+// the row makes the whole softmax row NaN on both paths.
+float RowMaxAvx2(const float* row, std::int64_t n);
+// row[i] *= s — elementwise, bitwise identical to the scalar loop.
+void ScaleInPlaceAvx2(float* row, std::int64_t n, float s);
+
+}  // namespace pardon::tensor::detail

@@ -1,22 +1,33 @@
 // GEMM backend tests (ctest label: gemm).
 //
-// Three contracts are enforced here:
+// Contracts enforced here:
 //   1. Non-finite propagation — no kernel masks NaN/Inf behind a zero-skip.
 //      The NaN tests in this file FAIL against the pre-backend kernels, which
 //      skipped `a == 0` terms and silently zeroed 0 * NaN.
 //   2. Blocked == naive, bitwise, for every shape class the blocking logic
 //      distinguishes (micro-tile remainders, strip remainders, empty dims).
-//   3. Serial == parallel, bitwise, for the blocked backend — thread count
-//      must never change a result.
+//   3. Serial == parallel, bitwise, for every backend — thread count must
+//      never change a result. For simd this covers the FMA-tile/scalar-tail
+//      kernel boundary, which is pinned to the fixed task grid.
+//   4. The simd tier is tolerance-equal to the reference kernels on all
+//      shape classes, propagates NaN/Inf through the FMA tiles, and refuses
+//      to run (std::runtime_error) on hosts without AVX2/FMA.
+//   5. The PARDON_GEMM / PARDON_GEMM_THREADS environment switches reject
+//      garbage loudly instead of silently running a different configuration
+//      (regression tests for the strtol-without-endptr and swallowed-env
+//      bugs).
 // Plus an end-to-end golden run: a small federated FISC experiment produces
-// bitwise-identical final model parameters under either backend.
+// bitwise-identical final model parameters under either scalar backend, and
+// thread-count-invariant parameters under the simd backend.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/fisc.hpp"
@@ -66,6 +77,30 @@ bool BitwiseEqual(const Tensor& a, const Tensor& b) {
   return std::memcmp(a.data(), b.data(),
                      static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
 }
+
+// Saves/restores one environment variable so env-parsing tests cannot leak
+// state into each other or into later suites.
+class EnvVarGuard {
+ public:
+  explicit EnvVarGuard(const char* name) : name_(name) {
+    if (const char* value = std::getenv(name)) {
+      saved_ = value;
+    }
+  }
+  ~EnvVarGuard() {
+    if (saved_) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  void Set(const char* value) { ::setenv(name_, value, 1); }
+  void Unset() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
 
 // ---- 1. Non-finite propagation ---------------------------------------------
 
@@ -217,20 +252,293 @@ TEST(GemmDeterminism, ParallelTransKernelsMatchSerial) {
   EXPECT_TRUE(BitwiseEqual(serial_tb, BlockedMatMulTransB(a2, bt)));
 }
 
+// ---- 4. Simd tier ------------------------------------------------------------
+//
+// The AVX2/FMA backend rounds differently from the scalar kernels (one fused
+// chain per element instead of mul+add), so parity against the reference is
+// tolerance-based — but within itself it must be exactly as deterministic as
+// the scalar backends: bitwise identical across thread counts and repeated
+// calls, for every shape class.
+
+// With |values| <= 2 and k <= 200 the per-element accumulation difference
+// between the FMA chain and the scalar chain stays far below this.
+constexpr float kSimdTol = 1e-3f;
+
+TEST(GemmSimdParity, SimdMatchesNaiveWithinTolerance) {
+  if (!GemmSimdSupported()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  for (const Shape& s : kShapes) {
+    const Tensor a = FilledTensor({s.m, s.k}, 700 + s.m);
+    const Tensor b = FilledTensor({s.k, s.n}, 800 + s.n);
+    const Tensor naive = NaiveMatMul(a, b);
+    const Tensor simd = SimdMatMul(a, b);
+    ASSERT_EQ(naive.shape(), simd.shape());
+    for (std::int64_t i = 0; i < naive.size(); ++i) {
+      EXPECT_NEAR(naive[i], simd[i], kSimdTol)
+          << "MatMul at " << i << " m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+  }
+}
+
+TEST(GemmSimdParity, SimdTransKernelsMatchNaiveWithinTolerance) {
+  if (!GemmSimdSupported()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  for (const Shape& s : kShapes) {
+    const Tensor at = FilledTensor({s.k, s.m}, 900 + s.m);
+    const Tensor b = FilledTensor({s.k, s.n}, 1000 + s.n);
+    const Tensor ref_ta = NaiveMatMulTransA(at, b);
+    const Tensor simd_ta = SimdMatMulTransA(at, b);
+    ASSERT_EQ(ref_ta.shape(), simd_ta.shape());
+    for (std::int64_t i = 0; i < ref_ta.size(); ++i) {
+      EXPECT_NEAR(ref_ta[i], simd_ta[i], kSimdTol)
+          << "TransA at " << i << " m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+    const Tensor a2 = FilledTensor({s.m, s.k}, 1100 + s.m);
+    const Tensor bt = FilledTensor({s.n, s.k}, 1200 + s.n);
+    const Tensor ref_tb = NaiveMatMulTransB(a2, bt);
+    const Tensor simd_tb = SimdMatMulTransB(a2, bt);
+    ASSERT_EQ(ref_tb.shape(), simd_tb.shape());
+    for (std::int64_t i = 0; i < ref_tb.size(); ++i) {
+      EXPECT_NEAR(ref_tb[i], simd_tb[i], kSimdTol)
+          << "TransB at " << i << " m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+  }
+}
+
+TEST(GemmSimdParity, DispatchFollowsSimdBackend) {
+  if (!GemmSimdSupported()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  GemmStateGuard guard;
+  const Tensor a = FilledTensor({13, 21}, 61);
+  const Tensor b = FilledTensor({21, 18}, 62);
+  SetGemmBackend(GemmBackend::kSimd);
+  EXPECT_TRUE(SimdKernelsActive());
+  EXPECT_TRUE(BitwiseEqual(MatMul(a, b), SimdMatMul(a, b)));
+  SetGemmBackend(GemmBackend::kBlocked);
+  EXPECT_FALSE(SimdKernelsActive());
+  EXPECT_TRUE(BitwiseEqual(MatMul(a, b), BlockedMatMul(a, b)));
+}
+
+TEST(GemmSimdParity, SimdKernelsThrowWhenUnsupported) {
+  if (GemmSimdSupported()) {
+    GTEST_SKIP() << "host supports AVX2/FMA; unsupported path not reachable";
+  }
+  const Tensor a = FilledTensor({4, 4}, 63);
+  const Tensor b = FilledTensor({4, 4}, 64);
+  EXPECT_THROW(SimdMatMul(a, b), std::runtime_error);
+  EXPECT_THROW(SimdMatMulTransA(a, b), std::runtime_error);
+  EXPECT_THROW(SimdMatMulTransB(a, b), std::runtime_error);
+  EXPECT_THROW(SetGemmBackend(GemmBackend::kSimd), std::runtime_error);
+}
+
+TEST(GemmSimdDeterminism, ThreadCountNeverChangesTheResult) {
+  if (!GemmSimdSupported()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  GemmStateGuard guard;
+  // Every shape class, every thread count: which kernel (FMA tile vs scalar
+  // remainder) covers a row depends on the task grid, so this is the test
+  // that pins the grid to the shape alone. The large shape clears the
+  // parallel-dispatch threshold and genuinely fans out.
+  std::vector<Shape> shapes(std::begin(kShapes), std::end(kShapes));
+  shapes.push_back({160, 96, 144});
+  for (const Shape& s : shapes) {
+    const Tensor a = FilledTensor({s.m, s.k}, 1300 + s.m);
+    const Tensor b = FilledTensor({s.k, s.n}, 1400 + s.n);
+    SetGemmThreads(1);
+    const Tensor serial = SimdMatMul(a, b);
+    EXPECT_TRUE(BitwiseEqual(serial, SimdMatMul(a, b)))
+        << "repeated serial call diverged at m=" << s.m << " k=" << s.k
+        << " n=" << s.n;
+    for (const std::size_t threads : {2u, 3u, 4u}) {
+      SetGemmThreads(threads);
+      EXPECT_TRUE(BitwiseEqual(serial, SimdMatMul(a, b)))
+          << "threads=" << threads << " m=" << s.m << " k=" << s.k
+          << " n=" << s.n;
+    }
+  }
+}
+
+TEST(GemmSimdDeterminism, ParallelTransKernelsMatchSerial) {
+  if (!GemmSimdSupported()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  GemmStateGuard guard;
+  const Tensor at = FilledTensor({96, 160}, 65);
+  const Tensor b = FilledTensor({96, 144}, 66);
+  const Tensor a2 = FilledTensor({160, 96}, 67);
+  const Tensor bt = FilledTensor({144, 96}, 68);
+  SetGemmThreads(1);
+  const Tensor serial_ta = SimdMatMulTransA(at, b);
+  const Tensor serial_tb = SimdMatMulTransB(a2, bt);
+  SetGemmThreads(4);
+  EXPECT_TRUE(BitwiseEqual(serial_ta, SimdMatMulTransA(at, b)));
+  EXPECT_TRUE(BitwiseEqual(serial_tb, SimdMatMulTransB(a2, bt)));
+}
+
+TEST(GemmSimdNonFinite, ZeroTimesNaNPropagatesThroughSimdKernels) {
+  if (!GemmSimdSupported()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  // The PR 5 zero-skip regressions, on the simd tier: 0 * NaN and 0 * Inf
+  // must come out NaN from the vector kernels too.
+  Tensor a({1, 2});
+  a[0] = 0.0f;
+  a[1] = 1.0f;
+  Tensor b({2, 1});
+  b[0] = kNaN;
+  b[1] = 2.0f;
+  EXPECT_TRUE(std::isnan(SimdMatMul(a, b).At(0, 0)));
+  Tensor at({2, 1});
+  at[0] = 0.0f;
+  at[1] = 1.0f;
+  EXPECT_TRUE(std::isnan(SimdMatMulTransA(at, b).At(0, 0)));
+  Tensor bt({1, 2});
+  bt[0] = kNaN;
+  bt[1] = 2.0f;
+  EXPECT_TRUE(std::isnan(SimdMatMulTransB(a, bt).At(0, 0)));
+  Tensor zero({1, 1});
+  zero[0] = 0.0f;
+  Tensor inf({1, 1});
+  inf[0] = kInf;
+  EXPECT_TRUE(std::isnan(SimdMatMul(zero, inf).At(0, 0)));
+}
+
+TEST(GemmSimdNonFinite, NaNRowPoisonsOnlyItsOutputRowThroughFmaTile) {
+  if (!GemmSimdSupported()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  // m=8, n=16: rows 0..5 go through the 6x16 FMA tile, rows 6..7 through the
+  // scalar remainder — the NaN row sits inside the tile, its neighbors prove
+  // the tile doesn't smear it.
+  Tensor a = FilledTensor({8, 20}, 71);
+  a.At(2, 7) = kNaN;
+  const Tensor b = FilledTensor({20, 16}, 72);
+  const Tensor out = SimdMatMul(a, b);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    for (std::int64_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(std::isnan(out.At(i, j)), i == 2)
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(GemmNonFinite, ZeroSkipRegressionHoldsOnEveryTier) {
+  // The dispatching MatMul must propagate 0 * NaN on whichever backend is
+  // active — naive, blocked, and (where the host allows) simd.
+  GemmStateGuard guard;
+  Tensor a({1, 2});
+  a[0] = 0.0f;
+  a[1] = 1.0f;
+  Tensor b({2, 1});
+  b[0] = kNaN;
+  b[1] = 2.0f;
+  std::vector<GemmBackend> tiers = {GemmBackend::kNaive, GemmBackend::kBlocked};
+  if (GemmSimdSupported()) tiers.push_back(GemmBackend::kSimd);
+  for (const GemmBackend tier : tiers) {
+    SetGemmBackend(tier);
+    EXPECT_TRUE(std::isnan(MatMul(a, b).At(0, 0)))
+        << "tier " << ToString(tier);
+  }
+}
+
+// ---- 5. Env-parsing regressions ----------------------------------------------
+
+TEST(GemmEnvParsing, ParseGemmThreadsValidatesTheFullString) {
+  // Regression for the strtol-without-endptr bug: "abc" parsed to 0 and
+  // silently forced a serial pool.
+  EXPECT_THROW(ParseGemmThreads("abc"), std::invalid_argument);
+  EXPECT_THROW(ParseGemmThreads("4abc"), std::invalid_argument);
+  EXPECT_THROW(ParseGemmThreads("4 "), std::invalid_argument);
+  EXPECT_THROW(ParseGemmThreads(""), std::invalid_argument);
+  EXPECT_THROW(ParseGemmThreads("-2"), std::invalid_argument);
+  EXPECT_THROW(ParseGemmThreads("0x4"), std::invalid_argument);
+  EXPECT_THROW(ParseGemmThreads("99999999999999999999"),
+               std::invalid_argument);
+  EXPECT_EQ(ParseGemmThreads("0"), 0u);
+  EXPECT_EQ(ParseGemmThreads("1"), 1u);
+  EXPECT_EQ(ParseGemmThreads("8"), 8u);
+}
+
+TEST(GemmEnvParsing, GarbageThreadsEnvThrowsInsteadOfSilentSerialPool) {
+  EnvVarGuard env("PARDON_GEMM_THREADS");
+  env.Set("abc");
+  EXPECT_THROW(detail::ResolveThreadsFromEnvOrDefault(),
+               std::invalid_argument);
+  env.Set("4abc");
+  EXPECT_THROW(detail::ResolveThreadsFromEnvOrDefault(),
+               std::invalid_argument);
+  env.Set("6");
+  EXPECT_EQ(detail::ResolveThreadsFromEnvOrDefault(), 6u);
+  env.Unset();
+  EXPECT_GE(detail::ResolveThreadsFromEnvOrDefault(), 1u);
+}
+
+TEST(GemmEnvParsing, InvalidBackendEnvThrowsInsteadOfSilentFallback) {
+  // Regression for the swallowed-PARDON_GEMM bug: a typo like "bloked" used
+  // to fall back to kBlocked with no diagnostic.
+  EnvVarGuard env("PARDON_GEMM");
+  env.Set("bloked");
+  EXPECT_THROW(detail::ResolveBackendFromEnvOrDefault(),
+               std::invalid_argument);
+  env.Set("naive");
+  EXPECT_EQ(detail::ResolveBackendFromEnvOrDefault(), GemmBackend::kNaive);
+  env.Set("blocked");
+  EXPECT_EQ(detail::ResolveBackendFromEnvOrDefault(), GemmBackend::kBlocked);
+  if (GemmSimdSupported()) {
+    env.Set("simd");
+    EXPECT_EQ(detail::ResolveBackendFromEnvOrDefault(), GemmBackend::kSimd);
+  } else {
+    // Asking for simd on a host that can't run it is an error, not a silent
+    // downgrade.
+    env.Set("simd");
+    EXPECT_THROW(detail::ResolveBackendFromEnvOrDefault(),
+                 std::invalid_argument);
+  }
+  env.Unset();
+  const GemmBackend fallback = detail::ResolveBackendFromEnvOrDefault();
+  EXPECT_EQ(fallback, GemmSimdSupported() ? GemmBackend::kSimd
+                                          : GemmBackend::kBlocked);
+}
+
+TEST(GemmEnvParsing, ApplyGemmConfigEnvWinsOverConfigButMustParse) {
+  GemmStateGuard guard;
+  EnvVarGuard env("PARDON_GEMM");
+  util::Config config;
+  config.Set("tensor.gemm", "naive");
+  env.Set("blocked");
+  ApplyGemmConfig(config);
+  EXPECT_EQ(ActiveGemmBackend(), GemmBackend::kBlocked);
+  // An unparseable env value used to be swallowed here (the config was
+  // skipped whenever the env var was set at all); now it throws like the
+  // config path does.
+  env.Set("bloked");
+  EXPECT_THROW(ApplyGemmConfig(config), std::invalid_argument);
+  env.Unset();
+  ApplyGemmConfig(config);
+  EXPECT_EQ(ActiveGemmBackend(), GemmBackend::kNaive);
+}
+
+TEST(GemmEnvParsing, ApplyGemmConfigWithoutBackendKeyKeepsActiveBackend) {
+  GemmStateGuard guard;
+  EnvVarGuard env("PARDON_GEMM");
+  env.Unset();
+  SetGemmBackend(GemmBackend::kNaive);
+  util::Config config;  // no tensor.gemm key
+  ApplyGemmConfig(config);
+  EXPECT_EQ(ActiveGemmBackend(), GemmBackend::kNaive);
+}
+
 // ---- Backend switch plumbing ------------------------------------------------
 
 TEST(GemmConfig, ParseAndPrintRoundTrip) {
   EXPECT_EQ(ParseGemmBackend("naive"), GemmBackend::kNaive);
   EXPECT_EQ(ParseGemmBackend("blocked"), GemmBackend::kBlocked);
+  EXPECT_EQ(ParseGemmBackend("simd"), GemmBackend::kSimd);
   EXPECT_EQ(ParseGemmBackend("BLOCKED"), std::nullopt);
+  EXPECT_EQ(ParseGemmBackend("SIMD"), std::nullopt);
   EXPECT_EQ(ParseGemmBackend(""), std::nullopt);
   EXPECT_EQ(ParseGemmBackend("fast"), std::nullopt);
   EXPECT_EQ(ToString(GemmBackend::kNaive), "naive");
   EXPECT_EQ(ToString(GemmBackend::kBlocked), "blocked");
+  EXPECT_EQ(ToString(GemmBackend::kSimd), "simd");
 }
 
 TEST(GemmConfig, ApplyGemmConfigSelectsBackend) {
   GemmStateGuard guard;
+  // Env wins over config by design (and CI forces PARDON_GEMM per tier), so
+  // testing the config path requires a clean environment.
+  EnvVarGuard env("PARDON_GEMM");
+  env.Unset();
   util::Config config;
   config.Set("tensor.gemm", "naive");
   ApplyGemmConfig(config);
@@ -240,6 +548,11 @@ TEST(GemmConfig, ApplyGemmConfigSelectsBackend) {
   EXPECT_EQ(ActiveGemmBackend(), GemmBackend::kBlocked);
   config.Set("tensor.gemm", "turbo");
   EXPECT_THROW(ApplyGemmConfig(config), std::invalid_argument);
+  if (GemmSimdSupported()) {
+    config.Set("tensor.gemm", "simd");
+    ApplyGemmConfig(config);
+    EXPECT_EQ(ActiveGemmBackend(), GemmBackend::kSimd);
+  }
 }
 
 // ---- Convolution rides the backend ------------------------------------------
@@ -365,6 +678,55 @@ TEST(GemmGolden, FederatedFiscRunIsBackendInvariant) {
   // kernel-level determinism contract, so the whole run must be too.
   for (std::size_t i = 0; i < naive_params.size(); ++i) {
     ASSERT_EQ(naive_params[i], blocked_params[i]) << "param " << i;
+  }
+}
+
+TEST(GemmGolden, SimdFederatedFiscRunIsThreadCountInvariant) {
+  // The simd tier drifts from the scalar backends by design, but within
+  // itself the per-backend contract holds end-to-end: the same federated
+  // FISC run (AdaIN transfer, softmax, losses, every MatMul) produces
+  // bitwise-identical final parameters at any GEMM thread count.
+  if (!GemmSimdSupported()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  GemmStateGuard guard;
+  const data::ScenarioPreset preset = data::MakePacsLike();
+  const data::DomainGenerator generator(preset.generator);
+  const data::FederatedSplit split =
+      data::BuildSplit(generator, {.train_domains = {0, 1},
+                                   .val_domains = {2},
+                                   .test_domains = {3},
+                                   .samples_per_train_domain = 120,
+                                   .samples_per_eval_domain = 60,
+                                   .seed = 9});
+  const std::vector<data::Dataset> clients = data::PartitionHeterogeneous(
+      split.train, {.num_clients = 3, .lambda = 0.5, .seed = 10});
+  const nn::MlpClassifier model(
+      {.input_dim = preset.generator.shape.FlatDim(),
+       .hidden = {32},
+       .embed_dim = 16,
+       .num_classes = preset.generator.num_classes,
+       .seed = 11});
+  const fl::FlConfig fl_config{.total_clients = 3,
+                               .participants_per_round = 3,
+                               .rounds = 4,
+                               .batch_size = 16,
+                               .optimizer = {.lr = 3e-3f},
+                               .eval_every = 2,
+                               .seed = 12};
+  const fl::Simulator simulator(clients, fl_config);
+  const std::vector<fl::EvalSet> evals = {{"test", &split.test}};
+
+  SetGemmBackend(GemmBackend::kSimd);
+  auto run_with_threads = [&](std::size_t threads) {
+    SetGemmThreads(threads);
+    util::ThreadPool pool(2);
+    core::Fisc fisc;
+    return simulator.Run(fisc, model, evals, &pool).final_model.FlatParams();
+  };
+  const std::vector<float> serial_params = run_with_threads(1);
+  const std::vector<float> parallel_params = run_with_threads(4);
+  ASSERT_EQ(serial_params.size(), parallel_params.size());
+  for (std::size_t i = 0; i < serial_params.size(); ++i) {
+    ASSERT_EQ(serial_params[i], parallel_params[i]) << "param " << i;
   }
 }
 

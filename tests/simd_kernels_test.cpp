@@ -1,0 +1,206 @@
+// Scalar-reference parity tests for the auxiliary AVX2 kernels (ctest label:
+// gemm) — the vectorized hot loops OUTSIDE the GEMM core: AdaIN transfer,
+// ChannelMean/ChannelStd, SoftmaxRows, PairwiseSquaredL2.
+//
+// These ops key off tensor::SimdKernelsActive() (the process-wide backend
+// switch), so each test computes the same input under PARDON_GEMM=blocked
+// numerics (scalar) and the simd tier and compares:
+//   - SoftmaxRows: bitwise — the vector path only replaces the row max
+//     (exact for finite floats) and the elementwise scale.
+//   - AdaIN / ChannelMean / ChannelStd / PairwiseSquaredL2: tolerance — FMA
+//     and lane-split reductions round differently from the sequential scalar
+//     chains, by design (the same opt-in drift model as the simd GEMM tier).
+// Each simd path is additionally checked for repeatability (two calls,
+// bitwise). Everything skips on hosts without AVX2/FMA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "style/adain.hpp"
+#include "style/style_stats.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pardon::tensor {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+class GemmStateGuard {
+ public:
+  GemmStateGuard() : backend_(ActiveGemmBackend()) {}
+  ~GemmStateGuard() {
+    SetGemmBackend(backend_);
+    SetGemmThreads(1);
+  }
+
+ private:
+  GemmBackend backend_;
+};
+
+Tensor FilledTensor(std::vector<std::int64_t> shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Pcg32 rng(seed);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.NextUniform(-2.0f, 2.0f);
+  }
+  return t;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// Runs `fn` once under the scalar numerics and once under the simd tier.
+template <typename Fn>
+void ScalarVsSimd(Fn fn, Tensor* scalar_out, Tensor* simd_out) {
+  SetGemmBackend(GemmBackend::kBlocked);
+  *scalar_out = fn();
+  SetGemmBackend(GemmBackend::kSimd);
+  *simd_out = fn();
+}
+
+#define SKIP_WITHOUT_SIMD()                               \
+  do {                                                    \
+    if (!GemmSimdSupported())                             \
+      GTEST_SKIP() << "no AVX2/FMA on this host";         \
+  } while (0)
+
+// ---- AdaIN transfer ----------------------------------------------------------
+
+TEST(SimdAdaIn, TransferMatchesScalarWithinTolerance) {
+  SKIP_WITHOUT_SIMD();
+  GemmStateGuard guard;
+  // H*W = 35 exercises the 8-wide vector body and a 3-element std::fma tail.
+  const Tensor features = FilledTensor({4, 5, 7}, 11);
+  const style::StyleVector target =
+      style::ComputeStyle(FilledTensor({4, 5, 7}, 12));
+  Tensor scalar, simd;
+  ScalarVsSimd([&] { return style::AdaIn(features, target); }, &scalar, &simd);
+  ASSERT_EQ(scalar.shape(), simd.shape());
+  for (std::int64_t i = 0; i < scalar.size(); ++i) {
+    // One rounding boundary per element (mul+add vs fused), plus the style
+    // stats themselves shifting by the lane-split reduction.
+    EXPECT_NEAR(scalar[i], simd[i], 1e-4f) << "at " << i;
+  }
+  EXPECT_TRUE(BitwiseEqual(simd, style::AdaIn(features, target)))
+      << "simd AdaIn not repeatable";
+}
+
+TEST(SimdAdaIn, PostconditionHoldsOnSimdPath) {
+  SKIP_WITHOUT_SIMD();
+  GemmStateGuard guard;
+  SetGemmBackend(GemmBackend::kSimd);
+  const Tensor features = FilledTensor({3, 6, 6}, 13);
+  const style::StyleVector target =
+      style::ComputeStyle(FilledTensor({3, 6, 6}, 14));
+  const style::StyleVector result =
+      style::ComputeStyle(style::AdaIn(features, target));
+  for (std::int64_t ch = 0; ch < 3; ++ch) {
+    EXPECT_NEAR(result.mu[ch], target.mu[ch], 1e-3f);
+    EXPECT_NEAR(result.sigma[ch], target.sigma[ch], 1e-3f);
+  }
+}
+
+// ---- ChannelMean / ChannelStd ------------------------------------------------
+
+TEST(SimdChannelStats, MeanAndStdMatchScalarWithinTolerance) {
+  SKIP_WITHOUT_SIMD();
+  GemmStateGuard guard;
+  // Odd H*W (= 45 and 9) covers the stride-4 double-lane body and tails;
+  // {1,1,1} covers the all-tail case.
+  for (const auto& shape : {std::vector<std::int64_t>{6, 5, 9},
+                            std::vector<std::int64_t>{2, 3, 3},
+                            std::vector<std::int64_t>{1, 1, 1}}) {
+    const Tensor fmap = FilledTensor(shape, 21 + shape[0]);
+    Tensor mean_scalar, mean_simd, std_scalar, std_simd;
+    ScalarVsSimd([&] { return ChannelMean(fmap); }, &mean_scalar, &mean_simd);
+    ScalarVsSimd([&] { return ChannelStd(fmap, 1e-5f); }, &std_scalar,
+                 &std_simd);
+    ASSERT_EQ(mean_scalar.shape(), mean_simd.shape());
+    for (std::int64_t ch = 0; ch < mean_scalar.size(); ++ch) {
+      EXPECT_NEAR(mean_scalar[ch], mean_simd[ch], 1e-5f) << "mean ch " << ch;
+      EXPECT_NEAR(std_scalar[ch], std_simd[ch], 1e-5f) << "std ch " << ch;
+    }
+    SetGemmBackend(GemmBackend::kSimd);
+    EXPECT_TRUE(BitwiseEqual(mean_simd, ChannelMean(fmap)));
+    EXPECT_TRUE(BitwiseEqual(std_simd, ChannelStd(fmap, 1e-5f)));
+  }
+}
+
+// ---- SoftmaxRows -------------------------------------------------------------
+
+TEST(SimdSoftmax, BitwiseIdenticalToScalarForFiniteInputs) {
+  SKIP_WITHOUT_SIMD();
+  GemmStateGuard guard;
+  // The simd path must be BITWISE equal: the vector max is exact and exp /
+  // denom stay scalar. Cols 1, 8, 17, 100 cover all-tail, exact-vector, and
+  // mixed rows.
+  for (const std::int64_t cols : {1, 8, 17, 100}) {
+    const Tensor logits = FilledTensor({7, cols}, 31 + cols);
+    Tensor scalar, simd;
+    ScalarVsSimd([&] { return SoftmaxRows(logits); }, &scalar, &simd);
+    EXPECT_TRUE(BitwiseEqual(scalar, simd)) << "cols=" << cols;
+  }
+}
+
+TEST(SimdSoftmax, NaNRowComesOutAllNaN) {
+  SKIP_WITHOUT_SIMD();
+  GemmStateGuard guard;
+  SetGemmBackend(GemmBackend::kSimd);
+  Tensor logits = FilledTensor({3, 20}, 41);
+  logits.At(1, 13) = kNaN;  // in the vector body of its row
+  const Tensor out = SoftmaxRows(logits);
+  for (std::int64_t c = 0; c < 20; ++c) {
+    EXPECT_FALSE(std::isnan(out.At(0, c)));
+    EXPECT_TRUE(std::isnan(out.At(1, c))) << "col " << c;
+    EXPECT_FALSE(std::isnan(out.At(2, c)));
+  }
+}
+
+// ---- PairwiseSquaredL2 -------------------------------------------------------
+
+TEST(SimdPairwiseL2, MatchesScalarWithinTolerance) {
+  SKIP_WITHOUT_SIMD();
+  GemmStateGuard guard;
+  // d = 1 (all tail), 8 (one half-vector), 19 (vector body + 3 tail),
+  // 64 (pure 8-wide body).
+  for (const std::int64_t d : {1, 8, 19, 64}) {
+    const Tensor a = FilledTensor({9, d}, 51 + d);
+    const Tensor b = FilledTensor({6, d}, 52 + d);
+    Tensor scalar, simd;
+    ScalarVsSimd([&] { return PairwiseSquaredL2(a, b); }, &scalar, &simd);
+    ASSERT_EQ(scalar.shape(), simd.shape());
+    for (std::int64_t i = 0; i < scalar.size(); ++i) {
+      EXPECT_NEAR(scalar[i], simd[i], 1e-4f) << "d=" << d << " at " << i;
+    }
+    SetGemmBackend(GemmBackend::kSimd);
+    EXPECT_TRUE(BitwiseEqual(simd, PairwiseSquaredL2(a, b)))
+        << "simd PairwiseSquaredL2 not repeatable at d=" << d;
+  }
+}
+
+TEST(SimdPairwiseL2, EmptyOperandsProduceEmptyResult) {
+  SKIP_WITHOUT_SIMD();
+  GemmStateGuard guard;
+  SetGemmBackend(GemmBackend::kSimd);
+  const Tensor a = FilledTensor({0, 5}, 61);
+  const Tensor b = FilledTensor({3, 5}, 62);
+  const Tensor out = PairwiseSquaredL2(a, b);
+  EXPECT_EQ(out.dim(0), 0);
+  EXPECT_EQ(out.dim(1), 3);
+  // Zero-length feature dim: every distance is exactly 0 on both paths.
+  const Tensor a0 = FilledTensor({2, 0}, 63);
+  const Tensor b0 = FilledTensor({2, 0}, 64);
+  const Tensor zero = PairwiseSquaredL2(a0, b0);
+  for (std::int64_t i = 0; i < zero.size(); ++i) EXPECT_EQ(zero[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace pardon::tensor

@@ -88,9 +88,12 @@ DETERMINISM_CRITICAL_DIRS = (
 DECODE_DIRS = ("src/fl", "src/net")
 
 # TUs that must carry -ffp-contract=off (rule fp-contract), mapped to the
-# CMakeLists that owns the property line.
+# CMakeLists that owns the property line. simd_kernels.cpp is the AVX2/FMA TU:
+# there the flag guarantees the ONLY fused multiply-adds are the explicit
+# _mm256_fmadd_* intrinsics, so the addition chain is fixed by the kernel.
 KERNEL_TUS = {
     "src/tensor/gemm.cpp": "src/tensor/CMakeLists.txt",
+    "src/tensor/simd_kernels.cpp": "src/tensor/CMakeLists.txt",
 }
 
 ALLOWLIST_PATH = "tools/lint_determinism_allowlist.txt"
@@ -533,6 +536,40 @@ def run_self_test(root: str) -> int:
             'COMPILE_OPTIONS "-ffp-contract=off")\n')
         found = scan_findings(tree)
         check("fp-contract passes with flag", not found,
+              "; ".join(str(f) for f in found))
+
+    # fp-contract on the SIMD TU: gemm.cpp covered but simd_kernels.cpp
+    # missing the flag (e.g. someone adds -mavx2 but drops -ffp-contract=off)
+    # must fail; covered together, it passes.
+    with tempfile.TemporaryDirectory() as tree:
+        os.makedirs(os.path.join(tree, "src/tensor"), exist_ok=True)
+        open(os.path.join(tree, "src/tensor/gemm.cpp"), "w").write("int k;\n")
+        open(os.path.join(tree, "src/tensor/simd_kernels.cpp"), "w").write(
+            "int s;\n")
+        open(os.path.join(tree, "src/tensor/CMakeLists.txt"), "w").write(
+            "add_library(pardon_tensor gemm.cpp simd_kernels.cpp)\n"
+            'set_source_files_properties(gemm.cpp PROPERTIES '
+            'COMPILE_OPTIONS "-ffp-contract=off")\n'
+            'set_source_files_properties(simd_kernels.cpp PROPERTIES '
+            'COMPILE_OPTIONS "-mavx2;-mfma")\n')
+        found = scan_findings(tree)
+        check("fp-contract fires on SIMD TU without flag",
+              {"fp-contract"} == {f.rule for f in found},
+              f"{[str(f) for f in found]}")
+
+    with tempfile.TemporaryDirectory() as tree:
+        os.makedirs(os.path.join(tree, "src/tensor"), exist_ok=True)
+        open(os.path.join(tree, "src/tensor/gemm.cpp"), "w").write("int k;\n")
+        open(os.path.join(tree, "src/tensor/simd_kernels.cpp"), "w").write(
+            "int s;\n")
+        open(os.path.join(tree, "src/tensor/CMakeLists.txt"), "w").write(
+            "add_library(pardon_tensor gemm.cpp simd_kernels.cpp)\n"
+            'set_source_files_properties(gemm.cpp PROPERTIES '
+            'COMPILE_OPTIONS "-ffp-contract=off")\n'
+            'set_source_files_properties(simd_kernels.cpp PROPERTIES '
+            'COMPILE_OPTIONS "-ffp-contract=off;-mavx2;-mfma")\n')
+        found = scan_findings(tree)
+        check("fp-contract passes with flag on SIMD TU", not found,
               "; ".join(str(f) for f in found))
 
     print(f"self-test: {'PASS' if not failures else 'FAIL'} "

@@ -49,7 +49,7 @@
 //   resume = false           # restart from the latest matching checkpoint
 //
 //   [tensor]                 # optional; PARDON_GEMM / PARDON_GEMM_THREADS win
-//   gemm = blocked           # blocked | naive
+//   gemm = blocked           # blocked | naive | simd
 //   gemm_threads = 0         # 0 = hardware concurrency
 // With no --config, runs the PACS default scenario with all methods.
 #include <cstdio>
